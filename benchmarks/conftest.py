@@ -1,0 +1,50 @@
+"""Benchmark harness plumbing.
+
+Each bench runs a discrete-event simulation and reports *simulated* numbers
+against the paper's (wall-clock time of running the simulation, which
+pytest-benchmark measures, is not the result -- the simulated latencies
+are).  Benches register their paper-vs-measured tables with
+:func:`report_table`; the tables are printed in the terminal summary so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures the
+reproduction results.
+"""
+
+from __future__ import annotations
+
+_REPORTS: list[str] = []
+
+
+def report_table(title: str, rows: list[tuple], headers: tuple) -> str:
+    """Register a result table for the end-of-run summary; returns its text."""
+    widths = [len(str(h)) for h in headers]
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(h).ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    text = "\n".join(lines)
+    _REPORTS.append(text)
+    return text
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "V-System naming reproduction: "
+                                    "paper vs measured")
+    for report in _REPORTS:
+        terminalreporter.write_line("")
+        for line in report.splitlines():
+            terminalreporter.write_line(line)
+    _REPORTS.clear()

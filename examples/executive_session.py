@@ -1,0 +1,85 @@
+"""An executive session (paper Sec. 7: "our multiple window and executive
+system").
+
+Runs a scripted user shell session against a full installation -- file
+server, printer, team server, mail -- entirely through the uniform naming
+API.  Every command line below is a thin veneer over the same protocol
+operations the rest of this repository benchmarks.
+
+Run:  python examples/executive_session.py
+"""
+
+from repro.kernel.domain import Domain
+from repro.kernel.ipc import Delay
+from repro.runtime.executive import Executive
+from repro.runtime.workstation import setup_workstation, standard_prefixes
+from repro.servers import (
+    MailServer,
+    PrinterServer,
+    TeamServer,
+    VFileServer,
+    start_server,
+)
+
+SESSION_SCRIPT = """
+# getting settled
+mkdir papers
+cd papers
+pwd
+write naming.mss Uniform access to distributed name interpretation...
+ls
+
+# share a copy and define a shorthand for the directory
+cp naming.mss [public]naming.mss
+cd [home]
+define drafts papers
+cat [drafts]naming.mss
+
+# put it on the printer and start an editor
+print naming-draft [drafts]naming.mss
+run editor 120
+
+# tell a colleague
+mail cheriton@su-score.ARPA the draft is in [public]naming.mss
+
+# what do my names look like now?
+ls [drafts]
+prefixes
+"""
+
+
+def main() -> None:
+    domain = Domain(seed=6)
+    workstation = setup_workstation(domain, "mann")
+    fileserver = start_server(domain.create_host("vax1"),
+                              VFileServer(user="mann"))
+    standard_prefixes(workstation, fileserver)
+    start_server(domain.create_host("printhost"), PrinterServer())
+    start_server(domain.create_host("teamhost"), TeamServer())
+    mail = MailServer(hostname="su-score.ARPA")
+    mail.add_mailbox("cheriton")
+    start_server(domain.create_host("mailhost"), mail)
+
+    executive = Executive(workstation.session(), user="mann")
+
+    def shell(session):
+        yield Delay(0.05)
+        yield from executive.run_script(SESSION_SCRIPT)
+
+    workstation.run_program(lambda session: shell(session), name="executive")
+    domain.run()
+    domain.check_healthy()
+
+    for line in SESSION_SCRIPT.strip().splitlines():
+        line = line.strip()
+        if line.startswith("#"):
+            print(f"\n{line}")
+    print("\n--- session output ---")
+    for line in executive.output:
+        print(line)
+    print(f"\n(simulated session time: {domain.now * 1e3:.1f} ms; "
+          f"mail for cheriton: {len(mail.mailboxes['cheriton'].messages)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Grafting a pre-existing name space: ARPA mail (paper Sec. 2.2).
+
+Mail addresses like ``cheriton@su-score.ARPA`` were "imposed by standards
+established outside of the system."  Because V interpretation belongs to the
+server that owns the objects, the mail server parses its own syntax -- no
+slashes, no left-to-right components -- and routes between mail domains with
+ordinary protocol forwarding.  The prefix server, runtime, and message
+formats needed zero changes.
+
+Run:  python examples/mail_naming.py
+"""
+
+from repro.core.context import ContextPair
+from repro.kernel.domain import Domain
+from repro.kernel.messages import RequestCode
+from repro.runtime.workstation import setup_workstation, standard_prefixes
+from repro.servers import MailServer, VFileServer, start_server
+
+
+def main() -> None:
+    domain = Domain(seed=3)
+    workstation = setup_workstation(domain, "mann")
+    fileserver = start_server(domain.create_host("vax1"),
+                              VFileServer(user="mann"))
+    standard_prefixes(workstation, fileserver)
+
+    # Two mail domains, as on the early ARPA internet.
+    stanford = MailServer(hostname="su-score.ARPA")
+    mit = MailServer(hostname="mit-ai.ARPA")
+    stanford_handle = start_server(domain.create_host("su-score"), stanford)
+    mit_handle = start_server(domain.create_host("mit-ai"), mit)
+    stanford.add_route("mit-ai.ARPA", ContextPair(mit_handle.pid, 0))
+    mit.add_route("su-score.ARPA", ContextPair(stanford_handle.pid, 0))
+    stanford.add_mailbox("cheriton")
+    stanford.add_mailbox("mann")
+    mit.add_mailbox("minsky")
+
+    def program(session):
+        # Local delivery: [mail] resolves the mail service by GetPid, the
+        # server parses the user@host itself.
+        reply = yield from session.csname_request(
+            RequestCode.MAIL_DELIVER, "[mail]cheriton@su-score.ARPA",
+            body=b"The naming paper is accepted!", **{"from": "mann"})
+        print(f"delivered to {reply['delivered_to']!r} at {reply['host']!r}")
+
+        # Cross-domain: the Stanford server *forwards* to MIT's, using the
+        # same convention file servers use for directory links.
+        reply = yield from session.csname_request(
+            RequestCode.MAIL_DELIVER, "[mail]minsky@mit-ai.ARPA",
+            body=b"Society of Mind draft?", **{"from": "mann"})
+        print(f"delivered to {reply['delivered_to']!r} at {reply['host']!r}")
+
+        # The STANDARD query operation works on mailboxes unchanged:
+        record = yield from session.query("[mail]minsky@mit-ai.ARPA")
+        print(f"query across domains: {record.name} has "
+              f"{record.message_count} message(s), {record.unread} unread")
+
+        # And mailboxes are a context directory like any other:
+        records = yield from session.list_directory("[mail]")
+        print("local mailboxes:", [r.name for r in records])
+
+    workstation.run_program(program, name="mailer")
+    domain.run()
+    domain.check_healthy()
+    forwards = domain.metrics.count("ipc.forwards")
+    print(f"(protocol forwards used by mail routing + prefixes: {forwards})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""The paper's "single 'list directory' command" (Sec. 6).
+
+"A single 'list directory' command lists the objects in any one of several
+different contexts, including programs in execution, disk files, virtual
+terminals, TCP connections, and context prefixes."
+
+This example is that command: ONE loop over typed description records,
+applied unchanged to six utterly different kinds of context.  The type tags
+(Sec. 5.5) let it render each record sensibly without knowing in advance
+what lives behind a prefix.
+
+Run:  python examples/uniform_listing.py
+"""
+
+from repro.core.descriptors import (
+    ContextDescription,
+    FileDescription,
+    MailboxDescription,
+    ObjectDescription,
+    PipeDescription,
+    PrefixDescription,
+    PrintJobDescription,
+    ProcessDescription,
+    TcpConnectionDescription,
+    TerminalDescription,
+)
+from repro.kernel.domain import Domain
+from repro.kernel.ipc import Delay, GetPid, Send
+from repro.kernel.messages import Message, RequestCode
+from repro.kernel.services import Scope, ServiceId
+from repro.runtime import files
+from repro.runtime.program import run_program
+from repro.runtime.workstation import setup_workstation, standard_prefixes
+from repro.servers import (
+    InternetServer,
+    MailServer,
+    PrinterServer,
+    TeamServer,
+    TerminalServer,
+    VFileServer,
+    start_server,
+)
+
+
+def render(record: ObjectDescription) -> str:
+    """One line per record, dispatching on the type tag."""
+    if isinstance(record, FileDescription):
+        return f"file      {record.name:<16} {record.size_bytes:>6} bytes  owner={record.owner}"
+    if isinstance(record, ContextDescription):
+        return f"context   {record.name:<16} {record.entry_count:>6} entries"
+    if isinstance(record, ProcessDescription):
+        return f"program   {record.name:<16} state={record.state} pid={record.pid_value:#010x}"
+    if isinstance(record, TerminalDescription):
+        return f"terminal  {record.name:<16} {record.rows}x{record.cols}"
+    if isinstance(record, TcpConnectionDescription):
+        return f"tcp       {record.name:<16} -> {record.remote_host}:{record.remote_port} ({record.state})"
+    if isinstance(record, PrintJobDescription):
+        return f"printjob  {record.name:<16} {record.pages} pages, {record.state}"
+    if isinstance(record, MailboxDescription):
+        return f"mailbox   {record.name:<24} {record.message_count} msgs ({record.unread} unread)"
+    if isinstance(record, PrefixDescription):
+        kind = "generic" if record.generic else "fixed"
+        return f"prefix    [{record.name}]  ({kind})"
+    if isinstance(record, PipeDescription):
+        return f"pipe      {record.name:<16} {record.buffered_bytes} bytes buffered"
+    return f"object    {record.name}"
+
+
+def main() -> None:
+    domain = Domain(seed=8)
+    workstation = setup_workstation(domain, "mann")
+    fileserver = start_server(domain.create_host("vax1"),
+                              VFileServer(user="mann"))
+    standard_prefixes(workstation, fileserver)
+    start_server(domain.create_host("printhost"), PrinterServer())
+    start_server(domain.create_host("teamhost"), TeamServer())
+    start_server(domain.create_host("nethost"), InternetServer())
+    start_server(workstation.host, TerminalServer("mann"))
+    mail = MailServer(hostname="su-score.ARPA")
+    mail.add_mailbox("mann")
+    mail.add_mailbox("cheriton")
+    start_server(domain.create_host("mailhost"), mail)
+
+    def program(session):
+        yield Delay(0.05)
+        # Populate a little of everything.
+        yield from files.write_file(session, "[home]paper.mss", b"x" * 900)
+        yield from files.write_file(session, "[home]refs.bib", b"y" * 120)
+        yield from session.mkdir("[home]figures")
+        team = yield GetPid(int(ServiceId.TEAM), Scope.ANY)
+        yield from run_program(team, "editor", duration=120.0)
+        yield from run_program(team, "compiler", duration=30.0)
+        spool = yield from session.open("[print]paper-draft", "w")
+        yield from spool.write(b"z" * 3000)
+        yield from spool.close()
+        net = yield GetPid(int(ServiceId.INTERNET), Scope.ANY)
+        yield Send(net, Message.request(RequestCode.TCP_CONNECT,
+                                        host="mit-ai.ARPA", port=23))
+        vt = yield GetPid(int(ServiceId.TERMINAL), Scope.LOCAL)
+        yield Send(vt, Message.request(RequestCode.TERMINAL_CREATE))
+
+        # THE single list-directory loop, over every kind of context.
+        #   "" (the empty name at the prefix server) = the prefix table.
+        contexts = ["[home]", "[team]", "[print]", "[tcp]", "[terminal]",
+                    "[mail]"]
+        for context in contexts:
+            records = yield from session.list_directory(context)
+            print(f"\n{context}  ({len(records)} objects)")
+            for record in records:
+                print(f"    {render(record)}")
+        prefixes = yield from session.list_prefixes()
+        print(f"\n[prefix table]  ({len(prefixes)} entries)")
+        for record in prefixes:
+            print(f"    {render(record)}")
+
+    workstation.run_program(program, name="lister")
+    domain.run()
+    domain.check_healthy()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` uses this via the legacy develop path when PEP 660
+editable-wheel builds are unavailable offline.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""Reproduction of Cheriton & Mann, "Uniform Access to Distributed Name
+Interpretation in the V-System" (ICDCS 1984).
+
+See README.md for a tour and DESIGN.md for the system inventory.  The
+re-exports below cover the common path: build a :class:`Domain`, start
+servers, wire a :class:`Workstation`, and resolve names through a
+:class:`Session`::
+
+    from repro import Domain, VFileServer, start_server
+    from repro.runtime.workstation import setup_workstation, standard_prefixes
+
+    domain = Domain()
+    ws = setup_workstation(domain, "mann")
+    fs = start_server(domain.create_host("vax1"), VFileServer(user="mann"))
+    standard_prefixes(ws, fs)
+"""
+
+from repro.core.context import ContextPair, WellKnownContext
+from repro.core.descriptors import DescriptorTag, ObjectDescription
+from repro.core.prefix_server import ContextPrefixServer
+from repro.kernel.domain import Domain
+from repro.kernel.messages import Message, ReplyCode, RequestCode
+from repro.kernel.pids import Pid
+from repro.kernel.services import Scope, ServiceId
+from repro.net.latency import STANDARD_3MBIT, STANDARD_10MBIT, LatencyModel
+from repro.runtime.session import Session
+from repro.runtime.workstation import (
+    Workstation,
+    setup_workstation,
+    standard_prefixes,
+)
+from repro.servers import VFileServer, start_server
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Domain",
+    "Pid",
+    "Message",
+    "RequestCode",
+    "ReplyCode",
+    "Scope",
+    "ServiceId",
+    "LatencyModel",
+    "STANDARD_3MBIT",
+    "STANDARD_10MBIT",
+    "ContextPair",
+    "WellKnownContext",
+    "ObjectDescription",
+    "DescriptorTag",
+    "ContextPrefixServer",
+    "Session",
+    "Workstation",
+    "setup_workstation",
+    "standard_prefixes",
+    "VFileServer",
+    "start_server",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""The centralized naming baseline (paper Sec. 2.1-2.2).
+
+"In one model, a logically centralized *name server* provides name mapping
+as a service. ... Ideally, every server, object, and service in such a
+system is registered with the name server, and clients present the
+registered names to the name server when referring to these entities."
+
+We implement that model honestly -- same kernel, same wire, reasonable
+engineering -- so the paper's comparative claims become measurements:
+
+- :mod:`repro.baseline.uids` -- the 48-bit globally-unique identifiers the
+  centralized design needs as its extra level of naming.
+- :mod:`repro.baseline.nameserver` -- the central registry: full name ->
+  (UID, object server).
+- :mod:`repro.baseline.objectserver` -- storage servers that know objects
+  only by UID (naming removed, per the model).
+- :mod:`repro.baseline.client` -- the client library: every fresh name use
+  costs a name-server transaction before the object operation (E8a); an
+  optional client cache exhibits the staleness the paper warns about.
+- :mod:`repro.baseline.consistency` -- the audit that counts dangling names
+  and orphan objects after multi-server operations interleave with crashes
+  (E8b).
+"""
+
+from repro.baseline.client import BaselineClient
+from repro.baseline.consistency import ConsistencyReport, audit
+from repro.baseline.nameserver import CentralNameServer
+from repro.baseline.objectserver import UidObjectServer
+from repro.baseline.uids import UidAllocator
+
+__all__ = [
+    "CentralNameServer",
+    "UidObjectServer",
+    "BaselineClient",
+    "UidAllocator",
+    "audit",
+    "ConsistencyReport",
+]

@@ -1,0 +1,113 @@
+"""The central name server (paper Sec. 2.1's first model).
+
+Maps full character-string names to (UID, object-server pid) bindings.  It
+is a perfectly competent server -- in-memory table, O(1) lookups, the same
+kernel transport as everything else.  What E8 measures is the architecture:
+
+- every fresh name use costs one extra transaction here (E8a);
+- deleting an object touches two servers, so a crash in between strands a
+  *dangling name* here or an *orphan object* there (E8b);
+- when this process is down, nothing in the system can be named, however
+  healthy the object servers are (E8c) -- "a name server ... represents a
+  central failure point."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.core.csnh import CSNHServer
+from repro.core.descriptors import NameBindingDescription, ObjectDescription
+from repro.kernel.ipc import Delivery
+from repro.kernel.messages import ReplyCode, RequestCode
+from repro.kernel.services import ServiceId
+
+Gen = Generator[Any, Any, Any]
+
+
+@dataclass
+class NameBinding:
+    """One registry entry."""
+
+    name: bytes
+    uid: int
+    server_pid: int
+    object_kind: str = "file"
+
+
+class CentralNameServer(CSNHServer):
+    """The logically centralized registry."""
+
+    server_name = "nameserver"
+    service_id = int(ServiceId.NAME_SERVER)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.bindings: dict[bytes, NameBinding] = {}
+        self.lookups = 0
+        self.misses = 0
+        self.register_request_op(RequestCode.NS_REGISTER, self.op_register)
+        self.register_request_op(RequestCode.NS_LOOKUP, self.op_lookup)
+        self.register_request_op(RequestCode.NS_UNREGISTER, self.op_unregister)
+        self.register_request_op(RequestCode.NS_LIST, self.op_list)
+
+    # ------------------------------------------------------------------ ops
+
+    def op_register(self, delivery: Delivery) -> Gen:
+        message = delivery.message
+        name = bytes(message.segment or b"")
+        uid = message.get("uid")
+        server_pid = message.get("server_pid")
+        if not name or uid is None or server_pid is None:
+            yield from self.reply_error(delivery, ReplyCode.BAD_ARGS)
+            return
+        if name in self.bindings and not bool(message.get("replace", False)):
+            yield from self.reply_error(delivery, ReplyCode.NAME_EXISTS)
+            return
+        self.bindings[name] = NameBinding(
+            name=name, uid=int(uid), server_pid=int(server_pid),
+            object_kind=str(message.get("kind", "file")))
+        yield from self.reply_ok(delivery)
+
+    def op_lookup(self, delivery: Delivery) -> Gen:
+        name = bytes(delivery.message.segment or b"")
+        self.lookups += 1
+        binding = self.bindings.get(name)
+        if binding is None:
+            self.misses += 1
+            yield from self.reply_error(delivery, ReplyCode.NOT_FOUND)
+            return
+        yield from self.reply_ok(delivery, uid=binding.uid,
+                                 server_pid=binding.server_pid,
+                                 kind=binding.object_kind)
+
+    def op_unregister(self, delivery: Delivery) -> Gen:
+        name = bytes(delivery.message.segment or b"")
+        if self.bindings.pop(name, None) is None:
+            yield from self.reply_error(delivery, ReplyCode.NOT_FOUND)
+            return
+        yield from self.reply_ok(delivery)
+
+    def op_list(self, delivery: Delivery) -> Gen:
+        records = b"".join(record.encode()
+                           for record in self._all_records())
+        yield from self.reply_ok(delivery, segment=records,
+                                 count=len(self.bindings))
+
+    def _all_records(self) -> list[NameBindingDescription]:
+        return [
+            NameBindingDescription(
+                name=binding.name.decode(errors="replace"), uid=binding.uid,
+                server_pid=binding.server_pid,
+                object_kind=binding.object_kind)
+            for __, binding in sorted(self.bindings.items())
+        ]
+
+    # ------------------------------------------------------------- protocol
+
+    def directory_records(self, context_ref: Any) -> list[ObjectDescription]:
+        return list(self._all_records())
+
+    def name_of_context(self, context_id: int) -> Optional[bytes]:
+        return b"" if context_id == 0 else None

@@ -1,0 +1,119 @@
+"""Baseline object servers: storage with the naming removed (paper Sec. 2.1).
+
+In the centralized model the object server knows nothing about names -- it
+stores objects keyed by UID and trusts clients to have obtained the UID from
+the name server.  This is the design the paper contrasts with the V file
+server, where "mapping from a name to its associated object is an internal
+operation for the server that maintains both."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.baseline.uids import UidAllocator
+from repro.core.csnh import CSNHServer
+from repro.kernel.ipc import Delivery
+from repro.kernel.messages import ReplyCode, RequestCode
+from repro.kernel.pids import Pid
+from repro.net.latency import DISK_PAGE_BYTES
+from repro.vio.instance import Instance
+
+Gen = Generator[Any, Any, Any]
+
+
+@dataclass
+class StoredObject:
+    uid: int
+    kind: str = "file"
+    data: bytearray = field(default_factory=bytearray)
+
+
+class UidInstance(Instance):
+    """An open UID-named object."""
+
+    def __init__(self, owner: Pid, obj: StoredObject) -> None:
+        super().__init__(owner, block_size=DISK_PAGE_BYTES,
+                         readable=True, writable=True)
+        self.obj = obj
+
+    def size_bytes(self) -> int:
+        return len(self.obj.data)
+
+    def read_block(self, block: int) -> Gen:
+        yield from ()
+        start = block * self.block_size
+        if start >= len(self.obj.data):
+            return ReplyCode.END_OF_FILE, b""
+        return ReplyCode.OK, bytes(self.obj.data[start : start + self.block_size])
+
+    def write_block(self, block: int, data: bytes) -> Gen:
+        yield from ()
+        start = block * self.block_size
+        end = start + len(data)
+        if end > len(self.obj.data):
+            self.obj.data.extend(b"\x00" * (end - len(self.obj.data)))
+        self.obj.data[start:end] = data
+        return ReplyCode.OK, len(data)
+
+
+class UidObjectServer(CSNHServer):
+    """Stores objects by UID; no name space of its own."""
+
+    server_name = "objectserver"
+    service_id = None  # located by pid via the name server's bindings
+
+    def __init__(self, allocator_id: int) -> None:
+        super().__init__()
+        self.uids = UidAllocator(allocator_id)
+        self.objects: dict[int, StoredObject] = {}
+        self.register_request_op(RequestCode.OBJ_CREATE, self.op_create)
+        self.register_request_op(RequestCode.OBJ_DELETE, self.op_delete)
+        self.register_request_op(RequestCode.OBJ_OPEN, self.op_open)
+        self.register_request_op(RequestCode.OBJ_QUERY, self.op_query)
+        self.register_request_op(RequestCode.OBJ_LIST, self.op_list)
+
+    def op_create(self, delivery: Delivery) -> Gen:
+        uid = self.uids.allocate()
+        obj = StoredObject(uid=uid,
+                           kind=str(delivery.message.get("kind", "file")))
+        if delivery.message.segment:
+            obj.data.extend(delivery.message.segment)
+        self.objects[uid] = obj
+        yield from self.reply_ok(delivery, uid=uid)
+
+    def _object_for(self, delivery: Delivery) -> Optional[StoredObject]:
+        return self.objects.get(int(delivery.message.get("uid", -1)))
+
+    def op_delete(self, delivery: Delivery) -> Gen:
+        uid = int(delivery.message.get("uid", -1))
+        if self.objects.pop(uid, None) is None:
+            yield from self.reply_error(delivery, ReplyCode.NOT_FOUND)
+            return
+        yield from self.reply_ok(delivery)
+
+    def op_open(self, delivery: Delivery) -> Gen:
+        obj = self._object_for(delivery)
+        if obj is None:
+            yield from self.reply_error(delivery, ReplyCode.NOT_FOUND)
+            return
+        instance = UidInstance(delivery.sender, obj)
+        instance_id = self.instances.insert(instance)
+        assert self.pid is not None
+        yield from self.reply_ok(delivery, instance=instance_id,
+                                 block_size=instance.block_size,
+                                 size_bytes=len(obj.data),
+                                 server_pid=self.pid.value)
+
+    def op_query(self, delivery: Delivery) -> Gen:
+        obj = self._object_for(delivery)
+        if obj is None:
+            yield from self.reply_error(delivery, ReplyCode.NOT_FOUND)
+            return
+        yield from self.reply_ok(delivery, uid=obj.uid, kind=obj.kind,
+                                 size_bytes=len(obj.data))
+
+    def op_list(self, delivery: Delivery) -> Gen:
+        yield from self.reply_ok(delivery, count=len(self.objects),
+                                 uids=sorted(self.objects))

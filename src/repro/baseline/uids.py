@@ -1,0 +1,57 @@
+"""Globally unique identifiers for the centralized baseline (paper Sec. 2.2).
+
+"A common design is to use low-level globally unique identifiers (e.g.,
+48-bit values), with the view that such identifiers are efficient to
+communicate and manipulate."
+
+The paper's criticism is architectural, not mechanical: the UIDs work fine,
+but they are an *extra level of naming* -- the name server can only map a
+name to a UID, never to the object, so every server must additionally map
+UIDs to its internal identifiers.  :class:`UidAllocator` makes the layering
+explicit: a structured 48-bit value (allocator id | sequence), unique across
+the domain without coordination, exactly like the designs the paper cites.
+"""
+
+from __future__ import annotations
+
+UID_BITS = 48
+ALLOCATOR_BITS = 12
+SEQUENCE_BITS = UID_BITS - ALLOCATOR_BITS
+
+UID_MAX = (1 << UID_BITS) - 1
+ALLOCATOR_MAX = (1 << ALLOCATOR_BITS) - 1
+SEQUENCE_MAX = (1 << SEQUENCE_BITS) - 1
+
+
+class UidAllocator:
+    """Allocates 48-bit UIDs: (allocator-id << 36) | sequence."""
+
+    def __init__(self, allocator_id: int) -> None:
+        if not 0 <= allocator_id <= ALLOCATOR_MAX:
+            raise ValueError(f"allocator id out of range: {allocator_id}")
+        self.allocator_id = allocator_id
+        self._sequence = 0
+
+    def allocate(self) -> int:
+        if self._sequence > SEQUENCE_MAX:
+            raise RuntimeError("uid sequence space exhausted")
+        uid = (self.allocator_id << SEQUENCE_BITS) | self._sequence
+        self._sequence += 1
+        return uid
+
+    @property
+    def allocated(self) -> int:
+        return self._sequence
+
+
+def allocator_of(uid: int) -> int:
+    """Which allocator issued this UID."""
+    if not 0 <= uid <= UID_MAX:
+        raise ValueError(f"uid out of 48-bit range: {uid:#x}")
+    return uid >> SEQUENCE_BITS
+
+
+def sequence_of(uid: int) -> int:
+    if not 0 <= uid <= UID_MAX:
+        raise ValueError(f"uid out of 48-bit range: {uid:#x}")
+    return uid & SEQUENCE_MAX

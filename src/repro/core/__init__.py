@@ -1,0 +1,32 @@
+"""The paper's contribution: the V name-handling protocol and context system.
+
+- :mod:`repro.core.names` -- CSnames and the ``[prefix]`` syntax (Sec. 5.1, 5.8).
+- :mod:`repro.core.context` -- contexts, well-known context ids (Sec. 5.2).
+- :mod:`repro.core.protocol` -- the standard CSname request fields (Sec. 5.3).
+- :mod:`repro.core.descriptors` -- typed object description records (Sec. 5.5).
+- :mod:`repro.core.mapping` -- the name mapping procedure (Sec. 5.4).
+- :mod:`repro.core.csnh` -- the CSNH server base class every name-handling
+  server conforms to.
+- :mod:`repro.core.directory` -- context directories readable as files (Sec. 5.6).
+- :mod:`repro.core.inverse` -- inverse mappings and their failure modes (Sec. 6).
+- :mod:`repro.core.prefix_server` -- the per-user context prefix server (Sec. 5.8, 6).
+- :mod:`repro.core.resolver` -- the client-side stub routines (Sec. 6).
+- :mod:`repro.core.group_naming` -- multicast name resolution (Sec. 7).
+"""
+
+from repro.core.context import ContextPair, WellKnownContext
+from repro.core.descriptors import DescriptorTag, ObjectDescription
+from repro.core.names import parse_prefix, split_components
+from repro.core.prefix_server import ContextPrefixServer
+from repro.core.protocol import make_csname_request
+
+__all__ = [
+    "ContextPair",
+    "WellKnownContext",
+    "ObjectDescription",
+    "DescriptorTag",
+    "make_csname_request",
+    "parse_prefix",
+    "split_components",
+    "ContextPrefixServer",
+]

@@ -1,0 +1,376 @@
+"""Typed object description records (paper Sec. 5.5, Figure 3).
+
+A query on an object returns a *description record* whose first field is a
+tag identifying the record format -- "similar to the technique used with
+request messages" -- so a client can handle objects whose type it did not
+know in advance, and check that an object is of the type it expects.
+
+Description records are also the unit context directories are made of
+(Sec. 5.6): a context directory is logically a file of these records, and
+*writing* one back has the same semantics as the modification operation.
+Servers are "free to ignore changes to any fields which it makes no sense to
+change"; each record type declares its mutable fields and
+:func:`apply_modification` implements exactly that rule.
+
+Records have a compact binary encoding (tag, then spec-driven fields) because
+directory contents travel as file bytes over the I/O protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import ClassVar, Type
+
+
+class DescriptorTag(enum.IntEnum):
+    """Record format tags.  One per object type in the system."""
+
+    FILE = 1
+    CONTEXT = 2          # a directory / sub-context
+    PROCESS = 3          # a program in execution (team server)
+    TERMINAL = 4         # a virtual graphics terminal
+    TCP_CONNECTION = 5   # internet server connection
+    CONTEXT_PREFIX = 6   # an entry in a context prefix server
+    MAILBOX = 7
+    PRINT_JOB = 8
+    PIPE = 9
+    NAME_BINDING = 10    # centralized-baseline registry entry
+
+
+class DescriptorError(ValueError):
+    """Malformed record bytes or inconsistent record usage."""
+
+
+#: Wire kinds for record fields.
+_PACKERS = {
+    "u16": (struct.Struct(">H"), int),
+    "u32": (struct.Struct(">I"), int),
+    "u64": (struct.Struct(">Q"), int),
+    "f64": (struct.Struct(">d"), float),
+    "bool": (struct.Struct(">B"), bool),
+}
+
+_TAG_STRUCT = struct.Struct(">H")
+_STR_LEN = struct.Struct(">H")
+
+_REGISTRY: dict[int, Type["ObjectDescription"]] = {}
+
+
+@dataclass
+class ObjectDescription:
+    """Base class for all description records.
+
+    Subclasses set ``TAG``, list their wire layout in ``SPECS`` (attribute
+    name, wire kind), and declare which attributes the modification operation
+    may change in ``MUTABLE``.  ``name`` is always present: "the name of an
+    entity is just one of its attributes" (Sec. 2.3).
+    """
+
+    name: str
+
+    TAG: ClassVar[DescriptorTag]
+    SPECS: ClassVar[tuple[tuple[str, str], ...]] = ()
+    MUTABLE: ClassVar[frozenset] = frozenset()
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if hasattr(cls, "TAG"):
+            existing = _REGISTRY.get(int(cls.TAG))
+            if existing is not None and existing is not cls:
+                raise DescriptorError(f"tag {cls.TAG!r} already registered")
+            _REGISTRY[int(cls.TAG)] = cls
+
+    # ------------------------------------------------------------- encoding
+
+    def encode(self) -> bytes:
+        out = bytearray(_TAG_STRUCT.pack(int(self.TAG)))
+        out += _encode_str(self.name)
+        for attr, kind in self.SPECS:
+            value = getattr(self, attr)
+            if kind == "str":
+                out += _encode_str(value)
+            else:
+                packer, coerce = _PACKERS[kind]
+                try:
+                    out += packer.pack(coerce(value))
+                except struct.error as err:
+                    raise DescriptorError(
+                        f"{type(self).__name__}.{attr}={value!r} does not fit {kind}"
+                    ) from err
+        return bytes(out)
+
+    @staticmethod
+    def decode(data: bytes, offset: int = 0) -> tuple["ObjectDescription", int]:
+        """Decode one record at ``offset``; returns (record, next_offset)."""
+        if offset + _TAG_STRUCT.size > len(data):
+            raise DescriptorError("truncated record: no tag")
+        (tag,) = _TAG_STRUCT.unpack_from(data, offset)
+        offset += _TAG_STRUCT.size
+        cls = _REGISTRY.get(tag)
+        if cls is None:
+            raise DescriptorError(f"unknown descriptor tag {tag}")
+        name, offset = _decode_str(data, offset)
+        values: dict = {"name": name}
+        for attr, kind in cls.SPECS:
+            if kind == "str":
+                values[attr], offset = _decode_str(data, offset)
+            else:
+                packer, __ = _PACKERS[kind]
+                if offset + packer.size > len(data):
+                    raise DescriptorError(f"truncated record in field {attr!r}")
+                (raw,) = packer.unpack_from(data, offset)
+                values[attr] = bool(raw) if kind == "bool" else raw
+                offset += packer.size
+        return cls(**values), offset
+
+    @staticmethod
+    def decode_all(data: bytes) -> list["ObjectDescription"]:
+        """Decode a concatenated record stream (a context directory image)."""
+        records: list[ObjectDescription] = []
+        offset = 0
+        while offset < len(data):
+            record, offset = ObjectDescription.decode(data, offset)
+            records.append(record)
+        return records
+
+    # ------------------------------------------------------------ modification
+
+    def apply_modification(self, replacement: "ObjectDescription") -> "ObjectDescription":
+        """The uniform modify operation (Sec. 5.5).
+
+        Takes a record of the same type and "overwrites" this one -- but only
+        the fields this type declares mutable; everything else is silently
+        ignored, as the protocol allows.
+        """
+        if type(replacement) is not type(self):
+            raise DescriptorError(
+                f"modification record is {type(replacement).__name__}, "
+                f"object is {type(self).__name__}"
+            )
+        values = {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+        for attr in self.MUTABLE:
+            values[attr] = getattr(replacement, attr)
+        return type(self)(**values)
+
+
+def _encode_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise DescriptorError("string field too long")
+    return _STR_LEN.pack(len(raw)) + raw
+
+
+def _decode_str(data: bytes, offset: int) -> tuple[str, int]:
+    if offset + _STR_LEN.size > len(data):
+        raise DescriptorError("truncated record: string length")
+    (length,) = _STR_LEN.unpack_from(data, offset)
+    offset += _STR_LEN.size
+    if offset + length > len(data):
+        raise DescriptorError("truncated record: string bytes")
+    return data[offset : offset + length].decode("utf-8"), offset + length
+
+
+def descriptor_class(tag: int) -> Type[ObjectDescription]:
+    cls = _REGISTRY.get(int(tag))
+    if cls is None:
+        raise DescriptorError(f"unknown descriptor tag {tag}")
+    return cls
+
+
+# ---------------------------------------------------------------------------
+# Concrete record types.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FileDescription(ObjectDescription):
+    """A storage-server file (the Figure 3 example record)."""
+
+    size_bytes: int = 0
+    owner: str = ""
+    access: int = 0o644
+    created: float = 0.0
+    modified: float = 0.0
+    block_size: int = 512
+
+    TAG = DescriptorTag.FILE
+    SPECS = (
+        ("size_bytes", "u64"),
+        ("owner", "str"),
+        ("access", "u16"),
+        ("created", "f64"),
+        ("modified", "f64"),
+        ("block_size", "u16"),
+    )
+    MUTABLE = frozenset({"owner", "access"})
+
+
+@dataclass
+class ContextDescription(ObjectDescription):
+    """A directory / sub-context."""
+
+    entry_count: int = 0
+    owner: str = ""
+    access: int = 0o755
+    context_id: int = 0
+
+    TAG = DescriptorTag.CONTEXT
+    SPECS = (
+        ("entry_count", "u32"),
+        ("owner", "str"),
+        ("access", "u16"),
+        ("context_id", "u16"),
+    )
+    MUTABLE = frozenset({"owner", "access"})
+
+
+@dataclass
+class ProcessDescription(ObjectDescription):
+    """A program in execution (team server context)."""
+
+    pid_value: int = 0
+    program: str = ""
+    state: str = "ready"
+    start_time: float = 0.0
+    priority: int = 0
+
+    TAG = DescriptorTag.PROCESS
+    SPECS = (
+        ("pid_value", "u32"),
+        ("program", "str"),
+        ("state", "str"),
+        ("start_time", "f64"),
+        ("priority", "u16"),
+    )
+    MUTABLE = frozenset({"priority"})
+
+
+@dataclass
+class TerminalDescription(ObjectDescription):
+    """A virtual graphics terminal (transient object)."""
+
+    terminal_id: int = 0
+    rows: int = 24
+    cols: int = 80
+    owner: str = ""
+
+    TAG = DescriptorTag.TERMINAL
+    SPECS = (
+        ("terminal_id", "u16"),
+        ("rows", "u16"),
+        ("cols", "u16"),
+        ("owner", "str"),
+    )
+    MUTABLE = frozenset({"rows", "cols"})
+
+
+@dataclass
+class TcpConnectionDescription(ObjectDescription):
+    """A TCP connection implemented by the internet server."""
+
+    local_port: int = 0
+    remote_host: str = ""
+    remote_port: int = 0
+    state: str = "closed"
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+    TAG = DescriptorTag.TCP_CONNECTION
+    SPECS = (
+        ("local_port", "u16"),
+        ("remote_host", "str"),
+        ("remote_port", "u16"),
+        ("state", "str"),
+        ("bytes_in", "u64"),
+        ("bytes_out", "u64"),
+    )
+    MUTABLE = frozenset()
+
+
+@dataclass
+class PrefixDescription(ObjectDescription):
+    """One entry in a context prefix server (Sec. 6).
+
+    Either a fixed (server-pid, context-id) binding or a *generic* binding
+    (logical service id + well-known context) resolved by GetPid at each use.
+    """
+
+    server_pid: int = 0
+    context_id: int = 0
+    generic: bool = False
+    service_id: int = 0
+
+    TAG = DescriptorTag.CONTEXT_PREFIX
+    SPECS = (
+        ("server_pid", "u32"),
+        ("context_id", "u16"),
+        ("generic", "bool"),
+        ("service_id", "u16"),
+    )
+    MUTABLE = frozenset()
+
+
+@dataclass
+class MailboxDescription(ObjectDescription):
+    owner: str = ""
+    message_count: int = 0
+    unread: int = 0
+
+    TAG = DescriptorTag.MAILBOX
+    SPECS = (
+        ("owner", "str"),
+        ("message_count", "u32"),
+        ("unread", "u32"),
+    )
+    MUTABLE = frozenset()
+
+
+@dataclass
+class PrintJobDescription(ObjectDescription):
+    owner: str = ""
+    pages: int = 0
+    state: str = "queued"
+    submitted: float = 0.0
+
+    TAG = DescriptorTag.PRINT_JOB
+    SPECS = (
+        ("owner", "str"),
+        ("pages", "u32"),
+        ("state", "str"),
+        ("submitted", "f64"),
+    )
+    MUTABLE = frozenset({"state"})
+
+
+@dataclass
+class PipeDescription(ObjectDescription):
+    buffered_bytes: int = 0
+    readers: int = 0
+    writers: int = 0
+
+    TAG = DescriptorTag.PIPE
+    SPECS = (
+        ("buffered_bytes", "u32"),
+        ("readers", "u16"),
+        ("writers", "u16"),
+    )
+    MUTABLE = frozenset()
+
+
+@dataclass
+class NameBindingDescription(ObjectDescription):
+    """A centralized name-server registry entry (baseline, Sec. 2.1)."""
+
+    uid: int = 0
+    server_pid: int = 0
+    object_kind: str = ""
+
+    TAG = DescriptorTag.NAME_BINDING
+    SPECS = (
+        ("uid", "u64"),
+        ("server_pid", "u32"),
+        ("object_kind", "str"),
+    )
+    MUTABLE = frozenset()

@@ -1,0 +1,76 @@
+"""Context directories (paper Sec. 5.6).
+
+"A context directory is logically a file consisting of a sequence of
+description records, one for each object in the associated context.  A
+client process can open and read a context directory in the same way it
+opens a file. ... Writing a description record has the same semantics as
+invoking the modification operation on the corresponding object."
+
+The server fabricates the records *on demand* when the directory is opened
+(the paper is explicit that servers should organize their data structures
+for their own critical operations, not for directory layout); the snapshot
+is then served as an ordinary read-only byte stream.
+
+Writing uses record granularity: a WRITE_INSTANCE against a directory
+instance carries one encoded description record, and the ``block`` field is
+interpreted as a record index hint (the record is matched to its object by
+name, so the hint only disambiguates duplicates).  The write is translated
+into the server's modify operation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, List
+
+from repro.core.descriptors import DescriptorError, ObjectDescription
+from repro.kernel.messages import ReplyCode
+from repro.kernel.pids import Pid
+from repro.vio.instance import MemoryInstance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.csnh import CSNHServer
+
+Gen = Generator[Any, Any, Any]
+
+
+def encode_directory(records: List[ObjectDescription]) -> bytes:
+    """The byte image of a context directory: concatenated records."""
+    return b"".join(record.encode() for record in records)
+
+
+class ContextDirectoryInstance(MemoryInstance):
+    """An open context directory: readable bytes, record-writes modify."""
+
+    def __init__(self, owner: Pid, server: "CSNHServer", context_ref: Any,
+                 records: List[ObjectDescription]) -> None:
+        super().__init__(owner, data=encode_directory(records), writable=True)
+        self.server = server
+        self.context_ref = context_ref
+        self.record_count = len(records)
+
+    def write_block(self, block: int, data: bytes) -> Gen:
+        """One record write == the modification operation (Sec. 5.6)."""
+        yield from ()
+        try:
+            record, consumed = ObjectDescription.decode(bytes(data))
+        except DescriptorError:
+            return ReplyCode.BAD_ARGS, 0
+        if consumed != len(data):
+            return ReplyCode.BAD_ARGS, 0
+        code = self.server.modify_record(self.context_ref, record)
+        if code is not ReplyCode.OK:
+            return code, 0
+        return ReplyCode.OK, len(data)
+
+    def query_fields(self) -> dict:
+        fields = super().query_fields()
+        fields["entry_count"] = self.record_count
+        return fields
+
+
+def read_directory_records(server: Pid, instance: int) -> Gen:
+    """Client helper: read a directory instance and decode its records."""
+    from repro.vio.client import read_all_bytes
+
+    raw = yield from read_all_bytes(server, instance)
+    return ObjectDescription.decode_all(raw)

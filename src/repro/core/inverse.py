@@ -1,0 +1,125 @@
+"""Inverse name mapping (paper Sec. 5.7 and the Sec. 6 deficiencies).
+
+The protocol provides inverse operations -- (server-pid, context-id) -> name
+and (server-pid, instance-id) -> name -- so "a program [can] determine the
+CSname of its current context as well as the 'absolute' name of, for
+example, an open file."
+
+The paper is candid that this is the weak spot of the model, and we
+reproduce the weakness faithfully rather than papering over it:
+
+- the mapping is the inverse of a many-to-one function, so the returned
+  CSname "may not be the one that was in fact used";
+- there may be *no* inverse (the prefix that reached the object may since
+  have been deleted);
+- after forwarding, "it is difficult, if not impossible, to determine which
+  server forwarded the request when working backward from the object" -- a
+  server can only report a name relative to its own roots.
+
+:func:`absolute_name` therefore returns an :class:`InverseResult` that says
+which of these caveats applied, and the tests in
+``tests/core/test_inverse.py`` pin each failure mode down.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.core.context import ContextPair
+from repro.core.descriptors import PrefixDescription
+from repro.core.query import read_prefix_records
+from repro.core.resolver import NamingEnvironment
+from repro.kernel.ipc import Send
+from repro.kernel.messages import Message, RequestCode
+from repro.kernel.pids import Pid
+
+Gen = Generator[Any, Any, Any]
+
+
+class InverseStatus(enum.Enum):
+    """How trustworthy an inverse mapping came out."""
+
+    EXACT = "exact"              # server produced a name, prefix found for it
+    SERVER_RELATIVE = "server_relative"  # name valid only at that server
+    NO_MAPPING = "no_mapping"    # the server could not name the object
+
+
+@dataclass
+class InverseResult:
+    status: InverseStatus
+    name: Optional[bytes] = None
+    caveat: str = ""
+
+    @property
+    def text(self) -> str:
+        return self.name.decode(errors="replace") if self.name else ""
+
+
+def context_to_name(server: Pid, context_id: int) -> Gen:
+    """Ask a server to name one of its contexts; returns bytes or None."""
+    reply = yield Send(server, Message.request(
+        RequestCode.CONTEXT_TO_NAME, context_id=context_id))
+    if not reply.ok:
+        return None
+    return bytes(reply.segment or b"")
+
+
+def instance_to_name(server: Pid, instance_id: int) -> Gen:
+    """Ask a server to name one of its open instances; returns bytes or None."""
+    reply = yield Send(server, Message.request(
+        RequestCode.INSTANCE_TO_NAME, instance=instance_id))
+    if not reply.ok:
+        return None
+    return bytes(reply.segment or b"")
+
+
+def find_prefix_for(env: NamingEnvironment, pair: ContextPair) -> Gen:
+    """Scan the user's prefix table for a prefix naming ``pair``.
+
+    Returns the prefix bytes (without brackets) or None.  Generic bindings
+    cannot be matched without re-resolving them, which is itself one of the
+    paper's many-to-one headaches; only fixed bindings are considered.
+    """
+    if env.prefix_server is None:
+        return None
+    records = yield from read_prefix_records(env)
+    for record in records:
+        if not isinstance(record, PrefixDescription) or record.generic:
+            continue
+        if (record.server_pid == pair.server.value
+                and record.context_id == pair.context_id):
+            return record.name.encode()
+    return None
+
+
+def absolute_name(env: NamingEnvironment, server: Pid, context_id: int,
+                  instance_id: Optional[int] = None) -> Gen:
+    """Best-effort absolute CSname for a context or open instance.
+
+    Composes the server's own inverse mapping with a prefix-table scan for
+    the server's root, reporting which caveats applied.
+    """
+    if instance_id is not None:
+        server_name = yield from instance_to_name(server, instance_id)
+    else:
+        server_name = yield from context_to_name(server, context_id)
+    if server_name is None:
+        return InverseResult(
+            InverseStatus.NO_MAPPING,
+            caveat="the server could not produce a name (Sec. 6: there is "
+                   "no guarantee that there is an inverse mapping)")
+    root = ContextPair(server, 0)
+    prefix = yield from find_prefix_for(env, root)
+    if prefix is None:
+        return InverseResult(
+            InverseStatus.SERVER_RELATIVE, name=server_name,
+            caveat="no prefix currently names this server's root; the name "
+                   "is relative to the server and may not be the one the "
+                   "user originally typed")
+    absolute = b"[" + prefix + b"]" + server_name
+    return InverseResult(
+        InverseStatus.EXACT, name=absolute,
+        caveat="inverse of a many-to-one mapping; other names may also "
+               "reach this object")

@@ -1,0 +1,127 @@
+"""Character string names (paper Sec. 5.1) and the conventions our servers use.
+
+A CSname is "a sequence of zero or more bytes ... usually meaningful
+human-readable ASCII strings".  The protocol imposes *no* syntax on names;
+interpretation belongs entirely to the server that owns the context.  What
+this module provides is therefore two separate things:
+
+1. The protocol-level pieces every participant shares: byte/str coercion and
+   the one piece of syntax the *client runtime* knows about -- the context
+   prefix, ``[prefix]rest-of-name`` (Sec. 5.8).
+2. Helpers for the slash-separated hierarchical convention our file-like
+   servers happen to use (``split_components``, ``join``).  The mail server
+   deliberately ignores these and parses ``user@host.ARPA`` itself,
+   demonstrating the flexibility claim (Sec. 2.2 *Extensibility*).
+"""
+
+from __future__ import annotations
+
+PREFIX_OPEN = ord("[")
+PREFIX_CLOSE = ord("]")
+SEPARATOR = ord("/")
+
+#: Upper bound on CSname length our servers accept; matches the fixed name
+#: segment buffer the client runtime ships (see latency.py).
+MAX_NAME_BYTES = 256
+
+
+class BadName(ValueError):
+    """A CSname violates a constraint of the context interpreting it."""
+
+
+def as_name_bytes(name: str | bytes) -> bytes:
+    """Coerce a name to its wire form (UTF-8 for str)."""
+    if isinstance(name, bytes):
+        data = name
+    elif isinstance(name, str):
+        data = name.encode("utf-8")
+    else:
+        raise TypeError(f"CSname must be str or bytes, got {type(name).__name__}")
+    if len(data) > MAX_NAME_BYTES:
+        raise BadName(f"name is {len(data)} bytes; the protocol buffer is {MAX_NAME_BYTES}")
+    if 0 in data:
+        raise BadName("embedded NUL byte in CSname")
+    return data
+
+
+def as_text(name: bytes) -> str:
+    """Best-effort human-readable rendering of a CSname."""
+    return name.decode("utf-8", errors="replace")
+
+
+def has_prefix(name: bytes, index: int = 0) -> bool:
+    """True if interpretation at ``index`` starts with a context prefix."""
+    return index < len(name) and name[index] == PREFIX_OPEN
+
+
+def parse_prefix(name: bytes, index: int = 0) -> tuple[bytes, int]:
+    """Split ``[prefix]rest`` starting at ``index``.
+
+    Returns ``(prefix, rest_index)`` where ``rest_index`` points at the first
+    byte after the closing ``]``.  Raises :class:`BadName` if the syntax is
+    violated (missing bracket, empty prefix).
+    """
+    if not has_prefix(name, index):
+        raise BadName(f"no context prefix at index {index} of {as_text(name)!r}")
+    close = name.find(PREFIX_CLOSE, index + 1)
+    if close < 0:
+        raise BadName(f"unterminated context prefix in {as_text(name)!r}")
+    prefix = name[index + 1 : close]
+    if not prefix:
+        raise BadName(f"empty context prefix in {as_text(name)!r}")
+    return prefix, close + 1
+
+
+# ---------------------------------------------------------------------------
+# Slash-separated hierarchical convention (file-like servers).
+# ---------------------------------------------------------------------------
+
+
+def next_component(name: bytes, index: int) -> tuple[bytes, int]:
+    """The next ``/``-separated component at ``index`` and the index after it.
+
+    Leading separators are skipped, so ``next_component(b"a//b", 1)`` yields
+    ``(b"b", 4)``.  At end of name, returns ``(b"", len(name))``.
+    """
+    n = len(name)
+    while index < n and name[index] == SEPARATOR:
+        index += 1
+    start = index
+    while index < n and name[index] != SEPARATOR:
+        index += 1
+    return name[start:index], index
+
+
+def split_components(name: str | bytes, index: int = 0) -> list[bytes]:
+    """All remaining components of a slash-separated name."""
+    data = as_name_bytes(name)
+    parts: list[bytes] = []
+    while index < len(data):
+        component, index = next_component(data, index)
+        if component:
+            parts.append(component)
+    return parts
+
+
+def join(*components: str | bytes) -> bytes:
+    """Join components with ``/`` (no leading separator is added)."""
+    return b"/".join(as_name_bytes(c) for c in components)
+
+
+def is_final_component(name: bytes, index: int) -> bool:
+    """True if no further components follow the one ending at ``index``."""
+    rest, __ = next_component(name, index)
+    return rest == b""
+
+
+def validate_component(component: bytes) -> bytes:
+    """Check a single name component against our servers' convention."""
+    if not component:
+        raise BadName("empty name component")
+    if PREFIX_OPEN in component or PREFIX_CLOSE in component:
+        raise BadName(
+            f"component {as_text(component)!r} contains a reserved bracket byte"
+        )
+    if SEPARATOR in component:
+        raise BadName(f"component {as_text(component)!r} contains a separator")
+    return component

@@ -1,0 +1,253 @@
+"""The per-user context prefix server (paper Sec. 5.8 and 6).
+
+"V makes available standard context prefix servers, which provide each user
+with locally defined character string names for contexts on servers of
+interest. ... A context prefix is simply the part of the CSname that is
+parsed by the context server to determine where to forward the request.  The
+syntax is: any CSname starting with '[', with the prefix terminated by a
+closing ']'."
+
+Each workstation runs one, registered with *local* scope -- prefixes are
+per-user state, and two users' ``[home]`` deliberately differ (Sec. 6).
+
+Bindings come in the two forms Sec. 6 describes:
+
+- **fixed**: prefix -> (server-pid, context-id);
+- **generic**: prefix -> (logical service id, well-known context id), with a
+  ``GetPid`` performed *each time the name is used*, so the binding tracks
+  server restarts.
+
+The server implements the optional ADD/DELETE_CONTEXT_NAME operations --
+"ordinarily implemented only in context prefix servers" (Sec. 5.7) -- and
+exposes its table as a context directory of ``PrefixDescription`` records.
+
+Every request whose prefix resolves is *forwarded* (with the standard header
+rewritten) to the target server, so the prefix server works for any CSname
+operation, including codes it has never heard of.  Its per-request cost is
+the calibrated ``prefix_server_cpu`` -- the constant ~3.9 ms delta of E4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.core.context import ContextPair, WellKnownContext
+from repro.core.csnh import CSNHServer
+from repro.core.descriptors import ContextDescription, ObjectDescription, PrefixDescription
+from repro.core.mapping import (
+    ForwardName,
+    MappingFault,
+    MappingOutcome,
+    ResolvedObject,
+    ResolvedParent,
+)
+from repro.core.names import BadName, as_text, parse_prefix, validate_component
+from repro.core.protocol import CSNameHeader
+from repro.kernel.ipc import Delivery, GetPid
+from repro.kernel.messages import ReplyCode, RequestCode
+from repro.kernel.pids import Pid
+from repro.kernel.services import Scope, ServiceId
+
+Gen = Generator[Any, Any, Any]
+
+
+@dataclass
+class PrefixBinding:
+    """One prefix table entry."""
+
+    name: bytes
+    #: Fixed form: the target context.
+    fixed: Optional[ContextPair] = None
+    #: Generic form: (service id, context id), resolved by GetPid per use.
+    generic_service: Optional[int] = None
+    generic_context: int = int(WellKnownContext.DEFAULT)
+
+    @property
+    def is_generic(self) -> bool:
+        return self.generic_service is not None
+
+
+class _PrefixTable:
+    """The prefix server's single context (a stable ref for ContextTable)."""
+
+    def __init__(self) -> None:
+        self.bindings: dict[bytes, PrefixBinding] = {}
+
+
+class ContextPrefixServer(CSNHServer):
+    """The workstation's context prefix server."""
+
+    server_name = "prefix"
+    service_id = int(ServiceId.CONTEXT_PREFIX)
+    service_scope = Scope.LOCAL
+
+    def __init__(self, parse_cpu: float = 0.0, user: str = "user") -> None:
+        super().__init__()
+        self.parse_cpu = parse_cpu
+        self.user = user
+        self.table = _PrefixTable()
+        self.contexts.register_well_known(WellKnownContext.DEFAULT, self.table)
+        self.register_csname_op(RequestCode.ADD_CONTEXT_NAME, self.op_add_prefix)
+        self.register_csname_op(RequestCode.DELETE_CONTEXT_NAME, self.op_delete_prefix)
+
+    # ------------------------------------------------------------- local API
+    # (used at setup time by the code wiring a workstation together; at run
+    # time clients use ADD/DELETE_CONTEXT_NAME messages)
+
+    def define_prefix(self, name: str | bytes, pair: ContextPair) -> None:
+        """Install a fixed binding."""
+        key = validate_component(_as_prefix(name))
+        self.table.bindings[key] = PrefixBinding(name=key, fixed=pair)
+
+    def define_generic_prefix(self, name: str | bytes, service: int,
+                              context_id: int = int(WellKnownContext.DEFAULT),
+                              ) -> None:
+        """Install a generic binding (GetPid at each use)."""
+        key = validate_component(_as_prefix(name))
+        self.table.bindings[key] = PrefixBinding(
+            name=key, generic_service=int(service), generic_context=context_id)
+
+    def remove_prefix(self, name: str | bytes) -> bool:
+        return self.table.bindings.pop(_as_prefix(name), None) is not None
+
+    def binding(self, name: str | bytes) -> Optional[PrefixBinding]:
+        return self.table.bindings.get(_as_prefix(name))
+
+    def prefix_names(self) -> list[bytes]:
+        return sorted(self.table.bindings)
+
+    # ----------------------------------------------------------- calibration
+
+    def per_request_delay(self) -> float:
+        return self.parse_cpu
+
+    # -------------------------------------------------------------- mapping
+
+    def map_request(self, delivery: Delivery, header: CSNameHeader) -> Gen:
+        """Parse the ``[prefix]`` and decide where the request goes."""
+        name, index = header.name, header.name_index
+        if index >= len(name):
+            # Empty name: the prefix table context itself (directory listing).
+            return ResolvedObject(ref=self.table, is_context=True,
+                                  parent_ref=None, component=b"", index=index)
+        try:
+            prefix, rest_index = parse_prefix(name, index)
+        except BadName as err:
+            return MappingFault(ReplyCode.BAD_NAME, str(err))
+        if delivery.message.code in (int(RequestCode.ADD_CONTEXT_NAME),
+                                     int(RequestCode.DELETE_CONTEXT_NAME)):
+            # Operations *on the table*: resolve to the parent + component.
+            return ResolvedParent(parent_ref=self.table, component=prefix,
+                                  index=rest_index)
+        binding = self.table.bindings.get(prefix)
+        if binding is None:
+            return MappingFault(ReplyCode.NOT_FOUND,
+                                f"prefix [{as_text(prefix)}] is not defined")
+        if binding.is_generic:
+            pid = yield GetPid(binding.generic_service, Scope.ANY)
+            if pid is None:
+                return MappingFault(
+                    ReplyCode.NO_SERVER,
+                    f"no server for generic prefix [{as_text(prefix)}]")
+            return ForwardName(ContextPair(pid, binding.generic_context),
+                               rest_index)
+        assert binding.fixed is not None
+        return ForwardName(binding.fixed, rest_index)
+
+    # ------------------------------------------------- optional standard ops
+
+    def op_add_prefix(self, delivery: Delivery, header: CSNameHeader,
+                      resolution: MappingOutcome) -> Gen:
+        assert isinstance(resolution, ResolvedParent)
+        message = delivery.message
+        try:
+            key = validate_component(resolution.component)
+        except BadName:
+            yield from self.reply_error(delivery, ReplyCode.BAD_NAME)
+            return
+        exists = key in self.table.bindings
+        if exists and not bool(message.get("replace", False)):
+            yield from self.reply_error(delivery, ReplyCode.NAME_EXISTS)
+            return
+        service = message.get("service_id")
+        if service is not None:
+            binding = PrefixBinding(
+                name=key, generic_service=int(service),
+                generic_context=int(message.get("target_context",
+                                                WellKnownContext.DEFAULT)))
+        else:
+            target_pid = message.get("target_pid")
+            if target_pid is None:
+                yield from self.reply_error(delivery, ReplyCode.BAD_ARGS)
+                return
+            binding = PrefixBinding(
+                name=key,
+                fixed=ContextPair(Pid(int(target_pid)),
+                                  int(message.get("target_context", 0))))
+        self.table.bindings[key] = binding
+        yield from self.reply_ok(delivery)
+
+    def op_delete_prefix(self, delivery: Delivery, header: CSNameHeader,
+                         resolution: MappingOutcome) -> Gen:
+        assert isinstance(resolution, ResolvedParent)
+        if self.table.bindings.pop(resolution.component, None) is None:
+            yield from self.reply_error(delivery, ReplyCode.NOT_FOUND)
+            return
+        yield from self.reply_ok(delivery)
+
+    # --------------------------------------------------- directory & queries
+
+    def describe(self, resolution: ResolvedObject) -> Optional[ObjectDescription]:
+        if resolution.ref is self.table:
+            return ContextDescription(
+                name=f"[{self.user}'s prefixes]",
+                entry_count=len(self.table.bindings),
+                owner=self.user,
+                context_id=int(WellKnownContext.DEFAULT))
+        return None
+
+    def directory_records(self, context_ref: Any) -> list[ObjectDescription]:
+        if context_ref is not self.table:
+            return []
+        records: list[ObjectDescription] = []
+        for key in sorted(self.table.bindings):
+            binding = self.table.bindings[key]
+            if binding.is_generic:
+                records.append(PrefixDescription(
+                    name=as_text(key), server_pid=0,
+                    context_id=binding.generic_context, generic=True,
+                    service_id=int(binding.generic_service or 0)))
+            else:
+                assert binding.fixed is not None
+                records.append(PrefixDescription(
+                    name=as_text(key), server_pid=binding.fixed.server.value,
+                    context_id=binding.fixed.context_id, generic=False))
+        return records
+
+    def name_of_context(self, context_id: int) -> Optional[bytes]:
+        if context_id == int(WellKnownContext.DEFAULT):
+            return b""
+        return None
+
+    # -------------------------------------------------------------- footprint
+
+    def footprint(self) -> dict:
+        """Rough memory accounting for E5 (the paper reports 4.5 KB + 2.6 KB)."""
+        import sys
+
+        table_bytes = sys.getsizeof(self.table.bindings)
+        for key, binding in self.table.bindings.items():
+            table_bytes += sys.getsizeof(key) + sys.getsizeof(binding)
+        return {
+            "bindings": len(self.table.bindings),
+            "table_bytes": table_bytes,
+        }
+
+
+def _as_prefix(name: str | bytes) -> bytes:
+    raw = name.encode("utf-8") if isinstance(name, str) else bytes(name)
+    # Accept both "proj" and "[proj]" spellings at the local API.
+    if raw.startswith(b"[") and raw.endswith(b"]"):
+        raw = raw[1:-1]
+    return raw

@@ -1,0 +1,143 @@
+"""The standard CSname request format (paper Sec. 5.3).
+
+"Each CSname request specifies the name, length of name, index into the name
+at which interpretation is to begin (or continue), and a context identifier
+specifying the context in which to interpret it.  The server-pid portion of
+the context is implicitly specified by sending the message directly to the
+server in question."
+
+The standard fields are a fixed part of the message; the rest is a variant
+part determined by the operation code.  Crucially, *a CSNH server can perform
+some processing on any CSname request even if it does not understand the
+operation code* -- it can run the mapping procedure and forward the request.
+That property is what lets new operations be added without touching
+intermediary servers, and this module is where it is enforced: the standard
+fields live under reserved keys every server knows, independent of the op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.names import MAX_NAME_BYTES, as_name_bytes
+from repro.kernel.messages import Message, RequestCode
+
+#: Reserved field names of the standard CSname header.
+FIELD_CONTEXT_ID = "context_id"
+FIELD_NAME_INDEX = "name_index"
+FIELD_NAME_LENGTH = "name_length"
+
+#: Request codes defined by the base protocol that carry a CSname.  Servers
+#: register additional ones with :func:`register_csname_request`; "there is
+#: no limit to the number of request message types that may contain CSnames."
+_CSNAME_REQUEST_CODES: set[int] = {
+    int(RequestCode.OPEN_FILE),
+    int(RequestCode.CREATE_FILE),
+    int(RequestCode.DELETE_NAME),
+    int(RequestCode.RENAME_OBJECT),
+    int(RequestCode.QUERY_NAME),
+    int(RequestCode.MODIFY_NAME),
+    int(RequestCode.NAME_TO_CONTEXT),
+    int(RequestCode.OPEN_DIRECTORY),
+    int(RequestCode.CREATE_CONTEXT),
+    int(RequestCode.DELETE_CONTEXT),
+    int(RequestCode.ADD_CONTEXT_NAME),
+    int(RequestCode.DELETE_CONTEXT_NAME),
+}
+
+
+def register_csname_request(code: int) -> int:
+    """Declare that messages with ``code`` carry the standard CSname header.
+
+    Returns the code, so it can be used at definition sites::
+
+        MAIL_RESOLVE = register_csname_request(0x0423)
+    """
+    _CSNAME_REQUEST_CODES.add(int(code))
+    return int(code)
+
+
+def is_csname_request(message: Message) -> bool:
+    """True if the message carries the standard CSname header fields."""
+    return message.code in _CSNAME_REQUEST_CODES
+
+
+def csname_request_codes() -> frozenset[int]:
+    return frozenset(_CSNAME_REQUEST_CODES)
+
+
+def make_csname_request(
+    code: int,
+    name: str | bytes,
+    context_id: int,
+    name_index: int = 0,
+    **variant_fields: Any,
+) -> Message:
+    """Build a CSname request with the standard header.
+
+    The name travels as the appended segment; on the wire it occupies the
+    fixed :data:`~repro.core.names.MAX_NAME_BYTES` buffer the stubs ship
+    (which is what makes remote CSname operations cost what they cost --
+    see latency.py).
+    """
+    data = as_name_bytes(name)
+    if not 0 <= name_index <= len(data):
+        raise ValueError(f"name index {name_index} outside name of {len(data)} bytes")
+    reserved = {FIELD_CONTEXT_ID, FIELD_NAME_INDEX, FIELD_NAME_LENGTH}
+    clash = reserved.intersection(variant_fields)
+    if clash:
+        raise ValueError(f"variant fields clash with the standard header: {clash}")
+    fields = {
+        FIELD_CONTEXT_ID: int(context_id),
+        FIELD_NAME_INDEX: int(name_index),
+        FIELD_NAME_LENGTH: len(data),
+        **variant_fields,
+    }
+    return Message(code=int(code), fields=fields, segment=data,
+                   segment_buffer=MAX_NAME_BYTES)
+
+
+@dataclass(frozen=True)
+class CSNameHeader:
+    """The decoded standard header of a CSname request."""
+
+    name: bytes
+    name_index: int
+    context_id: int
+
+    @property
+    def remaining(self) -> bytes:
+        """The uninterpreted part of the name."""
+        return self.name[self.name_index:]
+
+
+def read_csname_header(message: Message) -> CSNameHeader:
+    """Decode the standard header (raises KeyError on a non-CSname message)."""
+    if message.segment is None:
+        raise ValueError(f"CSname request {message!r} carries no name segment")
+    length = int(message.fields[FIELD_NAME_LENGTH])
+    name = bytes(message.segment[:length])
+    return CSNameHeader(
+        name=name,
+        name_index=int(message.fields[FIELD_NAME_INDEX]),
+        context_id=int(message.fields[FIELD_CONTEXT_ID]),
+    )
+
+
+def rewrite_for_forward(message: Message, context_id: int,
+                        name_index: int) -> Message:
+    """Rewrite the standard header before forwarding (Sec. 5.4).
+
+    "the name index field in the request message is updated to point to the
+    first character of the name not yet parsed, the context id field is set
+    to the value of CurrentContext, and the request is forwarded."
+
+    The variant part is untouched: the forwarding server need not understand
+    the operation.
+    """
+    fields = dict(message.fields)
+    fields[FIELD_CONTEXT_ID] = int(context_id)
+    fields[FIELD_NAME_INDEX] = int(name_index)
+    return Message(code=message.code, fields=fields, segment=message.segment,
+                   segment_buffer=message.segment_buffer)

@@ -1,0 +1,98 @@
+"""Client-side name resolution: the stub routines of paper Sec. 6.
+
+"When the program executes an Open call ... the Open routine checks whether
+the name specified starts with the standard context prefix character, '['.
+If so, it sends an Open request message to the workstation context prefix
+server ... If not, Open specifies the current context identifier in the
+message and sends the request directly to the server implementing the
+current context.  All other CSname-handling routines operate similarly ...
+(The code that checks for the '[' character is localized in a single common
+routine.)"
+
+That single common routine is :func:`send_csname_request`.  Everything in
+:mod:`repro.runtime` and :mod:`repro.core.query` goes through it, and it is
+where the calibrated client stub overhead (0.44 ms around an Open) is
+charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.core.context import ContextPair, WellKnownContext
+from repro.core.names import as_name_bytes, has_prefix
+from repro.core.protocol import make_csname_request
+from repro.kernel.ipc import Delay, Send
+from repro.kernel.messages import Message, ReplyCode
+from repro.kernel.pids import Pid
+from repro.net.latency import LatencyModel
+
+Gen = Generator[Any, Any, Any]
+
+
+class NameError_(RuntimeError):
+    """A naming operation failed with the given reply code."""
+
+    def __init__(self, operation: str, name: str, code: ReplyCode) -> None:
+        super().__init__(f"{operation}({name!r}) failed: {code.name}")
+        self.operation = operation
+        self.name = name
+        self.code = code
+
+
+@dataclass
+class NamingEnvironment:
+    """The naming state a program carries (Sec. 6).
+
+    "When a new program is executed, it is passed a process identifier and
+    context identifier specifying its current context" -- ``current`` --
+    plus the workstation's context prefix server.
+    """
+
+    current: ContextPair
+    prefix_server: Optional[Pid]
+    latency: LatencyModel
+
+    def route(self, name: bytes) -> tuple[Pid, int]:
+        """The single common '['-check: where does this CSname request go?"""
+        if has_prefix(name):
+            if self.prefix_server is None:
+                raise NameError_("route", name.decode(errors="replace"),
+                                 ReplyCode.NO_SERVER)
+            return self.prefix_server, int(WellKnownContext.DEFAULT)
+        return self.current.server, self.current.context_id
+
+
+def send_csname_request(env: NamingEnvironment, code: int, name: str | bytes,
+                        **variant_fields: Any) -> Gen:
+    """Build, route, and send one CSname request; returns the reply Message.
+
+    Charges the calibrated stub overhead (message creation before the Send,
+    reply processing after), which is what makes a local current-context
+    Open cost 1.21 ms rather than the bare 0.77 ms transaction.
+    """
+    data = as_name_bytes(name)
+    dst, context_id = env.route(data)
+    yield Delay(env.latency.stub_pre)
+    message = make_csname_request(code, data, context_id, **variant_fields)
+    reply = yield Send(dst, message)
+    yield Delay(env.latency.stub_post)
+    return reply
+
+
+def expect_ok(operation: str, name: str | bytes, reply: Message) -> Message:
+    """Raise :class:`NameError_` unless the reply is OK."""
+    if not reply.ok:
+        text = name.decode(errors="replace") if isinstance(name, bytes) else name
+        raise NameError_(operation, text, reply.reply_code)
+    return reply
+
+
+def name_to_context(env: NamingEnvironment, name: str | bytes) -> Gen:
+    """Map a CSname naming a context to its (server-pid, context-id) pair."""
+    from repro.kernel.messages import RequestCode
+
+    reply = yield from send_csname_request(env, RequestCode.NAME_TO_CONTEXT, name)
+    expect_ok("name_to_context", name, reply)
+    return ContextPair(Pid(int(reply["server_pid"])), int(reply["context_id"]))

@@ -1,0 +1,271 @@
+"""An executable semantic model of V naming (paper Sec. 7 future work).
+
+"We are also hoping to develop a concise semantic model of the V-System
+naming."  This module is that model, made executable so it can be checked
+against the implementation:
+
+**Definitions** (following Sec. 5.2's formal note):
+
+- An *object* is an opaque atom (:class:`AbstractObject`).
+- A *context* is a finite set of (name-component, binding) pairs -- here a
+  mapping -- where a binding is an object, another context on the same
+  server, or a context on another server (:class:`Binding`).
+- A *naming system* is a partial function from fully-qualified contexts
+  (``(server-pid, context-id)``, Sec. 5.2) to contexts
+  (:class:`AbstractNamingSystem`).
+- *Interpretation* of a byte string in a context is the least fixed point
+  of: consume the next component, apply the context's mapping, and (a) stop
+  at an object if the name is exhausted, (b) recurse into a same-server
+  context, (c) *re-start* at the target context for a cross-server binding
+  -- which is exactly what protocol forwarding implements operationally.
+
+The model deliberately contains no servers, messages, timing, or failure:
+it is the denotation the machinery is supposed to compute.  The commutation
+theorem -- *simulator resolution = abstract resolution* -- is checked over
+randomized system configurations in
+``tests/property/test_semantics_commutes.py``.
+
+The model also makes the paper's negative results crisp:
+
+- interpretation is a *many-to-one* relation from (context, name) pairs to
+  objects, so an inverse assigning one name per object cannot exist in
+  general (Sec. 6's reverse-mapping deficiency);
+- a user-level name ``[p]rest`` denotes interpretation of ``rest`` at the
+  binding of ``p`` in that user's prefix context -- so two users' identical
+  strings legitimately denote different objects (per-user prefix servers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.context import ContextPair
+from repro.core.names import next_component, parse_prefix, BadName
+
+
+@dataclass(frozen=True)
+class AbstractObject:
+    """An opaque named entity (a file, a mailbox, a program, ...)."""
+
+    kind: str
+    ident: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.kind}:{self.ident}>"
+
+
+#: A binding target: an object, or a (possibly remote) context.
+Binding = Union[AbstractObject, ContextPair]
+
+
+@dataclass(frozen=True)
+class Denotation:
+    """The meaning of a (context, name) pair: an object or a context."""
+
+    value: Binding
+
+    @property
+    def is_context(self) -> bool:
+        return isinstance(self.value, ContextPair)
+
+
+@dataclass(frozen=True)
+class Undefined:
+    """The name has no meaning in the given context."""
+
+    reason: str
+
+
+Meaning = Union[Denotation, Undefined]
+
+
+@dataclass
+class AbstractNamingSystem:
+    """A partial function from fully-qualified contexts to contexts."""
+
+    contexts: dict[ContextPair, dict[bytes, Binding]] = field(
+        default_factory=dict)
+
+    def define_context(self, pair: ContextPair,
+                       entries: Optional[dict[bytes, Binding]] = None
+                       ) -> dict[bytes, Binding]:
+        mapping = self.contexts.setdefault(pair, {})
+        if entries:
+            mapping.update(entries)
+        return mapping
+
+    def bind(self, pair: ContextPair, component: bytes,
+             target: Binding) -> None:
+        self.contexts.setdefault(pair, {})[component] = target
+
+    # ------------------------------------------------------------- semantics
+
+    def interpret(self, pair: ContextPair, name: bytes,
+                  index: int = 0, max_hops: int = 64) -> Meaning:
+        """The interpretation function: [[name]]_pair.
+
+        ``max_hops`` bounds cross-server recursion so that cyclic binding
+        graphs (which the operational system also permits!) denote
+        Undefined rather than diverging.
+        """
+        if max_hops <= 0:
+            return Undefined("cyclic cross-server bindings")
+        mapping = self.contexts.get(pair)
+        if mapping is None:
+            return Undefined(f"no context {pair!r} in the system")
+        while True:
+            component, index = next_component(name, index)
+            if component == b"":
+                return Denotation(pair)  # the context itself
+            binding = mapping.get(component)
+            if binding is None:
+                return Undefined(
+                    f"{component!r} unbound in {pair!r}")
+            remaining, __ = next_component(name, index)
+            if isinstance(binding, AbstractObject):
+                if remaining != b"":
+                    return Undefined(
+                        f"{component!r} denotes an object but the name "
+                        "continues")
+                return Denotation(binding)
+            # A context: same-server or remote makes no semantic
+            # difference -- that distinction is operational (forwarding).
+            if remaining == b"":
+                return Denotation(binding)
+            return self.interpret(binding, name, index, max_hops - 1)
+
+    def interpret_user_name(self, prefix_context: ContextPair,
+                            name: bytes) -> Meaning:
+        """User-level names: the '[' rule of Sec. 5.8, denotationally.
+
+        ``[p]rest`` means: interpret ``rest`` at the binding of ``p`` in
+        the user's prefix context.  Anything else means: interpret the
+        whole name in the user's current context (which callers model by
+        passing that context directly to :meth:`interpret`).
+        """
+        try:
+            prefix, rest_index = parse_prefix(name, 0)
+        except BadName as err:
+            return Undefined(str(err))
+        mapping = self.contexts.get(prefix_context)
+        if mapping is None:
+            return Undefined(f"no prefix context {prefix_context!r}")
+        binding = mapping.get(prefix)
+        if binding is None:
+            return Undefined(f"prefix {prefix!r} undefined")
+        if isinstance(binding, AbstractObject):
+            return Undefined(f"prefix {prefix!r} bound to an object")
+        return self.interpret(binding, name, rest_index)
+
+    # --------------------------------------------------------------- queries
+
+    def objects(self) -> set[AbstractObject]:
+        found: set[AbstractObject] = set()
+        for mapping in self.contexts.values():
+            for binding in mapping.values():
+                if isinstance(binding, AbstractObject):
+                    found.add(binding)
+        return found
+
+    def names_of(self, target: Binding, max_depth: int = 8) -> list[bytes]:
+        """All names denoting ``target`` from each context (bounded search).
+
+        The length of this list for a single target is the formal content
+        of "the inverse of a many-to-one function" (Sec. 6): any element is
+        a correct answer to name_of, and none is canonical.
+        """
+        results: list[bytes] = []
+        for start in self.contexts:
+            results.extend(self._names_from(start, target, max_depth,
+                                            prefix=b""))
+        return results
+
+    def _names_from(self, pair: ContextPair, target: Binding,
+                    depth: int, prefix: bytes) -> list[bytes]:
+        if depth <= 0:
+            return []
+        mapping = self.contexts.get(pair, {})
+        found = []
+        for component, binding in mapping.items():
+            name = prefix + b"/" + component if prefix else component
+            if binding == target:
+                found.append(name)
+            if isinstance(binding, ContextPair):
+                found.extend(self._names_from(binding, target, depth - 1,
+                                              name))
+        return found
+
+
+# ---------------------------------------------------------------------------
+# Extraction: the abstract model of a live simulated system.
+# ---------------------------------------------------------------------------
+
+
+def extract_model(fileservers, prefix_servers=()) -> AbstractNamingSystem:
+    """Build the denotation of a set of live servers.
+
+    ``fileservers`` is an iterable of :class:`~repro.servers.fileserver.server.VFileServer`
+    whose processes have started (``pid`` assigned).  Directory contexts are
+    identified by the *server's own* context ids (fabricated through its
+    context table, exactly as NAME_TO_CONTEXT would), so the abstract pairs
+    are the operational pairs.  Prefix servers contribute their table as a
+    context of cross-server bindings.
+    """
+    from repro.servers.fileserver.storage import (
+        DirectoryNode,
+        FileNode,
+        RemoteLinkEntry,
+    )
+
+    system = AbstractNamingSystem()
+
+    def directory_pair(server, node) -> ContextPair:
+        return ContextPair(server.pid, server.contexts.id_for(node))
+
+    # First pass: register every directory context on every server.
+    for server in fileservers:
+        assert server.pid is not None, "server process has not started"
+        stack = [server.store.root]
+        while stack:
+            node = stack.pop()
+            system.define_context(directory_pair(server, node))
+            for entry in node.entries.values():
+                if isinstance(entry, DirectoryNode):
+                    stack.append(entry)
+        # Well-known ids are additional names for the same contexts.
+        for context_id in server.contexts.known_ids():
+            ref = server.contexts.resolve(context_id)
+            if isinstance(ref, DirectoryNode):
+                pair = ContextPair(server.pid, context_id)
+                system.contexts[pair] = system.define_context(
+                    directory_pair(server, ref))
+
+    # Second pass: bindings.
+    for server in fileservers:
+        stack = [server.store.root]
+        while stack:
+            node = stack.pop()
+            pair = directory_pair(server, node)
+            for component, entry in node.entries.items():
+                if isinstance(entry, FileNode):
+                    system.bind(pair, component,
+                                AbstractObject("file", entry.inode))
+                elif isinstance(entry, DirectoryNode):
+                    system.bind(pair, component,
+                                directory_pair(server, entry))
+                    stack.append(entry)
+                elif isinstance(entry, RemoteLinkEntry):
+                    system.bind(pair, component, entry.pair)
+
+    for prefix_server in prefix_servers:
+        assert prefix_server.pid is not None
+        pair = ContextPair(prefix_server.pid, 0)
+        system.define_context(pair)
+        for key, binding in prefix_server.table.bindings.items():
+            if binding.fixed is not None:
+                system.bind(pair, key, binding.fixed)
+            # Generic bindings denote "the current registrant", which is a
+            # *time-dependent* denotation; the static model omits them,
+            # which is itself a faithful statement about them.
+    return system

@@ -1,0 +1,18 @@
+"""Failure injection.
+
+- :mod:`repro.faults.crash` -- fail-stop host crashes and restarts on a
+  schedule (E8b, E8c).
+- :mod:`repro.faults.partition` -- network partitions via Ethernet drop
+  rules.
+"""
+
+from repro.faults.crash import crash_at, restart_at, CrashSchedule
+from repro.faults.partition import partition_between, heal_partition
+
+__all__ = [
+    "crash_at",
+    "restart_at",
+    "CrashSchedule",
+    "partition_between",
+    "heal_partition",
+]

@@ -1,0 +1,36 @@
+"""Network partitions.
+
+A partition is a drop rule installed on the Ethernet: frames crossing the
+cut are discarded in both directions.  Senders see the same symptom as a
+crashed peer -- probe timeouts -- which is the correct indistinguishability
+for a fail-stop + lossy-network model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.kernel.domain import Domain
+from repro.net.packet import Frame
+
+
+def partition_between(domain: Domain, group_a: Iterable[int],
+                      group_b: Iterable[int]) -> None:
+    """Cut the network between two sets of host ids."""
+    side_a = frozenset(group_a)
+    side_b = frozenset(group_b)
+    overlap = side_a & side_b
+    if overlap:
+        raise ValueError(f"hosts on both sides of the cut: {sorted(overlap)}")
+
+    def dropped(frame: Frame, dst_host: int) -> bool:
+        src = frame.src_host
+        return ((src in side_a and dst_host in side_b)
+                or (src in side_b and dst_host in side_a))
+
+    domain.ethernet.set_drop_predicate(dropped)
+
+
+def heal_partition(domain: Domain) -> None:
+    """Remove the partition rule."""
+    domain.ethernet.set_drop_predicate(None)

@@ -1,0 +1,70 @@
+"""The distributed V kernel substrate.
+
+The naming paper (Sec. 3) builds on the distributed V kernel: message
+transactions between processes (*Send-Receive-Reply*), message *forwarding*,
+bulk data movement (*MoveTo/MoveFrom*), structured 32-bit process identifiers,
+and kernel-level service registration (*SetPid/GetPid*) with broadcast lookup.
+This package implements all of it over the simulated Ethernet.
+
+Modules:
+
+- :mod:`repro.kernel.pids` -- structured pids (logical host | local id).
+- :mod:`repro.kernel.messages` -- 32-byte messages, request/reply codes, and
+  kernel packets.
+- :mod:`repro.kernel.ipc` -- the effect vocabulary processes yield
+  (``Send``, ``Receive``, ``Reply``, ``Forward``, ``MoveTo``, ...).
+- :mod:`repro.kernel.process` -- kernel process objects and state.
+- :mod:`repro.kernel.services` -- SetPid/GetPid registry, scopes, service ids.
+- :mod:`repro.kernel.groups` -- process groups and group Send (Sec. 7).
+- :mod:`repro.kernel.host` -- one machine: kernel tables + effect interpreter.
+- :mod:`repro.kernel.domain` -- a V domain: hosts + Ethernet + clock.
+"""
+
+from repro.kernel.domain import Domain
+from repro.kernel.host import Host
+from repro.kernel.ipc import (
+    Delay,
+    Forward,
+    GetPid,
+    GroupSend,
+    JoinGroup,
+    LeaveGroup,
+    MoveFrom,
+    MoveTo,
+    Now,
+    Receive,
+    Reply,
+    Segment,
+    Send,
+    SetPid,
+    Spawn,
+)
+from repro.kernel.messages import Message, ReplyCode, RequestCode
+from repro.kernel.pids import Pid
+from repro.kernel.services import Scope, ServiceId
+
+__all__ = [
+    "Domain",
+    "Host",
+    "Pid",
+    "Message",
+    "RequestCode",
+    "ReplyCode",
+    "Scope",
+    "ServiceId",
+    "Send",
+    "Receive",
+    "Reply",
+    "Forward",
+    "MoveTo",
+    "MoveFrom",
+    "Delay",
+    "SetPid",
+    "GetPid",
+    "JoinGroup",
+    "LeaveGroup",
+    "GroupSend",
+    "Now",
+    "Spawn",
+    "Segment",
+]

@@ -1,0 +1,32 @@
+"""Kernel protocol configuration (timeouts and retries).
+
+These govern *failure detection*, not the happy path: none of the paper's
+latency numbers involve them, because probes only fire when a transaction
+takes longer than PROBE_INTERVAL.  The availability experiment (E8c) depends
+on Sends to crashed servers failing in bounded time:
+``PROBE_INTERVAL * (MAX_FAILED_PROBES + 1)`` after the Send.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Tunable kernel protocol parameters."""
+
+    #: How long a sender kernel waits before probing an unreplied transaction.
+    probe_interval: float = 0.100
+
+    #: Consecutive unanswered probes before the transaction fails with TIMEOUT.
+    max_failed_probes: int = 3
+
+    #: How long a broadcast GetPid waits for the first response.
+    getpid_timeout: float = 0.050
+
+    #: How long a GroupSend waits for the first reply before failing.
+    group_reply_timeout: float = 0.050
+
+
+DEFAULT_CONFIG = KernelConfig()

@@ -1,0 +1,115 @@
+"""A V domain: hosts, the Ethernet, and the simulated clock (paper Sec. 4.1).
+
+"A V domain is a set of logical hosts running the distributed V kernel,
+usually machines connected by one local network, over which kernel operations
+are transparent with respect to machine boundaries.  A V domain is basically
+one V-System installation."
+
+:class:`Domain` is the top-level simulation object benchmarks and examples
+build: it owns the engine, metrics, RNG, the Ethernet, the group registry,
+and the hosts.  Convenience helpers create hosts and run the clock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.kernel.config import DEFAULT_CONFIG, KernelConfig
+from repro.kernel.groups import GroupRegistry
+from repro.kernel.host import Host
+from repro.kernel.pids import Pid
+from repro.kernel.process import Process, Transaction
+from repro.net.ethernet import Ethernet
+from repro.net.latency import STANDARD_3MBIT, LatencyModel
+from repro.sim.engine import Engine
+from repro.sim.metrics import Metrics
+from repro.sim.rng import DeterministicRng
+from repro.sim.trace import Tracer
+
+
+class Domain:
+    """One V-System installation, fully simulated."""
+
+    def __init__(
+        self,
+        latency: LatencyModel = STANDARD_3MBIT,
+        seed: int = 0,
+        config: KernelConfig = DEFAULT_CONFIG,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.engine = Engine()
+        self.metrics = Metrics()
+        self.rng = DeterministicRng(seed)
+        self.latency = latency
+        self.config = config
+        self.tracer = tracer
+        self.ethernet = Ethernet(self.engine, latency, self.metrics)
+        self.groups = GroupRegistry()
+        self.hosts: dict[int, Host] = {}
+        self._next_host_id = 1
+        #: (task name, exception) for every process that died with an error.
+        self.failures: list[tuple[str, BaseException]] = []
+
+    # ----------------------------------------------------------------- hosts
+
+    def create_host(self, name: str | None = None) -> Host:
+        """Add a machine to the domain."""
+        host_id = self._next_host_id
+        self._next_host_id += 1
+        host = Host(self, host_id, name or f"host{host_id}")
+        self.hosts[host_id] = host
+        return host
+
+    def create_hosts(self, count: int, prefix: str = "host") -> list[Host]:
+        return [self.create_host(f"{prefix}{i + 1}") for i in range(count)]
+
+    def host_of(self, pid: Pid) -> Optional[Host]:
+        return self.hosts.get(pid.logical_host)
+
+    def find_process(self, pid: Pid) -> Optional[Process]:
+        host = self.host_of(pid)
+        return host.find_process(pid) if host is not None else None
+
+    def find_transaction(self, txn_id: int, sender: Pid) -> Optional[Transaction]:
+        """Locate an outstanding transaction at its sender's kernel.
+
+        Used by the bulk-move validation path; the asyncio transport does the
+        same check with an explicit kernel-to-kernel exchange.
+        """
+        host = self.host_of(sender)
+        if host is None:
+            return None
+        return host._outstanding.get(txn_id)
+
+    # ------------------------------------------------------------------ time
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def run(self, until: float | None = None,
+            max_events: int | None = 5_000_000) -> None:
+        """Run the simulation until the event queue drains (or ``until``)."""
+        self.engine.run(until=until, max_events=max_events)
+
+    def run_for(self, duration: float) -> None:
+        self.engine.run_for(duration)
+
+    def run_until(self, predicate: Callable[[], bool],
+                  deadline: float = 3600.0, step: float = 0.001) -> None:
+        """Run until ``predicate()`` is true (checked between events)."""
+        while not predicate():
+            if self.engine.now > deadline:
+                raise TimeoutError(
+                    f"predicate not satisfied by simulated t={deadline}s"
+                )
+            if not self.engine.step():
+                break
+
+    def check_healthy(self) -> None:
+        """Raise if any process died with an exception (test helper)."""
+        if self.failures:
+            name, exc = self.failures[0]
+            raise AssertionError(
+                f"{len(self.failures)} process(es) failed; first: {name}: {exc!r}"
+            ) from exc

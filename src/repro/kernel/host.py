@@ -1,0 +1,768 @@
+"""One machine: kernel tables plus the effect interpreter.
+
+A :class:`Host` is a workstation or server machine running the distributed V
+kernel.  It owns the local process table, pid allocator, service registry,
+and the kernel half of every IPC primitive.  Processes on the host are
+generator tasks; the host interprets the effects they yield, charging
+simulated costs from the domain's :class:`~repro.net.latency.LatencyModel`.
+
+Timing rules (derivations in ``repro/net/latency.py``):
+
+- a *local* message hop (send delivery, reply delivery, forward delivery to a
+  same-host process) costs ``local_hop`` of kernel CPU;
+- transmitting a packet costs the sending process ``kernel_cpu_per_packet``
+  plus the frame's wire time (the experimental Ethernet interface was
+  CPU-driven, which is also why a replying server is busy until its reply
+  frame is out -- the effect E3 measures);
+- an arriving frame costs ``kernel_cpu_per_packet`` before the kernel acts
+  on it.
+
+Failure semantics: Sends to processes that do not exist fail with a
+``NONEXISTENT_PROCESS`` reply (immediately if the destination kernel is
+reachable).  Sends to crashed/partitioned hosts fail with ``TIMEOUT`` after
+the probe protocol gives up (see :mod:`repro.kernel.config`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.kernel import ipc
+from repro.kernel.errors import (
+    HostDown,
+    IllegalEffect,
+    KernelError,
+    NotAwaitingReply,
+)
+from repro.kernel.ipc import Delivery
+from repro.kernel.messages import Message, Packet, PacketKind, ReplyCode
+from repro.kernel.pids import Pid, PidAllocator
+from repro.kernel.process import Process, ProcessState, Transaction
+from repro.kernel.services import Scope, ServiceRegistry
+from repro.net.packet import BROADCAST, Frame, GroupAddress
+from repro.sim.process import Task, TaskFailure
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.domain import Domain
+
+#: Sentinel distinguishing "effect completed with this value" from "blocked".
+_BLOCKED = object()
+
+_txn_counter = itertools.count(1)
+_waiter_counter = itertools.count(1)
+
+
+class Host:
+    """A single machine in a V domain."""
+
+    def __init__(self, domain: "Domain", host_id: int, name: str) -> None:
+        self.domain = domain
+        self.host_id = host_id
+        self.name = name
+        self.engine = domain.engine
+        self.ethernet = domain.ethernet
+        self.latency = domain.latency
+        self.metrics = domain.metrics
+        self.config = domain.config
+
+        start = domain.rng.randint(f"pids.{host_id}", 1, 0xFFFE)
+        self.allocator = PidAllocator(host_id, start=start)
+        self.processes: dict[int, Process] = {}
+        self.registry = ServiceRegistry()
+        self.crashed = False
+
+        #: Sender-side: txn_id -> Transaction for this host's blocked senders.
+        self._outstanding: dict[int, Transaction] = {}
+        #: Receiver-side: txn_id -> ("queued"|"received", pid) or ("forwarded", new_dst)
+        self._presence: dict[int, tuple[str, Pid]] = {}
+        #: GetPid broadcast waiters: waiter_id -> (process, timeout_event)
+        self._getpid_waiters: dict[int, tuple[Process, Any]] = {}
+        #: Group-send timeout events: txn_id -> event
+        self._group_timeouts: dict[int, Any] = {}
+
+        self.ethernet.attach(host_id, self._on_frame)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def spawn(self, body, name: str = "process") -> Process:
+        """Create a process from a generator (or a callable taking its Pid)."""
+        if self.crashed:
+            raise HostDown(f"host {self.name} is crashed")
+        pid = self.allocator.allocate()
+        if callable(body) and not hasattr(body, "send"):
+            body = body(pid)
+        task = Task(body, name=f"{self.name}/{name}")
+        proc = Process(pid, task, name)
+        self.processes[pid.local_id] = proc
+        self._trace("proc", name, f"spawned as {pid!r}")
+        self.engine.schedule(0.0, self._start_process, proc)
+        return proc
+
+    def _start_process(self, proc: Process) -> None:
+        if not proc.alive:
+            return
+        self._advance(proc, first=True)
+
+    def find_process(self, pid: Pid) -> Optional[Process]:
+        proc = self.processes.get(pid.local_id)
+        if proc is not None and proc.pid == pid and proc.alive:
+            return proc
+        return None
+
+    def crash(self) -> None:
+        """Fail-stop: kill every process, drop all kernel state, cut the link.
+
+        Blocked senders on *other* hosts discover the crash through probe
+        timeouts; senders on this host die with it.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.ethernet.set_link(self.host_id, False)
+        for proc in list(self.processes.values()):
+            proc.state = ProcessState.DEAD
+            proc.task.close()
+        self.processes.clear()
+        for txn in self._outstanding.values():
+            txn.cancel_probe()
+        self._outstanding.clear()
+        self._presence.clear()
+        for __, event in self._getpid_waiters.values():
+            event.cancel()
+        self._getpid_waiters.clear()
+        for event in self._group_timeouts.values():
+            event.cancel()
+        self._group_timeouts.clear()
+        self.registry.clear()
+        self.metrics.incr("kernel.crashes")
+        self._trace("fault", self.name, "host crashed")
+
+    def restart(self) -> None:
+        """Bring the machine back up (with empty tables; respawn servers)."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.ethernet.set_link(self.host_id, True)
+        self._trace("fault", self.name, "host restarted")
+
+    # --------------------------------------------------------- process loop
+
+    def _advance(self, proc: Process, value: Any = None,
+                 exc: BaseException | None = None, first: bool = False) -> None:
+        """Step a process, dispatching immediate effects inline."""
+        while True:
+            if not proc.alive:
+                return
+            proc.state = ProcessState.READY
+            try:
+                if first:
+                    finished, effect = proc.task.start()
+                    first = False
+                elif exc is not None:
+                    err, exc = exc, None
+                    finished, effect = proc.task.throw(err)
+                else:
+                    finished, effect = proc.task.resume(value)
+            except TaskFailure as failure:
+                self.domain.failures.append((proc.task.name, failure.original))
+                self._trace("proc", proc.name, f"FAILED: {failure.original!r}")
+                self._terminate(proc)
+                return
+            if finished:
+                self._terminate(proc)
+                return
+            try:
+                result = self._dispatch(proc, effect)
+            except KernelError as err:
+                # API misuse becomes an exception *inside* the process, so a
+                # defensive server can catch it; an unhandled one fails the
+                # task and is recorded in domain.failures.
+                value, exc = None, err
+                continue
+            if result is _BLOCKED:
+                return
+            value = result
+
+    def _terminate(self, proc: Process) -> None:
+        """Process exit: error-reply held requests, release kernel state."""
+        if proc.state is ProcessState.DEAD:
+            return
+        proc.state = ProcessState.DEAD
+        # Anyone whose request we hold (queued or received) gets an error reply.
+        held = list(proc.msg_queue) + list(proc.unreplied.values())
+        proc.msg_queue.clear()
+        proc.unreplied.clear()
+        for delivery in held:
+            self._presence.pop(delivery.txn_id, None)
+            self._route_reply(
+                proc.pid, delivery,
+                Message.reply(ReplyCode.NONEXISTENT_PROCESS), busy=False,
+            )
+        if proc.pending_txn is not None:
+            proc.pending_txn.cancel_probe()
+            self._outstanding.pop(proc.pending_txn.txn_id, None)
+            proc.pending_txn = None
+        self.registry.remove_pid(proc.pid)
+        self.domain.groups.remove_pid(proc.pid)
+        self.processes.pop(proc.pid.local_id, None)
+        self.allocator.release(proc.pid)
+        self.metrics.incr("kernel.process_exits")
+        self._trace("proc", proc.name, "exited")
+
+    # -------------------------------------------------------------- dispatch
+
+    def _dispatch(self, proc: Process, effect: Any) -> Any:
+        handler = _EFFECT_HANDLERS.get(type(effect))
+        if handler is None:
+            raise IllegalEffect(
+                f"process {proc.name!r} yielded {effect!r}, which is not a kernel effect"
+            )
+        return handler(self, proc, effect)
+
+    # -- Send ----------------------------------------------------------------
+
+    def _do_send(self, proc: Process, effect: ipc.Send) -> Any:
+        if effect.dst.is_logical_service:
+            raise IllegalEffect(
+                f"cannot Send to logical pid {effect.dst!r}; resolve with GetPid first"
+            )
+        txn = Transaction(
+            txn_id=next(_txn_counter),
+            sender=proc.pid,
+            dst=effect.dst,
+            message=effect.message,
+            expose=effect.expose,
+        )
+        proc.pending_txn = txn
+        proc.state = ProcessState.SEND_BLOCKED
+        self._outstanding[txn.txn_id] = txn
+        self.metrics.incr("ipc.sends")
+        self._trace("ipc", proc.name,
+                    f"Send {effect.message!r} -> {effect.dst!r} (txn {txn.txn_id})")
+        if effect.dst.is_local_to(self.host_id):
+            self.engine.schedule(self.latency.local_hop,
+                                 self._deliver_local_request, txn, None)
+        else:
+            packet = Packet(PacketKind.REQUEST, src_pid=proc.pid,
+                            dst_pid=effect.dst, txn_id=txn.txn_id,
+                            message=effect.message)
+            self._transmit(packet, effect.dst.logical_host)
+        self._schedule_probe(txn)
+        return _BLOCKED
+
+    def _deliver_local_request(self, txn: Transaction,
+                               forwarder: Optional[Pid]) -> None:
+        """Same-host request delivery (Send or Forward landing locally)."""
+        dst_proc = self.find_process(txn.dst)
+        if dst_proc is None:
+            error = Message.reply(ReplyCode.NONEXISTENT_PROCESS)
+            if txn.sender.is_local_to(self.host_id):
+                self._complete_local_txn(txn, error)
+            else:
+                nack = Packet(PacketKind.NACK, src_pid=txn.dst,
+                              dst_pid=txn.sender, txn_id=txn.txn_id,
+                              message=error)
+                self._transmit(nack, txn.sender.logical_host)
+            return
+        delivery = Delivery(message=txn.message, sender=txn.sender,
+                            txn_id=txn.txn_id, forwarder=forwarder)
+        self._enqueue_delivery(dst_proc, delivery)
+
+    def _complete_local_txn(self, txn: Transaction, reply: Message) -> None:
+        """Complete a txn whose sender is on this host."""
+        current = self._outstanding.pop(txn.txn_id, None)
+        if current is None:
+            self.metrics.incr("ipc.duplicate_replies")
+            return
+        current.cancel_probe()
+        self._group_timeouts.pop(current.txn_id, None)
+        sender = self.find_process(current.sender)
+        if sender is None or sender.pending_txn is not current:
+            return
+        sender.pending_txn = None
+        self.metrics.incr("ipc.transactions")
+        self._advance(sender, value=reply)
+
+    # -- Receive ---------------------------------------------------------------
+
+    def _do_receive(self, proc: Process, effect: ipc.Receive) -> Any:
+        delivery = proc.next_matching_delivery(effect.from_pid)
+        if delivery is not None:
+            self._mark_received(proc, delivery)
+            return delivery
+        proc.state = ProcessState.RECV_BLOCKED
+        proc.recv_filter = effect.from_pid
+        return _BLOCKED
+
+    def _mark_received(self, proc: Process, delivery: Delivery) -> None:
+        proc.unreplied[delivery.txn_id] = delivery
+        if delivery.txn_id in self._presence:
+            self._presence[delivery.txn_id] = ("received", proc.pid)
+
+    def _enqueue_delivery(self, proc: Process, delivery: Delivery) -> None:
+        if not delivery.via_group:
+            self._presence[delivery.txn_id] = ("queued", proc.pid)
+        self.metrics.incr("ipc.deliveries")
+        if proc.state is ProcessState.RECV_BLOCKED and (
+            proc.recv_filter is None or proc.recv_filter == delivery.sender
+        ):
+            proc.recv_filter = None
+            self._mark_received(proc, delivery)
+            self._advance(proc, value=delivery)
+        else:
+            proc.queue_delivery(delivery)
+
+    # -- Reply -------------------------------------------------------------------
+
+    def _find_unreplied(self, proc: Process, to: Pid) -> Delivery:
+        for txn_id in proc.unreplied:
+            if proc.unreplied[txn_id].sender == to:
+                return proc.unreplied.pop(txn_id)
+        raise NotAwaitingReply(
+            f"{proc.name!r} tried to Reply/Forward to {to!r}, "
+            "which is not awaiting a reply from it"
+        )
+
+    def _do_reply(self, proc: Process, effect: ipc.Reply) -> Any:
+        delivery = self._find_unreplied(proc, effect.to)
+        self._presence.pop(delivery.txn_id, None)
+        self.metrics.incr("ipc.replies")
+        self._trace("ipc", proc.name,
+                    f"Reply {effect.message!r} -> {effect.to!r} (txn {delivery.txn_id})")
+        return self._route_reply(proc.pid, delivery, effect.message, busy=True,
+                                 replier=proc)
+
+    def _route_reply(self, from_pid: Pid, delivery: Delivery, message: Message,
+                     busy: bool, replier: Process | None = None) -> Any:
+        """Send a reply toward ``delivery.sender``.
+
+        ``busy=True`` models the replier being occupied while the reply frame
+        is pushed out (remote case); it then returns _BLOCKED and resumes the
+        replier when the frame is on the wire.
+        """
+        sender_pid = delivery.sender
+        if sender_pid.is_local_to(self.host_id):
+            txn = self._outstanding.get(delivery.txn_id)
+            if txn is not None:
+                self.engine.schedule(self.latency.local_hop,
+                                     self._complete_local_txn, txn, message)
+            else:
+                self.metrics.incr("ipc.duplicate_replies")
+            return None
+        packet = Packet(PacketKind.REPLY, src_pid=from_pid, dst_pid=sender_pid,
+                        txn_id=delivery.txn_id, message=message)
+        if busy and replier is not None:
+            replier.state = ProcessState.WAITING
+            self._transmit(packet, sender_pid.logical_host,
+                           on_sent=lambda: self._advance(replier, value=None))
+            return _BLOCKED
+        self._transmit(packet, sender_pid.logical_host)
+        return None
+
+    # -- Forward -------------------------------------------------------------------
+
+    def _do_forward(self, proc: Process, effect: ipc.Forward) -> Any:
+        delivery = effect.delivery
+        if proc.unreplied.pop(delivery.txn_id, None) is None:
+            raise NotAwaitingReply(
+                f"{proc.name!r} tried to Forward txn {delivery.txn_id}, "
+                "which it has not received (or has already answered)"
+            )
+        message = effect.message if effect.message is not None else delivery.message
+        self.metrics.incr("ipc.forwards")
+        self._trace("ipc", proc.name,
+                    f"Forward txn {delivery.txn_id} -> {effect.dst!r}")
+        # Tell the sender's kernel where the transaction went, if it is here.
+        local_txn = self._outstanding.get(delivery.txn_id)
+        if local_txn is not None:
+            local_txn.dst = effect.dst
+            local_txn.message = message
+        if effect.dst.is_local_to(self.host_id):
+            self._presence[delivery.txn_id] = ("queued", effect.dst)
+            shadow = Transaction(txn_id=delivery.txn_id, sender=delivery.sender,
+                                 dst=effect.dst, message=message)
+            if local_txn is not None:
+                shadow = local_txn
+            self.engine.schedule(self.latency.local_hop,
+                                 self._deliver_local_request, shadow, proc.pid)
+            return None
+        self._presence[delivery.txn_id] = ("forwarded", effect.dst)
+        packet = Packet(PacketKind.REQUEST, src_pid=delivery.sender,
+                        dst_pid=effect.dst, txn_id=delivery.txn_id,
+                        message=message, info={"forwarder": proc.pid})
+        proc.state = ProcessState.WAITING
+        self._transmit(packet, effect.dst.logical_host,
+                       on_sent=lambda: self._advance(proc, value=None))
+        return _BLOCKED
+
+    # -- MoveTo / MoveFrom ------------------------------------------------------------
+
+    def _locate_move_txn(self, proc: Process, other: Pid) -> Transaction:
+        """Find the transaction authorizing a bulk move with ``other``.
+
+        The mover must currently hold (have received and not yet replied to)
+        a request whose sender is ``other``; V's rule that moves are only
+        legal against a sender blocked on you falls out of that.
+        """
+        for delivery in proc.unreplied.values():
+            if delivery.sender == other:
+                txn = self.domain.find_transaction(delivery.txn_id, other)
+                if txn is None:
+                    raise NotAwaitingReply(
+                        f"transaction {delivery.txn_id} from {other!r} is gone"
+                    )
+                return txn
+        raise NotAwaitingReply(
+            f"{proc.name!r} attempted a bulk move with {other!r}, "
+            "which is not send-blocked on it"
+        )
+
+    def _do_move_from(self, proc: Process, effect: ipc.MoveFrom) -> Any:
+        txn = self._locate_move_txn(proc, effect.src)
+        if txn.expose is None:
+            raise NotAwaitingReply(f"{effect.src!r} exposed no segment")
+        data = txn.expose.read(effect.offset, effect.nbytes)  # may raise
+        self.metrics.incr("ipc.movefrom_bytes", effect.nbytes)
+        return self._bulk_transfer(proc, effect.src.logical_host,
+                                   self.host_id, effect.nbytes, data)
+
+    def _do_move_to(self, proc: Process, effect: ipc.MoveTo) -> Any:
+        txn = self._locate_move_txn(proc, effect.dst)
+        if txn.expose is None:
+            raise NotAwaitingReply(f"{effect.dst!r} exposed no segment")
+        txn.expose.write(effect.offset, effect.data)  # may raise
+        self.metrics.incr("ipc.moveto_bytes", len(effect.data))
+        return self._bulk_transfer(proc, self.host_id,
+                                   effect.dst.logical_host, len(effect.data), None)
+
+    def _bulk_transfer(self, proc: Process, src_host: int, dst_host: int,
+                       nbytes: int, result: Any) -> Any:
+        """Charge a bulk move and resume ``proc`` when it completes.
+
+        Same-host moves are a bounded-cost copy; cross-host moves are a train
+        of data packets paced at the host packet-write limit (see E2 notes in
+        latency.py).  The data frames are put on the simulated wire so bus
+        statistics and contention stay honest.
+        """
+        if src_host == dst_host:
+            duration = self.latency.bulk_move_local(nbytes)
+            proc.state = ProcessState.MOVE_BLOCKED
+            self.engine.schedule(duration, self._advance, proc, result)
+            return _BLOCKED
+        packets = self.latency.bulk_packets(nbytes)
+        per_packet = self.latency.bulk_move_remote(nbytes) / max(packets, 1)
+        proc.state = ProcessState.MOVE_BLOCKED
+        remaining = nbytes
+        for index in range(packets):
+            chunk = min(remaining, 1024)
+            remaining -= chunk
+            self.engine.schedule(
+                per_packet * (index + 1) - self.latency.wire_time(chunk),
+                self._emit_move_frame, src_host, dst_host, chunk,
+            )
+        self.engine.schedule(per_packet * packets, self._advance, proc, result)
+        return _BLOCKED
+
+    def _emit_move_frame(self, src_host: int, dst_host: int, chunk: int) -> None:
+        packet = Packet(PacketKind.MOVE_DATA, src_pid=Pid(0), dst_pid=None,
+                        txn_id=0, info={"data_bytes": chunk})
+        frame = Frame(src_host, dst_host, packet, packet.payload_bytes)
+        self.ethernet.transmit(frame)
+
+    # -- services -----------------------------------------------------------------
+
+    def _do_set_pid(self, proc: Process, effect: ipc.SetPid) -> Any:
+        self.registry.set_pid(effect.service, proc.pid, effect.scope)
+        self.metrics.incr("services.registrations")
+        self._trace("svc", proc.name,
+                    f"SetPid service={effect.service} scope={effect.scope.value}")
+        return None
+
+    def _do_get_pid(self, proc: Process, effect: ipc.GetPid) -> Any:
+        if effect.scope is not Scope.REMOTE:
+            local = self.registry.lookup_local(effect.service)
+            if local is not None and self.find_process(local) is not None:
+                self.metrics.incr("services.getpid_local_hits")
+                return local
+        if effect.scope is Scope.LOCAL:
+            return None
+        waiter_id = next(_waiter_counter)
+        timeout = self.engine.schedule(self.config.getpid_timeout,
+                                       self._getpid_timeout, waiter_id)
+        self._getpid_waiters[waiter_id] = (proc, timeout)
+        proc.state = ProcessState.WAITING
+        packet = Packet(PacketKind.GETPID_QUERY, src_pid=proc.pid, dst_pid=None,
+                        txn_id=0,
+                        info={"service": int(effect.service), "waiter": waiter_id})
+        self.metrics.incr("services.getpid_broadcasts")
+        self._transmit(packet, BROADCAST)
+        return _BLOCKED
+
+    def _getpid_timeout(self, waiter_id: int) -> None:
+        entry = self._getpid_waiters.pop(waiter_id, None)
+        if entry is None:
+            return
+        proc, __ = entry
+        self.metrics.incr("services.getpid_timeouts")
+        self._advance(proc, value=None)
+
+    # -- groups -------------------------------------------------------------------
+
+    def _do_join_group(self, proc: Process, effect: ipc.JoinGroup) -> Any:
+        self.domain.groups.join(effect.group_id, proc.pid)
+        self.ethernet.join_group(self.host_id, GroupAddress(effect.group_id))
+        return None
+
+    def _do_leave_group(self, proc: Process, effect: ipc.LeaveGroup) -> Any:
+        self.domain.groups.leave(effect.group_id, proc.pid)
+        if not self.domain.groups.members_on_host(effect.group_id, self.host_id):
+            self.ethernet.leave_group(self.host_id, GroupAddress(effect.group_id))
+        return None
+
+    def _do_group_send(self, proc: Process, effect: ipc.GroupSend) -> Any:
+        txn = Transaction(txn_id=next(_txn_counter), sender=proc.pid,
+                          dst=proc.pid, message=effect.message)
+        proc.pending_txn = txn
+        proc.state = ProcessState.SEND_BLOCKED
+        self._outstanding[txn.txn_id] = txn
+        self.metrics.incr("ipc.group_sends")
+        timeout = self.engine.schedule(self.config.group_reply_timeout,
+                                       self._group_send_timeout, txn)
+        self._group_timeouts[txn.txn_id] = timeout
+        # Local members (other than the sender) get a local delivery.
+        for member in self.domain.groups.members_on_host(effect.group_id,
+                                                         self.host_id):
+            if member == proc.pid:
+                continue
+            local_txn = Transaction(txn_id=txn.txn_id, sender=proc.pid,
+                                    dst=member, message=effect.message)
+            self.engine.schedule(self.latency.local_hop,
+                                 self._deliver_group_local, local_txn)
+        # Remote members are reached by one multicast frame.
+        packet = Packet(PacketKind.GROUP_REQUEST, src_pid=proc.pid, dst_pid=None,
+                        txn_id=txn.txn_id, message=effect.message,
+                        info={"group": effect.group_id})
+        self._transmit(packet, GroupAddress(effect.group_id))
+        return _BLOCKED
+
+    def _deliver_group_local(self, txn: Transaction) -> None:
+        dst_proc = self.find_process(txn.dst)
+        if dst_proc is None:
+            return
+        delivery = Delivery(message=txn.message, sender=txn.sender,
+                            txn_id=txn.txn_id, via_group=True)
+        self._enqueue_delivery(dst_proc, delivery)
+
+    def _group_send_timeout(self, txn: Transaction) -> None:
+        self._group_timeouts.pop(txn.txn_id, None)
+        if txn.txn_id in self._outstanding:
+            self.metrics.incr("ipc.group_send_timeouts")
+            self._complete_local_txn(txn, Message.reply(ReplyCode.NO_SERVER))
+
+    # -- misc ---------------------------------------------------------------------
+
+    def _do_delay(self, proc: Process, effect: ipc.Delay) -> Any:
+        proc.state = ProcessState.WAITING
+        self.engine.schedule(effect.seconds, self._advance, proc, None)
+        return _BLOCKED
+
+    def _do_now(self, proc: Process, effect: ipc.Now) -> Any:
+        return self.engine.now
+
+    def _do_my_pid(self, proc: Process, effect: ipc.MyPid) -> Any:
+        return proc.pid
+
+    def _do_spawn(self, proc: Process, effect: ipc.Spawn) -> Any:
+        child = self.spawn(effect.body, name=effect.name)
+        return child.pid
+
+    def _do_exit(self, proc: Process, effect: ipc.Exit) -> Any:
+        proc.task.close()
+        self._terminate(proc)
+        return _BLOCKED
+
+    # ------------------------------------------------------------ networking
+
+    def _transmit(self, packet: Packet, dst, on_sent=None) -> None:
+        """Charge send-side kernel CPU, then put one frame on the wire."""
+
+        def put() -> None:
+            if self.crashed:
+                return
+            frame = Frame(self.host_id, dst, packet, packet.payload_bytes)
+            arrival = self.ethernet.transmit(frame)
+            if on_sent is not None:
+                self.engine.schedule_at(arrival, on_sent)
+
+        self.engine.schedule(self.latency.kernel_cpu_per_packet, put)
+
+    def _on_frame(self, frame: Frame) -> None:
+        if self.crashed:
+            return
+        packet = frame.payload
+        if not isinstance(packet, Packet):
+            return
+        if packet.kind is PacketKind.MOVE_DATA:
+            return  # pure timing/traffic; the move completion is scheduled
+        self.engine.schedule(self.latency.kernel_cpu_per_packet,
+                             self._handle_packet, packet, frame.src_host)
+
+    def _handle_packet(self, packet: Packet, src_host: int) -> None:
+        if self.crashed:
+            return
+        handler = _PACKET_HANDLERS[packet.kind]
+        handler(self, packet, src_host)
+
+    def _on_request_packet(self, packet: Packet, src_host: int) -> None:
+        assert packet.dst_pid is not None and packet.message is not None
+        dst_proc = self.find_process(packet.dst_pid)
+        if dst_proc is None:
+            nack = Packet(PacketKind.NACK, src_pid=packet.dst_pid,
+                          dst_pid=packet.src_pid, txn_id=packet.txn_id,
+                          message=Message.reply(ReplyCode.NONEXISTENT_PROCESS))
+            self._transmit(nack, packet.src_pid.logical_host)
+            return
+        delivery = Delivery(message=packet.message, sender=packet.src_pid,
+                            txn_id=packet.txn_id,
+                            forwarder=packet.info.get("forwarder"))
+        self._enqueue_delivery(dst_proc, delivery)
+
+    def _on_reply_packet(self, packet: Packet, src_host: int) -> None:
+        txn = self._outstanding.get(packet.txn_id)
+        if txn is None:
+            self.metrics.incr("ipc.duplicate_replies")
+            return
+        assert packet.message is not None
+        self._complete_local_txn(txn, packet.message)
+
+    def _on_probe_packet(self, packet: Packet, src_host: int) -> None:
+        presence = self._presence.get(packet.txn_id)
+        if presence is None:
+            kind, info = PacketKind.NACK, {}
+            response = Packet(kind, src_pid=packet.dst_pid or Pid(0),
+                              dst_pid=packet.src_pid, txn_id=packet.txn_id,
+                              message=Message.reply(ReplyCode.NONEXISTENT_PROCESS),
+                              info=info)
+        elif presence[0] == "forwarded":
+            response = Packet(PacketKind.PROBE_FORWARDED,
+                              src_pid=packet.dst_pid or Pid(0),
+                              dst_pid=packet.src_pid, txn_id=packet.txn_id,
+                              info={"new_dst": presence[1]})
+        else:
+            response = Packet(PacketKind.PROBE_OK,
+                              src_pid=packet.dst_pid or Pid(0),
+                              dst_pid=packet.src_pid, txn_id=packet.txn_id)
+        self._transmit(response, packet.src_pid.logical_host)
+
+    def _on_probe_ok_packet(self, packet: Packet, src_host: int) -> None:
+        txn = self._outstanding.get(packet.txn_id)
+        if txn is not None:
+            txn.probes_unanswered = 0
+
+    def _on_probe_forwarded_packet(self, packet: Packet, src_host: int) -> None:
+        txn = self._outstanding.get(packet.txn_id)
+        if txn is not None:
+            txn.dst = packet.info["new_dst"]
+            txn.probes_unanswered = 0
+
+    def _on_getpid_query_packet(self, packet: Packet, src_host: int) -> None:
+        service = packet.info["service"]
+        found = self.registry.lookup_remote(service)
+        if found is not None and self.find_process(found) is not None:
+            response = Packet(PacketKind.GETPID_RESPONSE, src_pid=found,
+                              dst_pid=packet.src_pid, txn_id=0,
+                              info={"waiter": packet.info["waiter"], "pid": found})
+            self._transmit(response, src_host)
+        else:
+            # The cost the paper's Sec. 7 wants to eliminate: every host on
+            # the wire examines and discards broadcast queries not for it.
+            self.metrics.incr("services.broadcast_discards")
+
+    def _on_getpid_response_packet(self, packet: Packet, src_host: int) -> None:
+        entry = self._getpid_waiters.pop(packet.info["waiter"], None)
+        if entry is None:
+            self.metrics.incr("services.getpid_late_responses")
+            return
+        proc, timeout = entry
+        timeout.cancel()
+        self._advance(proc, value=packet.info["pid"])
+
+    def _on_group_request_packet(self, packet: Packet, src_host: int) -> None:
+        assert packet.message is not None
+        group_id = packet.info["group"]
+        for member in self.domain.groups.members_on_host(group_id, self.host_id):
+            dst_proc = self.find_process(member)
+            if dst_proc is None:
+                continue
+            delivery = Delivery(message=packet.message, sender=packet.src_pid,
+                                txn_id=packet.txn_id, via_group=True)
+            self._enqueue_delivery(dst_proc, delivery)
+
+    # ---------------------------------------------------------------- probes
+
+    def _schedule_probe(self, txn: Transaction) -> None:
+        txn.probe_event = self.engine.schedule(self.config.probe_interval,
+                                               self._probe_fire, txn)
+
+    def _probe_fire(self, txn: Transaction) -> None:
+        if txn.txn_id not in self._outstanding:
+            return
+        if txn.probes_unanswered >= self.config.max_failed_probes:
+            self.metrics.incr("ipc.send_timeouts")
+            self._trace("ipc", f"txn{txn.txn_id}",
+                        f"abandoned after {txn.probes_unanswered} failed probes")
+            self._complete_local_txn(txn, Message.reply(ReplyCode.TIMEOUT))
+            return
+        txn.probes_unanswered += 1
+        if txn.dst.is_local_to(self.host_id):
+            presence = self._presence.get(txn.txn_id)
+            if presence is not None:
+                if presence[0] == "forwarded":
+                    txn.dst = presence[1]
+                txn.probes_unanswered = 0
+        else:
+            probe = Packet(PacketKind.PROBE, src_pid=txn.sender,
+                           dst_pid=txn.dst, txn_id=txn.txn_id)
+            self._transmit(probe, txn.dst.logical_host)
+            self.metrics.incr("ipc.probes")
+        self._schedule_probe(txn)
+
+    # ----------------------------------------------------------------- trace
+
+    def _trace(self, category: str, subject: str, detail: str) -> None:
+        tracer = self.domain.tracer
+        if tracer is not None:
+            tracer.record(self.engine.now, category, f"{self.name}:{subject}", detail)
+
+
+_EFFECT_HANDLERS = {
+    ipc.Send: Host._do_send,
+    ipc.Receive: Host._do_receive,
+    ipc.Reply: Host._do_reply,
+    ipc.Forward: Host._do_forward,
+    ipc.MoveFrom: Host._do_move_from,
+    ipc.MoveTo: Host._do_move_to,
+    ipc.SetPid: Host._do_set_pid,
+    ipc.GetPid: Host._do_get_pid,
+    ipc.JoinGroup: Host._do_join_group,
+    ipc.LeaveGroup: Host._do_leave_group,
+    ipc.GroupSend: Host._do_group_send,
+    ipc.Delay: Host._do_delay,
+    ipc.Now: Host._do_now,
+    ipc.MyPid: Host._do_my_pid,
+    ipc.Spawn: Host._do_spawn,
+    ipc.Exit: Host._do_exit,
+}
+
+_PACKET_HANDLERS = {
+    PacketKind.REQUEST: Host._on_request_packet,
+    PacketKind.REPLY: Host._on_reply_packet,
+    PacketKind.NACK: Host._on_reply_packet,
+    PacketKind.PROBE: Host._on_probe_packet,
+    PacketKind.PROBE_OK: Host._on_probe_ok_packet,
+    PacketKind.PROBE_FORWARDED: Host._on_probe_forwarded_packet,
+    PacketKind.GETPID_QUERY: Host._on_getpid_query_packet,
+    PacketKind.GETPID_RESPONSE: Host._on_getpid_response_packet,
+    PacketKind.GROUP_REQUEST: Host._on_group_request_packet,
+}

@@ -1,0 +1,88 @@
+"""Kernel process objects.
+
+A :class:`Process` couples a :class:`~repro.sim.process.Task` (the generator
+executing the program) with the kernel bookkeeping the IPC primitives need:
+the queue of arrived-but-unreceived messages, receive-blocking state, the
+single outstanding send transaction, and the set of received-but-unreplied
+transactions (needed both for Reply validation and for error replies when a
+process dies holding requests).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.kernel.ipc import Delivery, Segment
+from repro.kernel.messages import Message
+from repro.kernel.pids import Pid
+from repro.sim.process import Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import ScheduledEvent
+
+
+class ProcessState(enum.Enum):
+    READY = "ready"              # runnable / currently being stepped
+    RECV_BLOCKED = "recv_blocked"  # inside Receive, queue empty
+    SEND_BLOCKED = "send_blocked"  # awaiting a reply to its Send
+    MOVE_BLOCKED = "move_blocked"  # inside MoveTo/MoveFrom
+    WAITING = "waiting"          # Delay / GetPid broadcast / group send
+    DEAD = "dead"
+
+
+@dataclass
+class Transaction:
+    """One outstanding Send, tracked at the *sender's* kernel."""
+
+    txn_id: int
+    sender: Pid
+    dst: Pid                       # current responder (updated on Forward)
+    message: Message
+    expose: Optional[Segment] = None
+    probes_unanswered: int = 0
+    probe_event: Optional["ScheduledEvent"] = None
+
+    def cancel_probe(self) -> None:
+        if self.probe_event is not None:
+            self.probe_event.cancel()
+            self.probe_event = None
+
+
+class Process:
+    """One V process: a task plus kernel IPC state."""
+
+    def __init__(self, pid: Pid, task: Task, name: str) -> None:
+        self.pid = pid
+        self.task = task
+        self.name = name
+        self.state = ProcessState.READY
+
+        #: Arrived requests not yet returned by Receive.
+        self.msg_queue: deque[Delivery] = deque()
+        #: Set when blocked in Receive; optional sender filter.
+        self.recv_filter: Optional[Pid] = None
+        #: The single outstanding Send (V senders block, so at most one).
+        self.pending_txn: Optional[Transaction] = None
+        #: txn_id -> Delivery for requests received but not yet replied to.
+        self.unreplied: dict[int, Delivery] = {}
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not ProcessState.DEAD
+
+    def queue_delivery(self, delivery: Delivery) -> None:
+        self.msg_queue.append(delivery)
+
+    def next_matching_delivery(self, from_pid: Optional[Pid]) -> Optional[Delivery]:
+        """Pop the first queued delivery matching the receive filter."""
+        for index, delivery in enumerate(self.msg_queue):
+            if from_pid is None or delivery.sender == from_pid:
+                del self.msg_queue[index]
+                return delivery
+        return None
+
+    def __repr__(self) -> str:
+        return f"Process({self.name!r}, {self.pid!r}, {self.state.value})"

@@ -1,0 +1,30 @@
+"""Network substrate: frames, a shared-bus Ethernet model, and timing.
+
+The paper's cluster is SUN workstations on a 3 Mbit (later 10 Mbit) Ethernet.
+This package models that wire:
+
+- :mod:`repro.net.latency` -- every timing constant in the reproduction, with
+  the derivations that calibrate them against the paper's published numbers.
+- :mod:`repro.net.packet` -- frames and addressing (unicast / broadcast /
+  multicast group).
+- :mod:`repro.net.ethernet` -- the shared bus: serialized transmissions,
+  per-host delivery callbacks, broadcast and group delivery, traffic stats.
+- :mod:`repro.net.wire` -- a binary wire encoding for kernel packets, used by
+  the asyncio transport and by tests that pin the 32-byte message format.
+- :mod:`repro.net.asyncio_transport` -- a real UDP/loopback transport that
+  runs the same kernel protocol over sockets.
+"""
+
+from repro.net.ethernet import Ethernet
+from repro.net.latency import LatencyModel, STANDARD_3MBIT, STANDARD_10MBIT
+from repro.net.packet import BROADCAST, Frame, GroupAddress
+
+__all__ = [
+    "Ethernet",
+    "LatencyModel",
+    "STANDARD_3MBIT",
+    "STANDARD_10MBIT",
+    "Frame",
+    "BROADCAST",
+    "GroupAddress",
+]

@@ -1,0 +1,155 @@
+"""The shared-bus Ethernet model.
+
+Transmissions serialize on the bus: a frame occupies the wire for its
+transmission time (from the :class:`~repro.net.latency.LatencyModel`), and a
+frame offered while the bus is busy waits its turn.  Collisions are not
+modelled -- the paper's measurements are uncontended -- but serialization
+means saturating workloads (E2, E11) see correct queueing behaviour.
+
+Delivery is by callback per attached host.  Broadcast reaches every attached
+host; multicast reaches exactly the members of the destination group.  The
+distinction matters for E10: broadcast name lookup interrupts every host on
+the wire, multicast only the interested ones.
+
+Fault injection hooks: links can be taken down per host, and an arbitrary
+drop predicate supports network partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.latency import LatencyModel
+from repro.net.packet import BROADCAST, Frame, GroupAddress
+from repro.sim.engine import Engine
+from repro.sim.metrics import Metrics
+
+DeliverFn = Callable[[Frame], None]
+
+
+class NetworkError(RuntimeError):
+    """Raised on misconfiguration (duplicate attach, unknown host, ...)."""
+
+
+class Ethernet:
+    """A single shared segment connecting all hosts in a V domain."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        latency: LatencyModel,
+        metrics: Metrics | None = None,
+    ) -> None:
+        self.engine = engine
+        self.latency = latency
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._interfaces: dict[int, DeliverFn] = {}
+        self._link_up: dict[int, bool] = {}
+        self._groups: dict[int, set[int]] = {}
+        self._busy_until = 0.0
+        self._drop_predicate: Optional[Callable[[Frame, int], bool]] = None
+
+    # ------------------------------------------------------------------ hosts
+
+    def attach(self, host_id: int, deliver: DeliverFn) -> None:
+        """Connect a host's receive callback to the segment."""
+        if host_id in self._interfaces:
+            raise NetworkError(f"host {host_id} already attached")
+        self._interfaces[host_id] = deliver
+        self._link_up[host_id] = True
+
+    def detach(self, host_id: int) -> None:
+        """Remove a host entirely (e.g. permanent failure)."""
+        self._interfaces.pop(host_id, None)
+        self._link_up.pop(host_id, None)
+        for members in self._groups.values():
+            members.discard(host_id)
+
+    def attached_hosts(self) -> list[int]:
+        return sorted(self._interfaces)
+
+    def set_link(self, host_id: int, up: bool) -> None:
+        """Take a host's link down/up without forgetting its attachment."""
+        if host_id not in self._interfaces:
+            raise NetworkError(f"host {host_id} is not attached")
+        self._link_up[host_id] = up
+
+    def link_is_up(self, host_id: int) -> bool:
+        return self._link_up.get(host_id, False)
+
+    def set_drop_predicate(
+        self, predicate: Optional[Callable[[Frame, int], bool]]
+    ) -> None:
+        """Install a partition rule: drop frame if ``predicate(frame, dst_host)``."""
+        self._drop_predicate = predicate
+
+    # ----------------------------------------------------------------- groups
+
+    def join_group(self, host_id: int, group: GroupAddress) -> None:
+        if host_id not in self._interfaces:
+            raise NetworkError(f"host {host_id} is not attached")
+        self._groups.setdefault(group.group_id, set()).add(host_id)
+
+    def leave_group(self, host_id: int, group: GroupAddress) -> None:
+        members = self._groups.get(group.group_id)
+        if members is not None:
+            members.discard(host_id)
+
+    def group_members(self, group: GroupAddress) -> set[int]:
+        return set(self._groups.get(group.group_id, set()))
+
+    # ------------------------------------------------------------- transmit
+
+    def transmit(self, frame: Frame) -> float:
+        """Offer ``frame`` to the bus; returns its arrival time.
+
+        The frame is delivered by callback at the arrival instant.  A frame
+        from a host whose link is down is silently lost (the sender finds out
+        the way real senders do: by timeout at a higher layer).
+        """
+        now = self.engine.now
+        start = max(now, self._busy_until)
+        tx_time = self.latency.wire_time(frame.payload_bytes)
+        arrival = start + tx_time
+        self._busy_until = arrival
+
+        self.metrics.incr("net.frames")
+        self.metrics.incr("net.bytes", frame.payload_bytes)
+        if frame.is_broadcast:
+            self.metrics.incr("net.broadcast_frames")
+        elif frame.is_multicast:
+            self.metrics.incr("net.multicast_frames")
+
+        if not self._link_up.get(frame.src_host, False):
+            self.metrics.incr("net.frames_lost")
+            return arrival
+
+        self.engine.schedule_at(arrival, self._deliver, frame)
+        return arrival
+
+    def _deliver(self, frame: Frame) -> None:
+        for host_id in self._destinations(frame):
+            if not self._link_up.get(host_id, False):
+                self.metrics.incr("net.frames_lost")
+                continue
+            if self._drop_predicate is not None and self._drop_predicate(
+                frame, host_id
+            ):
+                self.metrics.incr("net.frames_dropped")
+                continue
+            deliver = self._interfaces.get(host_id)
+            if deliver is None:
+                self.metrics.incr("net.frames_lost")
+                continue
+            self.metrics.incr(f"net.delivered_to.{host_id}")
+            deliver(frame)
+
+    def _destinations(self, frame: Frame) -> list[int]:
+        if frame.is_broadcast:
+            return [h for h in sorted(self._interfaces) if h != frame.src_host]
+        if frame.is_multicast:
+            assert isinstance(frame.dst, GroupAddress)
+            members = self._groups.get(frame.dst.group_id, set())
+            return [h for h in sorted(members) if h != frame.src_host]
+        assert isinstance(frame.dst, int)
+        return [frame.dst]

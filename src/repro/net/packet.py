@@ -1,0 +1,78 @@
+"""Frames and addressing for the simulated Ethernet.
+
+A frame's destination is a host id (unicast), :data:`BROADCAST`, or a
+:class:`GroupAddress` (multicast).  The payload is opaque to the network --
+the kernel puts :class:`repro.kernel.messages.Packet` objects in it -- but the
+frame declares its payload size so the Ethernet can charge accurate wire time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class _Broadcast:
+    """Singleton marker for the all-hosts destination."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "BROADCAST"
+
+
+BROADCAST = _Broadcast()
+
+
+@dataclass(frozen=True)
+class GroupAddress:
+    """A multicast group address.
+
+    Membership is managed by :meth:`repro.net.ethernet.Ethernet.join_group`;
+    delivery reaches exactly the member hosts, modelling an Ethernet
+    multicast address filter (as opposed to broadcast, which interrupts every
+    host on the wire -- the distinction E10 measures).
+    """
+
+    group_id: int
+
+    def __post_init__(self) -> None:
+        if self.group_id < 0:
+            raise ValueError(f"group id must be non-negative (got {self.group_id})")
+
+
+Destination = Union[int, _Broadcast, GroupAddress]
+
+_frame_counter = 0
+
+
+def _next_frame_id() -> int:
+    global _frame_counter
+    _frame_counter += 1
+    return _frame_counter
+
+
+@dataclass
+class Frame:
+    """One link-level frame in flight."""
+
+    src_host: int
+    dst: Destination
+    payload: Any
+    payload_bytes: int
+    frame_id: int = field(default_factory=_next_frame_id)
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+
+    @property
+    def is_broadcast(self) -> bool:
+        return isinstance(self.dst, _Broadcast)
+
+    @property
+    def is_multicast(self) -> bool:
+        return isinstance(self.dst, GroupAddress)
+
+    @property
+    def is_unicast(self) -> bool:
+        return isinstance(self.dst, int)

@@ -1,0 +1,175 @@
+"""Binary wire encoding for kernel packets.
+
+Used by the asyncio/UDP transport (and by tests that pin the format).  The
+layout is a practical tagged serialization:
+
+    magic "VK" | kind u8 | src_pid u32 | dst_pid u32 | txn u64
+    | flags u8 | [message: code u16 | fields | segment u32+bytes
+    | segment_buffer u16] | info fields
+
+Field maps encode as count u8 then per-field: key (u8 length + utf8) and a
+type-tagged value (i64, f64, bool, str, bytes, pid, none).  A real V kernel
+packed the 32-byte short message as raw words; we carry field names for
+debuggability and document the divergence -- the *simulated* cost model
+always charges the paper's 32 bytes, independent of this encoding.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.kernel.messages import Message, Packet, PacketKind
+from repro.kernel.pids import Pid
+
+MAGIC = b"VK"
+
+_KINDS = list(PacketKind)
+_KIND_INDEX = {kind: index for index, kind in enumerate(_KINDS)}
+
+_HEADER = struct.Struct(">2sBIIQB")
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+_FLAG_HAS_MESSAGE = 0x01
+
+
+class WireError(ValueError):
+    """Malformed or unencodable packet."""
+
+
+# ---------------------------------------------------------------- field maps
+
+
+def _encode_value(out: bytearray, value) -> None:
+    if value is None:
+        out += b"N"
+    elif isinstance(value, bool):
+        out += b"B" + _U8.pack(1 if value else 0)
+    elif isinstance(value, Pid):
+        out += b"P" + _U32.pack(value.value)
+    elif isinstance(value, int):
+        if not -(1 << 63) <= value < (1 << 63):
+            raise WireError(f"integer field out of i64 range: {value}")
+        out += b"i" + _I64.pack(value)
+    elif isinstance(value, float):
+        out += b"f" + _F64.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise WireError("string field too long")
+        out += b"s" + _U16.pack(len(raw)) + raw
+    elif isinstance(value, (bytes, bytearray)):
+        if len(value) > 0xFFFF:
+            raise WireError("bytes field too long")
+        out += b"b" + _U16.pack(len(value)) + bytes(value)
+    else:
+        raise WireError(
+            f"field value of type {type(value).__name__} is not wire-encodable "
+            "(only the discrete-event backend can carry rich Python values)")
+
+
+def _decode_value(data: bytes, offset: int):
+    tag = data[offset : offset + 1]
+    offset += 1
+    if tag == b"N":
+        return None, offset
+    if tag == b"B":
+        return bool(data[offset]), offset + 1
+    if tag == b"P":
+        (raw,) = _U32.unpack_from(data, offset)
+        return Pid(raw), offset + 4
+    if tag == b"i":
+        (raw,) = _I64.unpack_from(data, offset)
+        return raw, offset + 8
+    if tag == b"f":
+        (raw,) = _F64.unpack_from(data, offset)
+        return raw, offset + 8
+    if tag == b"s":
+        (length,) = _U16.unpack_from(data, offset)
+        offset += 2
+        return data[offset : offset + length].decode("utf-8"), offset + length
+    if tag == b"b":
+        (length,) = _U16.unpack_from(data, offset)
+        offset += 2
+        return bytes(data[offset : offset + length]), offset + length
+    raise WireError(f"unknown value tag {tag!r}")
+
+
+def _encode_fields(out: bytearray, fields: dict) -> None:
+    if len(fields) > 0xFF:
+        raise WireError("too many fields")
+    out += _U8.pack(len(fields))
+    for key in sorted(fields):
+        raw = key.encode("utf-8")
+        if len(raw) > 0xFF:
+            raise WireError(f"field name too long: {key!r}")
+        out += _U8.pack(len(raw)) + raw
+        _encode_value(out, fields[key])
+
+
+def _decode_fields(data: bytes, offset: int) -> tuple[dict, int]:
+    (count,) = _U8.unpack_from(data, offset)
+    offset += 1
+    fields = {}
+    for __ in range(count):
+        (klen,) = _U8.unpack_from(data, offset)
+        offset += 1
+        key = data[offset : offset + klen].decode("utf-8")
+        offset += klen
+        fields[key], offset = _decode_value(data, offset)
+    return fields, offset
+
+
+# ------------------------------------------------------------------- packets
+
+
+def encode_packet(packet: Packet) -> bytes:
+    flags = _FLAG_HAS_MESSAGE if packet.message is not None else 0
+    out = bytearray(_HEADER.pack(
+        MAGIC, _KIND_INDEX[packet.kind], packet.src_pid.value,
+        packet.dst_pid.value if packet.dst_pid is not None else 0,
+        packet.txn_id, flags))
+    if packet.message is not None:
+        message = packet.message
+        out += _U16.pack(message.code)
+        _encode_fields(out, message.fields)
+        segment = message.segment or b""
+        if len(segment) > 0xFFFFFFFF:
+            raise WireError("segment too long")
+        out += _U32.pack(len(segment)) + segment
+        out += _U16.pack(message.segment_buffer)
+    _encode_fields(out, packet.info)
+    return bytes(out)
+
+
+def decode_packet(data: bytes) -> Packet:
+    if len(data) < _HEADER.size:
+        raise WireError("short packet")
+    magic, kind_index, src, dst, txn, flags = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise WireError(f"bad magic {magic!r}")
+    if kind_index >= len(_KINDS):
+        raise WireError(f"unknown packet kind {kind_index}")
+    offset = _HEADER.size
+    message = None
+    if flags & _FLAG_HAS_MESSAGE:
+        (code,) = _U16.unpack_from(data, offset)
+        offset += 2
+        fields, offset = _decode_fields(data, offset)
+        (seg_len,) = _U32.unpack_from(data, offset)
+        offset += 4
+        segment = bytes(data[offset : offset + seg_len]) if seg_len else None
+        offset += seg_len
+        (seg_buffer,) = _U16.unpack_from(data, offset)
+        offset += 2
+        message = Message(code=code, fields=fields, segment=segment,
+                          segment_buffer=seg_buffer)
+    info, offset = _decode_fields(data, offset)
+    if offset != len(data):
+        raise WireError(f"{len(data) - offset} trailing bytes")
+    return Packet(kind=_KINDS[kind_index], src_pid=Pid(src),
+                  dst_pid=Pid(dst) if dst else None, txn_id=txn,
+                  message=message, info=info)

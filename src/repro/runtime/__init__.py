@@ -1,0 +1,19 @@
+"""The client run-time library (paper Sec. 6).
+
+"The system run-time routines provide several types of support for the
+system naming conventions" -- a program is handed its current context and
+the workstation's context prefix server, and every CSname routine funnels
+through the single '['-checking routine in :mod:`repro.core.resolver`.
+
+- :mod:`repro.runtime.session` -- per-program naming state and operations
+  (open, chdir, remove, rename, query, list_directory, ...).
+- :mod:`repro.runtime.files` -- whole-file conveniences over streams.
+- :mod:`repro.runtime.workstation` -- wiring for a standard user
+  workstation: context prefix server with the standard prefixes.
+- :mod:`repro.runtime.program` -- program loading and execution helpers.
+"""
+
+from repro.runtime.session import Session
+from repro.runtime.workstation import Workstation, standard_prefixes
+
+__all__ = ["Session", "Workstation", "standard_prefixes"]

@@ -1,0 +1,208 @@
+"""The V executive: a command interpreter over the naming API (paper Sec. 6-7).
+
+"The functionality matches well with our multiple window and executive
+system" -- the executive was the V user's shell.  This one implements the
+commands the paper's workflow implies, every one a thin veneer over the
+uniform protocol:
+
+==============  ============================================================
+``cd NAME``     change the current context (NAME_TO_CONTEXT + set current)
+``pwd``         inverse-map the current context (with Sec. 6's caveats)
+``ls [NAME]``   read a context directory; ``ls NAME PATTERN`` uses the
+                Sec. 5.6 pattern extension
+``cat NAME``    open + sequential read
+``cp A B``      uniform copy (works across servers unnoticed)
+``rm NAME``     the uniform Delete -- files, programs, print jobs, ...
+``mkdir NAME``  create a sub-context
+``define P N``  bind prefix [P] to the context named N
+``undefine P``  remove prefix [P]
+``run PROG``    start a program via the team service
+``print N F``   spool file F as print job N
+``mail TO``     deliver a message (ARPA syntax)
+==============  ============================================================
+
+The executive is itself an ordinary user program: a generator over kernel
+effects, built from a :class:`~repro.runtime.session.Session`.  Output lines
+are accumulated so tests and examples can assert on them.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Any, Callable, Generator, List
+
+from repro.core.descriptors import (
+    ContextDescription,
+    FileDescription,
+    ObjectDescription,
+    PrefixDescription,
+)
+from repro.core.resolver import NameError_
+from repro.kernel.ipc import GetPid
+from repro.kernel.messages import RequestCode
+from repro.kernel.services import Scope, ServiceId
+from repro.runtime import files
+from repro.runtime.program import run_program
+from repro.runtime.session import Session
+
+Gen = Generator[Any, Any, Any]
+
+
+class ExecutiveError(RuntimeError):
+    """A command failed; the message is the user-visible diagnostic."""
+
+
+class Executive:
+    """One interactive session's command interpreter."""
+
+    def __init__(self, session: Session, user: str = "user") -> None:
+        self.session = session
+        self.user = user
+        self.output: List[str] = []
+
+    # ------------------------------------------------------------- plumbing
+
+    def emit(self, line: str) -> None:
+        self.output.append(line)
+
+    def execute(self, line: str) -> Gen:
+        """Run one command line; appends to :attr:`output`.
+
+        Unknown commands and failed operations produce diagnostics rather
+        than exceptions -- an executive keeps running.
+        """
+        words = shlex.split(line)
+        if not words:
+            yield from ()
+            return
+        command, args = words[0], words[1:]
+        handler = getattr(self, f"cmd_{command}", None)
+        if handler is None:
+            self.emit(f"{command}: unknown command")
+            return
+        try:
+            yield from handler(args)
+        except NameError_ as err:
+            self.emit(f"{command}: {err.name}: {err.code.name}")
+        except ExecutiveError as err:
+            self.emit(f"{command}: {err}")
+
+    def run_script(self, script: str) -> Gen:
+        """Run a newline-separated sequence of commands."""
+        for line in script.splitlines():
+            line = line.strip()
+            if line and not line.startswith("#"):
+                yield from self.execute(line)
+
+    @staticmethod
+    def _need(args: list, count: int, usage: str) -> None:
+        if len(args) < count:
+            raise ExecutiveError(f"usage: {usage}")
+
+    # ------------------------------------------------------------- commands
+
+    def cmd_cd(self, args: list) -> Gen:
+        self._need(args, 1, "cd NAME")
+        yield from self.session.chdir(args[0])
+
+    def cmd_pwd(self, args: list) -> Gen:
+        result = yield from self.session.current_context_name()
+        if result.name is None:
+            self.emit(f"pwd: no name for the current context "
+                      f"({result.caveat})")
+        else:
+            self.emit(result.text or "(root)")
+
+    def cmd_ls(self, args: list) -> Gen:
+        name = args[0] if args else "."
+        pattern = args[1] if len(args) > 1 else None
+        records = yield from self.session.list_directory(name,
+                                                         pattern=pattern)
+        for record in records:
+            self.emit(self._render(record))
+        if not records:
+            self.emit("(empty)")
+
+    def cmd_cat(self, args: list) -> Gen:
+        self._need(args, 1, "cat NAME")
+        data = yield from files.read_file(self.session, args[0])
+        self.emit(data.decode(errors="replace"))
+
+    def cmd_cp(self, args: list) -> Gen:
+        self._need(args, 2, "cp SOURCE DESTINATION")
+        written = yield from files.copy_file(self.session, args[0], args[1])
+        self.emit(f"{written} bytes")
+
+    def cmd_rm(self, args: list) -> Gen:
+        self._need(args, 1, "rm NAME")
+        yield from self.session.remove(args[0])
+
+    def cmd_mkdir(self, args: list) -> Gen:
+        self._need(args, 1, "mkdir NAME")
+        yield from self.session.mkdir(args[0])
+
+    def cmd_write(self, args: list) -> Gen:
+        """write NAME TEXT...: create a file with contents (test/demo aid)."""
+        self._need(args, 2, "write NAME TEXT")
+        yield from files.write_file(self.session, args[0],
+                                    " ".join(args[1:]).encode())
+
+    def cmd_query(self, args: list) -> Gen:
+        self._need(args, 1, "query NAME")
+        record = yield from self.session.query(args[0])
+        self.emit(self._render(record))
+
+    def cmd_define(self, args: list) -> Gen:
+        self._need(args, 2, "define PREFIX NAME")
+        pair = yield from self.session.name_to_context(args[1])
+        yield from self.session.add_prefix(args[0], pair, replace=True)
+
+    def cmd_undefine(self, args: list) -> Gen:
+        self._need(args, 1, "undefine PREFIX")
+        yield from self.session.delete_prefix(args[0])
+
+    def cmd_prefixes(self, args: list) -> Gen:
+        records = yield from self.session.list_prefixes()
+        for record in records:
+            self.emit(self._render(record))
+
+    def cmd_run(self, args: list) -> Gen:
+        self._need(args, 1, "run PROGRAM [DURATION]")
+        team = yield GetPid(int(ServiceId.TEAM), Scope.ANY)
+        if team is None:
+            raise ExecutiveError("no team server")
+        duration = float(args[1]) if len(args) > 1 else 1.0
+        name, pid = yield from run_program(team, args[0], duration=duration)
+        self.emit(f"[{name}] pid {pid.value:#010x}")
+
+    def cmd_print(self, args: list) -> Gen:
+        self._need(args, 2, "print JOBNAME FILE")
+        data = yield from files.read_file(self.session, args[1])
+        spool = yield from self.session.open(f"[print]{args[0]}", "w")
+        yield from spool.write(data)
+        yield from spool.close()
+        record = yield from self.session.query(f"[print]{args[0]}")
+        self.emit(f"{args[0]}: {record.pages} page(s), {record.state}")
+
+    def cmd_mail(self, args: list) -> Gen:
+        self._need(args, 2, "mail ADDRESS TEXT")
+        reply = yield from self.session.csname_request(
+            RequestCode.MAIL_DELIVER, f"[mail]{args[0]}",
+            body=" ".join(args[1:]).encode(), **{"from": self.user})
+        if not reply.ok:
+            raise ExecutiveError(f"delivery failed: {reply.reply_code.name}")
+        self.emit(f"delivered to {reply['delivered_to']}@{reply['host']}")
+
+    # ------------------------------------------------------------ rendering
+
+    @staticmethod
+    def _render(record: ObjectDescription) -> str:
+        if isinstance(record, FileDescription):
+            return (f"-  {record.name:<20} {record.size_bytes:>8}  "
+                    f"{record.owner}")
+        if isinstance(record, ContextDescription):
+            return f"d  {record.name:<20} {record.entry_count:>8} entries"
+        if isinstance(record, PrefixDescription):
+            kind = "generic" if record.generic else "fixed"
+            return f"p  [{record.name}] ({kind})"
+        return f"?  {record.name}  [{type(record).__name__}]"

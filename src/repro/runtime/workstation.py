@@ -1,0 +1,97 @@
+"""Workstation wiring (paper Sec. 6).
+
+"Each workstation also runs one or more simple local server processes,
+including a virtual graphics terminal server, exception server, program
+manager, and context prefix server."  And: "Normally these include some
+standard context prefixes and some corresponding to the file servers being
+used, plus some special contexts within the file servers, such as home
+directory, etc."
+
+:func:`setup_workstation` builds the per-user machine; :func:`standard_prefixes`
+installs the conventional prefix table against a file server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.context import ContextPair, WellKnownContext
+from repro.core.prefix_server import ContextPrefixServer
+from repro.kernel.domain import Domain
+from repro.kernel.host import Host
+from repro.kernel.pids import Pid
+from repro.kernel.process import Process
+from repro.kernel.services import ServiceId
+from repro.runtime.session import Session
+from repro.servers.base import ServerHandle, start_server
+
+
+@dataclass
+class Workstation:
+    """One user's machine: host + context prefix server."""
+
+    host: Host
+    prefix: ServerHandle
+    user: str
+    default_context: Optional[ContextPair] = None
+    extra_servers: list = field(default_factory=list)
+
+    @property
+    def prefix_server(self) -> ContextPrefixServer:
+        server = self.prefix.server
+        assert isinstance(server, ContextPrefixServer)
+        return server
+
+    @property
+    def prefix_pid(self) -> Pid:
+        return self.prefix.pid
+
+    def session(self, current: Optional[ContextPair] = None) -> Session:
+        """A naming session for a program on this workstation."""
+        context = current or self.default_context
+        if context is None:
+            raise ValueError(
+                "no current context: pass one or set default_context "
+                "(standard_prefixes does this)")
+        return Session(current=context, prefix_server=self.prefix_pid,
+                       latency=self.host.latency)
+
+    def run_program(self, body_factory, name: str = "program") -> Process:
+        """Spawn a user program; ``body_factory(session)`` returns its body."""
+        return self.host.spawn(body_factory(self.session()), name=name)
+
+
+def setup_workstation(domain: Domain, user: str,
+                      name: str | None = None) -> Workstation:
+    """Create a diskless workstation running the user's prefix server."""
+    host = domain.create_host(name or f"ws-{user}")
+    prefix = ContextPrefixServer(parse_cpu=domain.latency.prefix_server_cpu,
+                                 user=user)
+    handle = start_server(host, prefix, name="prefix-server")
+    return Workstation(host=host, prefix=handle, user=user)
+
+
+def standard_prefixes(workstation: Workstation,
+                      fileserver: ServerHandle) -> None:
+    """Install the conventional prefix table (Sec. 6).
+
+    Fixed prefixes bind into the file server's well-known contexts; generic
+    prefixes name services resolved by GetPid at each use ("several of the
+    standard, predefined prefixes are of this type").
+    """
+    prefix = workstation.prefix_server
+    fs = fileserver.pid
+    prefix.define_prefix("home", ContextPair(fs, int(WellKnownContext.HOME)))
+    prefix.define_prefix("bin", ContextPair(fs, int(WellKnownContext.PROGRAMS)))
+    prefix.define_prefix("public", ContextPair(fs, int(WellKnownContext.PUBLIC)))
+    prefix.define_prefix("tmp", ContextPair(fs, int(WellKnownContext.TEMP)))
+    prefix.define_prefix("root", ContextPair(fs, int(WellKnownContext.DEFAULT)))
+    prefix.define_generic_prefix("storage", ServiceId.STORAGE,
+                                 int(WellKnownContext.DEFAULT))
+    prefix.define_generic_prefix("print", ServiceId.PRINT)
+    prefix.define_generic_prefix("mail", ServiceId.MAIL)
+    prefix.define_generic_prefix("tcp", ServiceId.INTERNET)
+    prefix.define_generic_prefix("team", ServiceId.TEAM)
+    prefix.define_generic_prefix("terminal", ServiceId.TERMINAL)
+    workstation.default_context = ContextPair(fs, int(WellKnownContext.HOME))

@@ -1,0 +1,44 @@
+"""Concrete V servers, every one a CSNH server (paper Sec. 6).
+
+"All of the servers that deal with CSnames implement the name-handling
+protocol described in the previous section."
+
+- :mod:`repro.servers.fileserver` -- the storage server (inode store,
+  directory contexts, cross-server links, disk timing, read-ahead).
+- :mod:`repro.servers.pipeserver` -- pipes as file-like objects.
+- :mod:`repro.servers.printerserver` -- the laser printer spooler.
+- :mod:`repro.servers.terminalserver` -- virtual graphics terminals
+  (transient objects, Sec. 4.3).
+- :mod:`repro.servers.internetserver` -- IP/TCP connections as named objects.
+- :mod:`repro.servers.mailserver` -- ARPA mail names (extensibility demo).
+- :mod:`repro.servers.teamserver` -- the program manager: programs in
+  execution as a context.
+- :mod:`repro.servers.timeserver` / :mod:`repro.servers.exceptionserver` --
+  simple services.
+- :mod:`repro.servers.base` -- spawn/wiring helpers.
+"""
+
+from repro.servers.base import ServerHandle, start_server
+from repro.servers.fileserver import VFileServer
+from repro.servers.pipeserver import PipeServer
+from repro.servers.printerserver import PrinterServer
+from repro.servers.terminalserver import TerminalServer
+from repro.servers.internetserver import InternetServer
+from repro.servers.mailserver import MailServer
+from repro.servers.teamserver import TeamServer
+from repro.servers.timeserver import TimeServer
+from repro.servers.exceptionserver import ExceptionServer
+
+__all__ = [
+    "ServerHandle",
+    "start_server",
+    "VFileServer",
+    "PipeServer",
+    "PrinterServer",
+    "TerminalServer",
+    "InternetServer",
+    "MailServer",
+    "TeamServer",
+    "TimeServer",
+    "ExceptionServer",
+]

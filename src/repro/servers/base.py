@@ -1,0 +1,39 @@
+"""Server wiring helpers.
+
+A server object (a :class:`~repro.core.csnh.CSNHServer`) is pure protocol
+logic; :func:`start_server` turns it into a running kernel process on a host
+and hands back a :class:`ServerHandle` tying the two together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.csnh import CSNHServer
+from repro.kernel.host import Host
+from repro.kernel.pids import Pid
+from repro.kernel.process import Process
+
+
+@dataclass
+class ServerHandle:
+    """A running server: the protocol object plus its kernel process."""
+
+    server: CSNHServer
+    process: Process
+    host: Host
+
+    @property
+    def pid(self) -> Pid:
+        return self.process.pid
+
+
+def start_server(host: Host, server: CSNHServer,
+                 name: str | None = None) -> ServerHandle:
+    """Spawn ``server`` as a process on ``host``.
+
+    The server's ``pid`` attribute is populated on its first step (it asks
+    the kernel with ``MyPid``); the handle's ``pid`` is valid immediately.
+    """
+    process = host.spawn(server.body(), name=name or server.server_name)
+    return ServerHandle(server=server, process=process, host=host)

@@ -1,0 +1,130 @@
+"""The exception server (paper Sec. 6's workstation server roster).
+
+Processes report faults with RAISE_EXCEPTION; incidents become named,
+queryable objects -- the naming model's "distributed database" view applied
+to something as un-file-like as a crash report.  The incident context is a
+flat name space (``exc-1``, ``exc-2``, ...) served through the standard
+protocol, so the same list-directory program that lists files lists faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.core.csnh import CSNHServer
+from repro.core.context import WellKnownContext
+from repro.core.descriptors import (
+    ContextDescription,
+    ObjectDescription,
+    ProcessDescription,
+)
+from repro.core.mapping import Leaf, ResolvedObject
+from repro.kernel.ipc import Delivery, Now
+from repro.kernel.messages import ReplyCode, RequestCode
+from repro.kernel.services import ServiceId
+
+Gen = Generator[Any, Any, Any]
+
+
+@dataclass
+class Incident:
+    """One reported exception."""
+
+    name: bytes
+    reporter_pid: int
+    code: str
+    detail: str
+    time: float
+
+
+class _IncidentTable:
+    def __init__(self) -> None:
+        self.incidents: dict[bytes, Incident] = {}
+
+
+class _IncidentNameSpace:
+    def __init__(self, table: _IncidentTable) -> None:
+        self.table = table
+
+    def root(self, context_id: int) -> Optional[_IncidentTable]:
+        if context_id == int(WellKnownContext.DEFAULT):
+            return self.table
+        return None
+
+    def lookup(self, context_ref: Any, component: bytes):
+        if context_ref is not self.table:
+            return None
+        incident = self.table.incidents.get(component)
+        return Leaf(incident) if incident is not None else None
+
+
+class ExceptionServer(CSNHServer):
+    """Collects and names exception reports."""
+
+    server_name = "exceptionserver"
+    service_id = int(ServiceId.EXCEPTION)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.table = _IncidentTable()
+        self._namespace = _IncidentNameSpace(self.table)
+        self._counter = 0
+        self.contexts.register_well_known(WellKnownContext.DEFAULT, self.table)
+        self.register_request_op(RequestCode.RAISE_EXCEPTION, self.op_raise)
+        self.register_csname_op(RequestCode.DELETE_NAME, self.op_dismiss)
+
+    def namespace(self) -> _IncidentNameSpace:
+        return self._namespace
+
+    def op_raise(self, delivery: Delivery) -> Gen:
+        message = delivery.message
+        self._counter += 1
+        name = f"exc-{self._counter}".encode()
+        now = yield Now()
+        self.table.incidents[name] = Incident(
+            name=name,
+            reporter_pid=delivery.sender.value,
+            code=str(message.get("exc_code", "unknown")),
+            detail=str(message.get("detail", "")),
+            time=now)
+        yield from self.reply_ok(delivery, incident=name.decode())
+
+    def op_dismiss(self, delivery: Delivery, header, resolution) -> Gen:
+        """Uniform Delete on an incident: dismiss it from the log."""
+        component = resolution.component
+        if self.table.incidents.pop(component, None) is None:
+            yield from self.reply_error(delivery, ReplyCode.NOT_FOUND)
+            return
+        yield from self.reply_ok(delivery)
+
+    # ------------------------------------------------------------- protocol
+
+    def describe(self, resolution: ResolvedObject) -> Optional[ObjectDescription]:
+        if resolution.ref is self.table:
+            return ContextDescription(name="exceptions",
+                                      entry_count=len(self.table.incidents))
+        if isinstance(resolution.ref, Incident):
+            incident = resolution.ref
+            return ProcessDescription(
+                name=incident.name.decode(), pid_value=incident.reporter_pid,
+                program=incident.detail, state=f"faulted:{incident.code}",
+                start_time=incident.time)
+        return None
+
+    def directory_records(self, context_ref: Any) -> list[ObjectDescription]:
+        if context_ref is not self.table:
+            return []
+        records = []
+        for name in sorted(self.table.incidents):
+            incident = self.table.incidents[name]
+            records.append(ProcessDescription(
+                name=name.decode(), pid_value=incident.reporter_pid,
+                program=incident.detail, state=f"faulted:{incident.code}",
+                start_time=incident.time))
+        return records
+
+    def name_of_context(self, context_id: int) -> Optional[bytes]:
+        if context_id == int(WellKnownContext.DEFAULT):
+            return b""
+        return None

@@ -1,0 +1,29 @@
+"""The V storage server.
+
+The paper's archetype of the distributed naming model: "it is convenient to
+store file names in directory files on the same storage medium as the files
+they name, and to implement the naming within the storage server"
+(Sec. 2.2).
+
+- :mod:`repro.servers.fileserver.storage` -- the inode store: files,
+  directories, cross-server links.
+- :mod:`repro.servers.fileserver.disk` -- the disk timing model (Sec. 3.1's
+  512-byte page every 15 ms) with a read-ahead buffer.
+- :mod:`repro.servers.fileserver.server` -- the CSNH file server: contexts
+  map to directories, pathnames act as context prefixes for the final
+  component (Sec. 6).
+"""
+
+from repro.servers.fileserver.disk import DiskModel, NullDisk
+from repro.servers.fileserver.server import VFileServer
+from repro.servers.fileserver.storage import DirectoryNode, FileNode, FileStore, RemoteLinkEntry
+
+__all__ = [
+    "VFileServer",
+    "FileStore",
+    "FileNode",
+    "DirectoryNode",
+    "RemoteLinkEntry",
+    "DiskModel",
+    "NullDisk",
+]

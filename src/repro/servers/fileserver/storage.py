@@ -1,0 +1,220 @@
+"""The inode store backing a file server.
+
+Mirrors the design the paper sketches in Sec. 5.6: "a file server may store
+file names separate from their descriptions with an association maintained by
+internal indices, such as the 'i-node numbers' in Unix" -- names live in
+directory nodes, content and attributes in file nodes, and description
+records are fabricated from both on demand.
+
+Directories may also hold :class:`RemoteLinkEntry` pointers -- contexts
+implemented by *other* servers (the curved arrow of Figure 4) -- which is
+what makes cross-server forwarding arise inside an ordinary pathname walk.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.context import ContextPair
+from repro.core.names import BadName, validate_component
+
+
+class StorageError(RuntimeError):
+    """Invariant violation inside the store (protocol errors map to replies)."""
+
+
+_inode_counter = itertools.count(2)
+
+
+@dataclass
+class FileNode:
+    """One regular file: content plus attributes."""
+
+    name: bytes
+    owner: str = ""
+    access: int = 0o644
+    created: float = 0.0
+    modified: float = 0.0
+    data: bytearray = field(default_factory=bytearray)
+    inode: int = field(default_factory=lambda: next(_inode_counter))
+    parent: Optional["DirectoryNode"] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class RemoteLinkEntry:
+    """A pointer to a context on another server (Figure 4's curved arrow)."""
+
+    name: bytes
+    pair: ContextPair
+    parent: Optional["DirectoryNode"] = None
+
+
+class DirectoryNode:
+    """One directory: a context full of named entries."""
+
+    def __init__(self, name: bytes, owner: str = "", access: int = 0o755,
+                 parent: Optional["DirectoryNode"] = None) -> None:
+        self.name = name
+        self.owner = owner
+        self.access = access
+        self.parent = parent
+        self.inode = next(_inode_counter)
+        self.entries: dict[bytes, Union[FileNode, "DirectoryNode", RemoteLinkEntry]] = {}
+
+    def __repr__(self) -> str:
+        return f"DirectoryNode({self.name!r}, {len(self.entries)} entries)"
+
+
+Entry = Union[FileNode, DirectoryNode, RemoteLinkEntry]
+
+
+class FileStore:
+    """A file server's entire storage state."""
+
+    def __init__(self, owner: str = "") -> None:
+        self.owner = owner
+        self.root = DirectoryNode(b"", owner=owner)
+        self.file_count = 0
+        self.directory_count = 1
+
+    # ----------------------------------------------------------------- lookup
+
+    def get(self, directory: DirectoryNode, component: bytes) -> Optional[Entry]:
+        if component == b".":
+            return directory
+        if component == b"..":
+            return directory.parent or directory
+        return directory.entries.get(component)
+
+    def path_of(self, node: Union[FileNode, DirectoryNode]) -> bytes:
+        """Root-relative pathname of a node (the server's inverse mapping).
+
+        Many-to-one caveats apply exactly as Sec. 6 warns: this is *a* name
+        for the node, not necessarily the one a client used.
+        """
+        parts: list[bytes] = []
+        current: Optional[Union[FileNode, DirectoryNode]] = node
+        while current is not None and current is not self.root:
+            parts.append(current.name)
+            current = current.parent
+        if current is None:
+            raise StorageError(f"{node!r} is detached from the root")
+        return b"/".join(reversed(parts))
+
+    # ----------------------------------------------------------------- create
+
+    def _claim_name(self, directory: DirectoryNode, name: bytes) -> bytes:
+        component = validate_component(name)
+        if component in (b".", b".."):
+            raise BadName(f"{component!r} is reserved")
+        if component in directory.entries:
+            raise StorageError(f"name {component!r} already bound")
+        return component
+
+    def create_file(self, directory: DirectoryNode, name: bytes,
+                    owner: str = "", now: float = 0.0) -> FileNode:
+        component = self._claim_name(directory, name)
+        node = FileNode(name=component, owner=owner or directory.owner,
+                        created=now, modified=now, parent=directory)
+        directory.entries[component] = node
+        self.file_count += 1
+        return node
+
+    def create_directory(self, directory: DirectoryNode, name: bytes,
+                         owner: str = "") -> DirectoryNode:
+        component = self._claim_name(directory, name)
+        node = DirectoryNode(component, owner=owner or directory.owner,
+                             parent=directory)
+        directory.entries[component] = node
+        self.directory_count += 1
+        return node
+
+    def link_remote(self, directory: DirectoryNode, name: bytes,
+                    pair: ContextPair) -> RemoteLinkEntry:
+        component = self._claim_name(directory, name)
+        entry = RemoteLinkEntry(name=component, pair=pair, parent=directory)
+        directory.entries[component] = entry
+        return entry
+
+    # ----------------------------------------------------------------- remove
+
+    def remove(self, directory: DirectoryNode, component: bytes) -> Entry:
+        """Unbind ``component``; directories must be empty."""
+        entry = directory.entries.get(component)
+        if entry is None:
+            raise StorageError(f"no entry {component!r}")
+        if isinstance(entry, DirectoryNode):
+            if entry.entries:
+                raise StorageError(f"directory {component!r} is not empty")
+            self.directory_count -= 1
+        elif isinstance(entry, FileNode):
+            self.file_count -= 1
+        del directory.entries[component]
+        if not isinstance(entry, RemoteLinkEntry):
+            entry.parent = None
+        return entry
+
+    # ----------------------------------------------------------------- rename
+
+    def rename(self, directory: DirectoryNode, component: bytes,
+               new_directory: DirectoryNode, new_component: bytes) -> Entry:
+        entry = directory.entries.get(component)
+        if entry is None:
+            raise StorageError(f"no entry {component!r}")
+        new_component = self._claim_name(new_directory, new_component)
+        del directory.entries[component]
+        entry.name = new_component
+        entry.parent = new_directory
+        new_directory.entries[new_component] = entry
+        return entry
+
+    # ----------------------------------------------------------------- setup
+
+    def make_path(self, path: str, directory: bool = True) -> Union[FileNode, DirectoryNode]:
+        """Setup-time helper: mkdir -p (plus optional final file)."""
+        parts = [p.encode() for p in path.strip("/").split("/") if p]
+        current = self.root
+        for index, part in enumerate(parts):
+            is_last = index == len(parts) - 1
+            existing = current.entries.get(part)
+            if existing is None:
+                if is_last and not directory:
+                    return self.create_file(current, part)
+                current = self.create_directory(current, part)
+            elif isinstance(existing, DirectoryNode):
+                current = existing
+            elif isinstance(existing, FileNode) and is_last and not directory:
+                return existing
+            else:
+                raise StorageError(f"path component {part!r} is not a directory")
+        return current
+
+    def resolve_path(self, path: str) -> Optional[Entry]:
+        """Setup/test helper: resolve a slash path from the root."""
+        current: Entry = self.root
+        for part in (p.encode() for p in path.strip("/").split("/") if p):
+            if not isinstance(current, DirectoryNode):
+                return None
+            found = self.get(current, part)
+            if found is None:
+                return None
+            current = found
+        return current
+
+    def total_bytes(self) -> int:
+        return self._total_bytes(self.root)
+
+    def _total_bytes(self, directory: DirectoryNode) -> int:
+        total = 0
+        for entry in directory.entries.values():
+            if isinstance(entry, FileNode):
+                total += entry.size
+            elif isinstance(entry, DirectoryNode):
+                total += self._total_bytes(entry)
+        return total

@@ -1,0 +1,274 @@
+"""The pipe server: pipes as named file-like objects (paper Sec. 3.2).
+
+Pipes are one of the I/O protocol's advertised sources/sinks.  Here they are
+*named* transient objects in a flat context: create a pipe by opening
+``[pipe]name`` for writing, attach a reader by opening it for reading, and
+the ordinary READ/WRITE_INSTANCE operations move the data.
+
+A read on an empty pipe that still has writers answers ``RETRY`` (the V I/O
+protocol's flow-control reply) rather than blocking the single-threaded
+server; :func:`drain_pipe` shows the client-side retry idiom.  A read on an
+empty pipe with no writers is END_OF_FILE.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.core.csnh import CSNHServer
+from repro.core.context import WellKnownContext
+from repro.core.descriptors import (
+    ContextDescription,
+    ObjectDescription,
+    PipeDescription,
+)
+from repro.core.mapping import Leaf, MappingOutcome, ResolvedObject, ResolvedParent, map_name
+from repro.core.names import BadName, validate_component
+from repro.core.protocol import CSNameHeader
+from repro.kernel.ipc import Delay, Delivery
+from repro.kernel.messages import ReplyCode, RequestCode
+from repro.kernel.pids import Pid
+from repro.kernel.services import ServiceId
+from repro.vio.instance import Instance
+
+Gen = Generator[Any, Any, Any]
+
+#: Maximum bytes a pipe buffers before writers get RETRY.
+PIPE_CAPACITY = 16 * 1024
+
+
+@dataclass
+class PipeObject:
+    """One pipe: a bounded byte queue plus attachment counts."""
+
+    name: bytes
+    chunks: deque = field(default_factory=deque)
+    buffered: int = 0
+    readers: int = 0
+    writers: int = 0
+
+    def push(self, data: bytes) -> bool:
+        if self.buffered + len(data) > PIPE_CAPACITY:
+            return False
+        self.chunks.append(bytes(data))
+        self.buffered += len(data)
+        return True
+
+    def pull(self, limit: int) -> bytes:
+        out = bytearray()
+        while self.chunks and len(out) < limit:
+            chunk = self.chunks[0]
+            take = min(len(chunk), limit - len(out))
+            out += chunk[:take]
+            if take == len(chunk):
+                self.chunks.popleft()
+            else:
+                self.chunks[0] = chunk[take:]
+            self.buffered -= take
+        return bytes(out)
+
+
+class PipeInstance(Instance):
+    """One end of a pipe."""
+
+    def __init__(self, owner: Pid, pipe: PipeObject, mode: str) -> None:
+        super().__init__(owner, block_size=1024,
+                         readable=mode == "r", writable=mode in ("w", "a"))
+        self.pipe = pipe
+        if self.readable:
+            pipe.readers += 1
+        if self.writable:
+            pipe.writers += 1
+
+    def size_bytes(self) -> int:
+        return self.pipe.buffered
+
+    def read_block(self, block: int) -> Gen:
+        yield from ()
+        if not self.readable:
+            return ReplyCode.MODE_ERROR, b""
+        data = self.pipe.pull(self.block_size)
+        if data:
+            return ReplyCode.OK, data
+        if self.pipe.writers > 0:
+            return ReplyCode.RETRY, b""
+        return ReplyCode.END_OF_FILE, b""
+
+    def write_block(self, block: int, data: bytes) -> Gen:
+        yield from ()
+        if not self.writable:
+            return ReplyCode.MODE_ERROR, 0
+        if not self.pipe.push(data):
+            return ReplyCode.RETRY, 0
+        return ReplyCode.OK, len(data)
+
+    def release(self) -> Gen:
+        yield from ()
+        if self.readable:
+            self.pipe.readers -= 1
+        if self.writable:
+            self.pipe.writers -= 1
+
+
+class _PipeTable:
+    def __init__(self) -> None:
+        self.pipes: dict[bytes, PipeObject] = {}
+
+
+class _PipeNameSpace:
+    def __init__(self, table: _PipeTable) -> None:
+        self.table = table
+
+    def root(self, context_id: int) -> Optional[_PipeTable]:
+        if context_id == int(WellKnownContext.DEFAULT):
+            return self.table
+        return None
+
+    def lookup(self, context_ref: Any, component: bytes):
+        if context_ref is not self.table:
+            return None
+        pipe = self.table.pipes.get(component)
+        return Leaf(pipe) if pipe is not None else None
+
+
+class PipeServer(CSNHServer):
+    """Named pipes behind the standard protocol."""
+
+    server_name = "pipeserver"
+    service_id = int(ServiceId.PIPE)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.table = _PipeTable()
+        self._namespace = _PipeNameSpace(self.table)
+        self.contexts.register_well_known(WellKnownContext.DEFAULT, self.table)
+        self.register_csname_op(RequestCode.OPEN_FILE, self.op_open_pipe)
+        self.register_csname_op(RequestCode.DELETE_NAME, self.op_delete_pipe)
+
+    def namespace(self) -> _PipeNameSpace:
+        return self._namespace
+
+    def map_request(self, delivery: Delivery, header: CSNameHeader) -> Gen:
+        yield from ()
+        code = delivery.message.code
+        want_parent = code == int(RequestCode.DELETE_NAME)
+        if code == int(RequestCode.OPEN_FILE):
+            want_parent = str(delivery.message.get("mode", "r")) != "r"
+        return map_name(self._namespace, header.context_id, header.name,
+                        header.name_index, want_parent=want_parent)
+
+    # ------------------------------------------------------------------- ops
+
+    def op_open_pipe(self, delivery: Delivery, header: CSNameHeader,
+                     resolution: MappingOutcome) -> Gen:
+        mode = str(delivery.message.get("mode", "r"))
+        if mode == "r":
+            assert isinstance(resolution, ResolvedObject)
+            if not isinstance(resolution.ref, PipeObject):
+                yield from self.reply_error(delivery, ReplyCode.MODE_ERROR)
+                return
+            pipe = resolution.ref
+        else:
+            assert isinstance(resolution, ResolvedParent)
+            try:
+                component = validate_component(resolution.component)
+            except BadName:
+                yield from self.reply_error(delivery, ReplyCode.BAD_NAME)
+                return
+            pipe = self.table.pipes.get(component)
+            if pipe is None:
+                pipe = PipeObject(name=component)
+                self.table.pipes[component] = pipe
+        instance = PipeInstance(delivery.sender, pipe, mode)
+        instance_id = self.instances.insert(instance)
+        assert self.pid is not None
+        yield from self.reply_ok(delivery, instance=instance_id,
+                                 block_size=instance.block_size,
+                                 server_pid=self.pid.value)
+
+    def op_delete_pipe(self, delivery: Delivery, header: CSNameHeader,
+                       resolution: MappingOutcome) -> Gen:
+        assert isinstance(resolution, ResolvedParent)
+        pipe = self.table.pipes.get(resolution.component)
+        if pipe is None:
+            yield from self.reply_error(delivery, ReplyCode.NOT_FOUND)
+            return
+        if pipe.readers or pipe.writers:
+            yield from self.reply_error(delivery, ReplyCode.BUSY)
+            return
+        del self.table.pipes[resolution.component]
+        yield from self.reply_ok(delivery)
+
+    # -------------------------------------------------------------- protocol
+
+    def describe(self, resolution: ResolvedObject) -> Optional[ObjectDescription]:
+        if resolution.ref is self.table:
+            return ContextDescription(name="pipes",
+                                      entry_count=len(self.table.pipes))
+        if isinstance(resolution.ref, PipeObject):
+            return self._pipe_record(resolution.ref)
+        return None
+
+    def directory_records(self, context_ref: Any) -> list[ObjectDescription]:
+        if context_ref is not self.table:
+            return []
+        return [self._pipe_record(self.table.pipes[name])
+                for name in sorted(self.table.pipes)]
+
+    @staticmethod
+    def _pipe_record(pipe: PipeObject) -> PipeDescription:
+        return PipeDescription(name=pipe.name.decode(),
+                               buffered_bytes=pipe.buffered,
+                               readers=pipe.readers, writers=pipe.writers)
+
+    def name_of_context(self, context_id: int) -> Optional[bytes]:
+        if context_id == int(WellKnownContext.DEFAULT):
+            return b""
+        return None
+
+
+def pipe_write(stream, data: bytes) -> Gen:
+    """Client helper: push bytes into a pipe stream.
+
+    Pipes are sequential, so the FileStream read-modify-write path does not
+    apply; writes go block-op by block-op, retrying when the pipe is full.
+    """
+    from repro.vio.client import read_block, write_block  # noqa: F401
+
+    view = memoryview(bytes(data))
+    while len(view):
+        chunk = bytes(view[: stream.block_size])
+        code, written = yield from write_block(stream.server, stream.instance,
+                                               0, chunk)
+        if code is ReplyCode.RETRY:
+            yield Delay(0.001)
+            continue
+        if code is not ReplyCode.OK:
+            raise RuntimeError(f"pipe write failed: {code.name}")
+        view = view[written:]
+    return len(data)
+
+
+def drain_pipe(stream, poll_interval: float = 0.001,
+               max_polls: int = 10_000) -> Gen:
+    """Client helper: read a pipe to EOF, retrying on RETRY replies."""
+    from repro.vio.client import read_block
+
+    out = bytearray()
+    polls = 0
+    while True:
+        code, data = yield from read_block(stream.server, stream.instance, 0)
+        if code is ReplyCode.OK:
+            out += data
+            polls = 0
+        elif code is ReplyCode.RETRY:
+            polls += 1
+            if polls > max_polls:
+                raise RuntimeError("pipe reader starved")
+            yield Delay(poll_interval)
+        elif code is ReplyCode.END_OF_FILE:
+            return bytes(out)
+        else:
+            raise RuntimeError(f"pipe read failed: {code.name}")

@@ -1,0 +1,203 @@
+"""The virtual graphics terminal server (paper Sec. 4.3, 6).
+
+The paper's example of *transient* objects: "servers that provide a small
+number of transient objects -- for instance, virtual terminal servers -- can
+store names and attributes of the objects in memory."  Terminals are created
+with TERMINAL_CREATE, named ``vt1``, ``vt2``, ... in a flat context, opened
+as file-like display streams, and disappear with the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.core.csnh import CSNHServer
+from repro.core.context import WellKnownContext
+from repro.core.descriptors import (
+    ContextDescription,
+    ObjectDescription,
+    TerminalDescription,
+)
+from repro.core.mapping import Leaf, MappingOutcome, ResolvedObject, ResolvedParent
+from repro.core.protocol import CSNameHeader
+from repro.kernel.ipc import Delivery
+from repro.kernel.messages import ReplyCode, RequestCode
+from repro.kernel.pids import Pid
+from repro.kernel.services import Scope, ServiceId
+from repro.vio.instance import Instance
+
+Gen = Generator[Any, Any, Any]
+
+
+@dataclass
+class VirtualTerminal:
+    """One virtual terminal: a scrollback buffer plus geometry."""
+
+    name: bytes
+    terminal_id: int
+    owner: str
+    rows: int = 24
+    cols: int = 80
+    lines: list[bytes] = field(default_factory=list)
+
+    def display(self, data: bytes) -> None:
+        for line in data.split(b"\n"):
+            if line:
+                self.lines.append(line[: self.cols])
+        overflow = len(self.lines) - 1000
+        if overflow > 0:
+            del self.lines[:overflow]
+
+
+class TerminalInstance(Instance):
+    """An open terminal: writes display, reads return the scrollback."""
+
+    def __init__(self, owner: Pid, terminal: VirtualTerminal) -> None:
+        super().__init__(owner, block_size=1024, readable=True, writable=True)
+        self.terminal = terminal
+
+    def _image(self) -> bytes:
+        return b"\n".join(self.terminal.lines)
+
+    def size_bytes(self) -> int:
+        return len(self._image())
+
+    def read_block(self, block: int) -> Gen:
+        yield from ()
+        image = self._image()
+        start = block * self.block_size
+        if start >= len(image):
+            return ReplyCode.END_OF_FILE, b""
+        return ReplyCode.OK, image[start : start + self.block_size]
+
+    def write_block(self, block: int, data: bytes) -> Gen:
+        yield from ()
+        self.terminal.display(data)
+        return ReplyCode.OK, len(data)
+
+
+class _TerminalTable:
+    def __init__(self) -> None:
+        self.terminals: dict[bytes, VirtualTerminal] = {}
+
+
+class _TerminalNameSpace:
+    def __init__(self, table: _TerminalTable) -> None:
+        self.table = table
+
+    def root(self, context_id: int) -> Optional[_TerminalTable]:
+        if context_id == int(WellKnownContext.DEFAULT):
+            return self.table
+        return None
+
+    def lookup(self, context_ref: Any, component: bytes):
+        if context_ref is not self.table:
+            return None
+        terminal = self.table.terminals.get(component)
+        return Leaf(terminal) if terminal is not None else None
+
+
+class TerminalServer(CSNHServer):
+    """Per-workstation virtual terminal service (registered locally)."""
+
+    server_name = "terminalserver"
+    service_id = int(ServiceId.TERMINAL)
+    service_scope = Scope.LOCAL
+
+    def __init__(self, user: str = "user") -> None:
+        super().__init__()
+        self.user = user
+        self.table = _TerminalTable()
+        self._namespace = _TerminalNameSpace(self.table)
+        self._counter = 0
+        self.contexts.register_well_known(WellKnownContext.DEFAULT, self.table)
+        self.register_request_op(RequestCode.TERMINAL_CREATE, self.op_create)
+        self.register_request_op(RequestCode.TERMINAL_DRAW, self.op_draw)
+        self.register_csname_op(RequestCode.OPEN_FILE, self.op_open_terminal)
+        self.register_csname_op(RequestCode.DELETE_NAME, self.op_delete_terminal)
+
+    def namespace(self) -> _TerminalNameSpace:
+        return self._namespace
+
+    # ------------------------------------------------------------------- ops
+
+    def op_create(self, delivery: Delivery) -> Gen:
+        message = delivery.message
+        self._counter += 1
+        name = f"vt{self._counter}".encode()
+        terminal = VirtualTerminal(
+            name=name, terminal_id=self._counter, owner=self.user,
+            rows=int(message.get("rows", 24)), cols=int(message.get("cols", 80)))
+        self.table.terminals[name] = terminal
+        yield from self.reply_ok(delivery, terminal=name.decode(),
+                                 terminal_id=terminal.terminal_id)
+
+    def op_draw(self, delivery: Delivery) -> Gen:
+        name = delivery.message.get("terminal", "")
+        terminal = self.table.terminals.get(str(name).encode())
+        if terminal is None:
+            yield from self.reply_error(delivery, ReplyCode.NOT_FOUND)
+            return
+        terminal.display(bytes(delivery.message.segment or b""))
+        yield from self.reply_ok(delivery)
+
+    def op_open_terminal(self, delivery: Delivery, header: CSNameHeader,
+                         resolution: MappingOutcome) -> Gen:
+        if not isinstance(resolution, ResolvedObject) or not isinstance(
+                resolution.ref, VirtualTerminal):
+            yield from self.reply_error(delivery, ReplyCode.NOT_FOUND)
+            return
+        instance = TerminalInstance(delivery.sender, resolution.ref)
+        instance_id = self.instances.insert(instance)
+        assert self.pid is not None
+        yield from self.reply_ok(delivery, instance=instance_id,
+                                 block_size=instance.block_size,
+                                 server_pid=self.pid.value)
+
+    def op_delete_terminal(self, delivery: Delivery, header: CSNameHeader,
+                           resolution: MappingOutcome) -> Gen:
+        assert isinstance(resolution, (ResolvedObject, ResolvedParent))
+        component = resolution.component
+        if self.table.terminals.pop(component, None) is None:
+            yield from self.reply_error(delivery, ReplyCode.NOT_FOUND)
+            return
+        yield from self.reply_ok(delivery)
+
+    # -------------------------------------------------------------- protocol
+
+    def describe(self, resolution: ResolvedObject) -> Optional[ObjectDescription]:
+        if resolution.ref is self.table:
+            return ContextDescription(name="terminals", owner=self.user,
+                                      entry_count=len(self.table.terminals))
+        if isinstance(resolution.ref, VirtualTerminal):
+            return self._record(resolution.ref)
+        return None
+
+    def apply_description(self, resolution: ResolvedObject,
+                          record: ObjectDescription) -> ReplyCode:
+        terminal = resolution.ref
+        if not isinstance(terminal, VirtualTerminal) or not isinstance(
+                record, TerminalDescription):
+            return ReplyCode.BAD_ARGS
+        # rows/cols are the mutable fields (a window resize).
+        terminal.rows = record.rows
+        terminal.cols = record.cols
+        return ReplyCode.OK
+
+    def directory_records(self, context_ref: Any) -> list[ObjectDescription]:
+        if context_ref is not self.table:
+            return []
+        return [self._record(self.table.terminals[name])
+                for name in sorted(self.table.terminals)]
+
+    @staticmethod
+    def _record(terminal: VirtualTerminal) -> TerminalDescription:
+        return TerminalDescription(
+            name=terminal.name.decode(), terminal_id=terminal.terminal_id,
+            rows=terminal.rows, cols=terminal.cols, owner=terminal.owner)
+
+    def name_of_context(self, context_id: int) -> Optional[bytes]:
+        if context_id == int(WellKnownContext.DEFAULT):
+            return b""
+        return None

@@ -1,0 +1,119 @@
+"""Measurement plumbing: counters, gauges, and latency recorders.
+
+Benchmarks observe the simulation exclusively through this module, so the
+same recorders serve unit tests (exact assertions against calibrated
+constants) and the benchmark harness (summary statistics for the tables in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class LatencySummary:
+    """Summary statistics over a set of latency samples (seconds)."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean * 1e3
+
+    @property
+    def mean_us(self) -> float:
+        return self.mean * 1e6
+
+
+class LatencyRecorder:
+    """Collects latency samples for one named operation."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative latency sample for {self.name!r}: {seconds}")
+        self.samples.append(seconds)
+
+    def extend(self, samples: Iterable[float]) -> None:
+        for sample in samples:
+            self.record(sample)
+
+    def summary(self) -> LatencySummary:
+        if not self.samples:
+            raise ValueError(f"no samples recorded for {self.name!r}")
+        ordered = sorted(self.samples)
+        return LatencySummary(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+        )
+
+
+def _percentile(ordered: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over a pre-sorted sample list."""
+    if not ordered:
+        raise ValueError("empty sample list")
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class Metrics:
+    """A bag of named counters and latency recorders shared by a simulation.
+
+    Components increment counters (``metrics.incr("net.frames")``) and record
+    latencies (``metrics.latency("open.remote").record(dt)``); benches read
+    them back after the run.
+    """
+
+    counters: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    _recorders: dict[str, LatencyRecorder] = field(default_factory=dict)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def count(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def latency(self, name: str) -> LatencyRecorder:
+        recorder = self._recorders.get(name)
+        if recorder is None:
+            recorder = LatencyRecorder(name)
+            self._recorders[name] = recorder
+        return recorder
+
+    def has_latency(self, name: str) -> bool:
+        recorder = self._recorders.get(name)
+        return recorder is not None and bool(recorder.samples)
+
+    def latency_names(self) -> list[str]:
+        return sorted(self._recorders)
+
+    def snapshot(self) -> dict:
+        """A plain-dict view used by benches when printing result tables."""
+        result: dict = {"counters": dict(self.counters), "latencies": {}}
+        for name, recorder in self._recorders.items():
+            if recorder.samples:
+                summary = recorder.summary()
+                result["latencies"][name] = {
+                    "count": summary.count,
+                    "mean_ms": summary.mean_ms,
+                    "p50_ms": summary.p50 * 1e3,
+                    "p95_ms": summary.p95 * 1e3,
+                }
+        return result

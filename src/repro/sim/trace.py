@@ -1,0 +1,73 @@
+"""Structured event tracing.
+
+A :class:`Tracer` records (time, category, host, detail) tuples as the
+simulation runs.  Tests use it to assert *sequences* of behaviour -- e.g. that
+a CSname request was forwarded through exactly the servers the paper's name
+mapping procedure prescribes -- and it doubles as a debugging aid
+(``tracer.format()`` renders a readable timeline).
+
+Tracing is off unless a tracer is installed, and the recording path is a
+single append, so it does not distort simulated timing (which is explicit
+anyway) or meaningfully slow real execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    category: str
+    subject: str
+    detail: str
+
+    def format(self) -> str:
+        return f"{self.time * 1e3:10.3f}ms  {self.category:<12} {self.subject:<18} {self.detail}"
+
+
+class Tracer:
+    """An append-only event log with simple querying."""
+
+    def __init__(self, limit: int | None = None) -> None:
+        self.events: list[TraceEvent] = []
+        self.limit = limit
+
+    def record(self, time: float, category: str, subject: str, detail: str) -> None:
+        if self.limit is not None and len(self.events) >= self.limit:
+            return
+        self.events.append(TraceEvent(time, category, subject, detail))
+
+    def select(
+        self,
+        category: str | None = None,
+        subject: str | None = None,
+        predicate: Callable[[TraceEvent], bool] | None = None,
+    ) -> list[TraceEvent]:
+        """Events matching all the given filters, in time order."""
+        result = []
+        for event in self.events:
+            if category is not None and event.category != category:
+                continue
+            if subject is not None and event.subject != subject:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            result.append(event)
+        return result
+
+    def categories(self) -> set[str]:
+        return {event.category for event in self.events}
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def format(self, category: str | None = None) -> str:
+        return "\n".join(event.format() for event in self.select(category=category))

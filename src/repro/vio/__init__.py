@@ -1,0 +1,27 @@
+"""The V I/O protocol (paper Sec. 3.2).
+
+"Another V-System standard is the V I/O protocol, which provides uniform
+connection of program input and output to a variety of data sources and
+sinks, including disk files, terminals, pipes, network connections, graphics
+pointing devices, and memory arrays."
+
+The unit of access is an *instance*: a file-like object named by a short
+numeric identifier (Sec. 4.3's temporary-object naming), created by a CSname
+``OPEN_FILE``/``OPEN_DIRECTORY`` request or a server-specific operation, and
+accessed with block-oriented ``READ_INSTANCE``/``WRITE_INSTANCE`` requests.
+
+- :mod:`repro.vio.instance` -- server side: instance objects + id table.
+- :mod:`repro.vio.client` -- client side: block operations and a sequential
+  byte-stream wrapper.
+"""
+
+from repro.vio.instance import Instance, InstanceTable, MemoryInstance
+from repro.vio.client import FileStream, read_all_bytes
+
+__all__ = [
+    "Instance",
+    "InstanceTable",
+    "MemoryInstance",
+    "FileStream",
+    "read_all_bytes",
+]

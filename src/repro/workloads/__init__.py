@@ -1,0 +1,19 @@
+"""Workload generation for the benchmarks.
+
+- :mod:`repro.workloads.namegen` -- synthetic name trees (populating file
+  servers and, in parallel form, the centralized baseline).
+- :mod:`repro.workloads.traces` -- access traces (Zipf-skewed name
+  popularity, read/write mixes) over those trees.
+"""
+
+from repro.workloads.namegen import NameTreeSpec, populate_baseline, populate_fileserver
+from repro.workloads.traces import AccessTrace, Operation, zipf_trace
+
+__all__ = [
+    "NameTreeSpec",
+    "populate_fileserver",
+    "populate_baseline",
+    "AccessTrace",
+    "Operation",
+    "zipf_trace",
+]

@@ -1,0 +1,110 @@
+"""Synthetic name trees.
+
+Builds the same logical name population two ways -- into a V file server's
+store (names with the objects) and into the centralized baseline (names in
+the registry, objects by UID on object servers) -- so the E8 experiments
+compare architectures over identical name sets.
+
+Population happens at setup time, directly against server state, because
+what the experiments measure is *steady-state use* of an existing name
+space, not bulk ingest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baseline.nameserver import CentralNameServer, NameBinding
+from repro.baseline.objectserver import StoredObject, UidObjectServer
+from repro.servers.fileserver.server import VFileServer
+from repro.servers.fileserver.storage import DirectoryNode
+from repro.sim.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class NameTreeSpec:
+    """Shape of a synthetic name tree.
+
+    ``depth`` levels of directories, ``fanout`` subdirectories per level,
+    ``files_per_directory`` leaf files in every directory, file contents of
+    ``file_bytes`` (compressible filler; content is rarely what matters).
+    """
+
+    depth: int = 2
+    fanout: int = 3
+    files_per_directory: int = 4
+    file_bytes: int = 256
+
+    def directory_count(self) -> int:
+        total, level = 1, 1
+        for __ in range(self.depth):
+            level *= self.fanout
+            total += level
+        return total
+
+    def file_count(self) -> int:
+        return self.directory_count() * self.files_per_directory
+
+
+def _walk_paths(spec: NameTreeSpec) -> tuple[list[str], list[str]]:
+    """All (directory_paths, file_paths) the spec implies, root-relative."""
+    directories: list[str] = [""]
+    frontier = [""]
+    for __ in range(spec.depth):
+        next_frontier = []
+        for base in frontier:
+            for index in range(spec.fanout):
+                path = f"{base}d{index}" if not base else f"{base}/d{index}"
+                directories.append(path)
+                next_frontier.append(path)
+        frontier = next_frontier
+    files = []
+    for directory in directories:
+        for index in range(spec.files_per_directory):
+            name = f"f{index}.dat"
+            files.append(name if not directory else f"{directory}/{name}")
+    return directories, files
+
+
+def populate_fileserver(server: VFileServer, spec: NameTreeSpec,
+                        root: str = "data") -> list[str]:
+    """Build the tree under ``root`` on a V file server; returns file paths."""
+    base = server.store.make_path(root)
+    assert isinstance(base, DirectoryNode)
+    directories, files = _walk_paths(spec)
+    for directory in directories[1:]:
+        server.store.make_path(f"{root}/{directory}")
+    content = b"v" * spec.file_bytes
+    result = []
+    for path in files:
+        full = f"{root}/{path}"
+        node = server.store.make_path(full, directory=False)
+        node.data[:] = content  # type: ignore[union-attr]
+        result.append(full)
+    return result
+
+
+def populate_baseline(name_server: CentralNameServer,
+                      object_servers: list[UidObjectServer],
+                      spec: NameTreeSpec, root: str = "data",
+                      seed: int = 0) -> list[str]:
+    """Build the same name population in the centralized model.
+
+    Objects are spread across the object servers round-robin-with-jitter
+    (deterministic); each file's full path becomes one registry binding.
+    """
+    rng = DeterministicRng(seed)
+    __, files = _walk_paths(spec)
+    content = b"c" * spec.file_bytes
+    result = []
+    for index, path in enumerate(files):
+        full = f"{root}/{path}"
+        server = object_servers[
+            (index + rng.randint("spread", 0, 1)) % len(object_servers)]
+        uid = server.uids.allocate()
+        server.objects[uid] = StoredObject(uid=uid, data=bytearray(content))
+        pid_value = server.pid.value if server.pid is not None else 0
+        name_server.bindings[full.encode()] = NameBinding(
+            name=full.encode(), uid=uid, server_pid=pid_value)
+        result.append(full)
+    return result

@@ -1,0 +1,84 @@
+"""Access traces over a name population.
+
+Real file traffic is heavily skewed (a few names take most of the
+references) and mostly reads; the traces here are parameterized on both so
+E8a can show how the centralized model's per-use lookup cost interacts with
+name reuse (which is exactly where the paper predicts caching helps "only
+the few applications that reuse names").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.sim.rng import DeterministicRng
+
+
+class Operation(enum.Enum):
+    OPEN_READ = "open_read"
+    OPEN_WRITE = "open_write"
+    QUERY = "query"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class AccessTrace:
+    """A deterministic sequence of (operation, name) events."""
+
+    events: tuple[tuple[Operation, str], ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def unique_names(self) -> int:
+        return len({name for __, name in self.events})
+
+    def reuse_fraction(self) -> float:
+        """Fraction of events whose name appeared earlier in the trace."""
+        seen: set[str] = set()
+        reused = 0
+        for __, name in self.events:
+            if name in seen:
+                reused += 1
+            seen.add(name)
+        return reused / len(self.events) if self.events else 0.0
+
+
+def zipf_trace(names: list[str], length: int, seed: int = 0,
+               skew: float = 1.0, read_fraction: float = 0.9,
+               query_fraction: float = 0.05) -> AccessTrace:
+    """A Zipf(skew)-popular trace over ``names``.
+
+    ``read_fraction`` of events are OPEN_READ; of the rest,
+    ``query_fraction`` (of the total) are QUERY and the remainder
+    OPEN_WRITE.  Deletes are not generated here (E8b drives those
+    explicitly with its crash schedule).
+    """
+    if not names:
+        raise ValueError("empty name population")
+    rng = DeterministicRng(seed)
+    events = []
+    for __ in range(length):
+        name = names[rng.zipf_index("popularity", len(names), skew)]
+        draw = rng.uniform("opmix", 0.0, 1.0)
+        if draw < read_fraction:
+            op = Operation.OPEN_READ
+        elif draw < read_fraction + query_fraction:
+            op = Operation.QUERY
+        else:
+            op = Operation.OPEN_WRITE
+        events.append((op, name))
+    return AccessTrace(events=tuple(events))
+
+
+def uniform_trace(names: list[str], length: int, seed: int = 0) -> AccessTrace:
+    """A no-reuse-bias control trace: uniform name popularity, all reads."""
+    rng = DeterministicRng(seed)
+    events = tuple(
+        (Operation.OPEN_READ, names[rng.randint("uniform", 0, len(names) - 1)])
+        for __ in range(length))
+    return AccessTrace(events=events)

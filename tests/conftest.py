@@ -1,0 +1,23 @@
+"""Pytest configuration: make `tests.helpers` importable and add fixtures."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+
+from repro.kernel.domain import Domain
+
+# Wall-clock deadlines make property tests flaky on loaded machines; the
+# tests assert logic, not speed.
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def domain() -> Domain:
+    return Domain(seed=7)
+
+
+@pytest.fixture
+def two_hosts(domain):
+    return domain, domain.create_host("alpha"), domain.create_host("beta")

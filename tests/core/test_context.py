@@ -1,0 +1,90 @@
+"""Tests for contexts and context-id allocation (paper Sec. 5.2)."""
+
+import pytest
+
+from repro.core.context import (
+    ORDINARY_CONTEXT_MAX,
+    ORDINARY_CONTEXT_MIN,
+    ContextIdAllocator,
+    ContextPair,
+    WellKnownContext,
+)
+from repro.kernel.pids import Pid
+
+
+class TestContextPair:
+    def test_pair_holds_server_and_id(self):
+        pair = ContextPair(Pid.make(2, 7), 5)
+        assert pair.server == Pid.make(2, 7)
+        assert pair.context_id == 5
+
+    def test_pairs_are_hashable_values(self):
+        a = ContextPair(Pid.make(1, 1), 3)
+        b = ContextPair(Pid.make(1, 1), 3)
+        assert a == b and len({a, b}) == 1
+
+    def test_out_of_range_context_id_rejected(self):
+        with pytest.raises(ValueError):
+            ContextPair(Pid.make(1, 1), 1 << 16)
+        with pytest.raises(ValueError):
+            ContextPair(Pid.make(1, 1), -1)
+
+    def test_repr_shows_well_known_names(self):
+        pair = ContextPair(Pid.make(1, 1), int(WellKnownContext.HOME))
+        assert "HOME" in repr(pair)
+
+
+class TestWellKnownContexts:
+    def test_default_is_zero(self):
+        # "a standard default value of 0" (Sec. 5.2)
+        assert int(WellKnownContext.DEFAULT) == 0
+
+    def test_well_known_ids_outside_ordinary_range(self):
+        for context in WellKnownContext:
+            if context is WellKnownContext.DEFAULT:
+                continue
+            assert context > ORDINARY_CONTEXT_MAX
+
+    def test_well_known_ids_distinct(self):
+        values = [int(c) for c in WellKnownContext]
+        assert len(values) == len(set(values))
+
+
+class TestContextIdAllocator:
+    def test_allocates_ordinary_ids(self):
+        allocator = ContextIdAllocator()
+        ids = [allocator.allocate() for __ in range(100)]
+        assert len(set(ids)) == 100
+        assert all(ORDINARY_CONTEXT_MIN <= i <= ORDINARY_CONTEXT_MAX
+                   for i in ids)
+
+    def test_never_allocates_well_known_values(self):
+        allocator = ContextIdAllocator(start=ORDINARY_CONTEXT_MAX - 2)
+        ids = [allocator.allocate() for __ in range(10)]
+        assert all(i <= ORDINARY_CONTEXT_MAX or i >= ORDINARY_CONTEXT_MIN
+                   for i in ids)
+        assert int(WellKnownContext.HOME) not in ids
+
+    def test_wraps_around_the_ordinary_range(self):
+        allocator = ContextIdAllocator(start=ORDINARY_CONTEXT_MAX)
+        first = allocator.allocate()
+        second = allocator.allocate()
+        assert first == ORDINARY_CONTEXT_MAX
+        assert second == ORDINARY_CONTEXT_MIN
+
+    def test_released_id_not_soon_reused(self):
+        allocator = ContextIdAllocator()
+        first = allocator.allocate()
+        allocator.release(first)
+        assert first not in [allocator.allocate() for __ in range(50)]
+
+    def test_is_live(self):
+        allocator = ContextIdAllocator()
+        context_id = allocator.allocate()
+        assert allocator.is_live(context_id)
+        allocator.release(context_id)
+        assert not allocator.is_live(context_id)
+
+    def test_bad_start_rejected(self):
+        with pytest.raises(ValueError):
+            ContextIdAllocator(start=0)

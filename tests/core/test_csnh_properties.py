@@ -1,0 +1,162 @@
+"""Protocol-level properties of CSNH servers (paper Sec. 5.3-5.4).
+
+The load-bearing one: "a CSNH server can perform some processing on any
+CSname request, even if it does not understand the operation code" --
+intermediaries forward operations they have never heard of, and only the
+server that owns the name decides whether the operation exists.
+"""
+
+import pytest
+
+from repro.core.context import ContextPair, WellKnownContext
+from repro.core.csnh import ContextTable
+from repro.core.protocol import make_csname_request, register_csname_request
+from repro.kernel.domain import Domain
+from repro.kernel.ipc import Delay, Send
+from repro.kernel.messages import Message, ReplyCode, RequestCode
+from repro.runtime import files
+from repro.runtime.workstation import setup_workstation, standard_prefixes
+from repro.servers import VFileServer, start_server
+from tests.helpers import run_on, standard_system
+
+#: A CSname operation invented *after* every server in this test was built.
+FUTURE_OP = register_csname_request(0x0999)
+
+
+class TestForwardingUnknownOps:
+    def test_prefix_server_forwards_an_op_it_does_not_know(self):
+        """The prefix server has no handler for FUTURE_OP, yet routes it."""
+        system = standard_system()
+
+        def client(session):
+            yield from files.write_file(session, "[home]target.txt", b"x")
+            reply = yield from session.csname_request(FUTURE_OP,
+                                                      "[home]target.txt")
+            return reply.reply_code
+
+        # The request crossed the prefix server and reached the file
+        # server, which owns the name but not the operation:
+        assert system.run_client(
+            client(system.session())) is ReplyCode.ILLEGAL_REQUEST
+
+    def test_file_server_forwards_unknown_op_across_links(self):
+        """Even a chain of intermediaries needs no knowledge of the op."""
+        domain = Domain()
+        ws = setup_workstation(domain, "mann")
+        fs_a = start_server(domain.create_host("vax1"),
+                            VFileServer(user="mann"))
+        fs_b = start_server(domain.create_host("vax2"),
+                            VFileServer(user="mann"))
+        standard_prefixes(ws, fs_a)
+        fs_a.server.store.link_remote(
+            fs_a.server.home, b"far",
+            ContextPair(fs_b.pid, int(WellKnownContext.HOME)))
+
+        def client(session):
+            reply = yield from session.csname_request(FUTURE_OP,
+                                                      "[home]far/deeper")
+            return reply.reply_code
+
+        # NOT_FOUND from fs_b: it interpreted the name (no 'deeper' there)
+        # before ever caring about the op code -- name first, op second,
+        # exactly Sec. 5.4's ordering.
+        assert run_on(domain, ws.host,
+                      client(ws.session())) is ReplyCode.NOT_FOUND
+
+    def test_name_mapping_precedes_op_dispatch(self):
+        """A bad name beats an unknown op: mapping happens first."""
+        system = standard_system()
+
+        def client(session):
+            reply = yield from session.csname_request(FUTURE_OP,
+                                                      "[ghost]x")
+            return reply.reply_code
+
+        assert system.run_client(
+            client(system.session())) is ReplyCode.NOT_FOUND
+
+
+class TestStandardHeaderDiscipline:
+    def test_malformed_csname_request_rejected_cleanly(self):
+        """A CSname-coded message without the header fields gets BAD_ARGS,
+        not a server crash."""
+        system = standard_system()
+
+        def client(session):
+            broken = Message.request(RequestCode.QUERY_NAME)  # no header
+            reply = yield Send(system.fileserver.pid, broken)
+            return reply.reply_code
+
+        assert system.run_client(
+            client(system.session())) is ReplyCode.BAD_ARGS
+
+    def test_interpretation_resumes_at_the_name_index(self):
+        """A pre-advanced name index skips the consumed part -- what a
+        forwarding server relies on."""
+        system = standard_system()
+
+        def client(session):
+            yield from files.write_file(session, "sub.txt", b"z")
+            # Craft a request whose index already points past a bogus
+            # prefix region of the name bytes.
+            name = b"IGNORED/sub.txt"
+            request = make_csname_request(
+                RequestCode.OPEN_FILE, name,
+                int(WellKnownContext.HOME),
+                name_index=len(b"IGNORED/"), mode="r")
+            reply = yield Send(system.fileserver.pid, request)
+            return reply.reply_code
+
+        assert system.run_client(client(system.session())) is ReplyCode.OK
+
+    def test_stale_context_id_rejected(self):
+        system = standard_system()
+
+        def client(session):
+            request = make_csname_request(RequestCode.OPEN_FILE, "x",
+                                          0x7ABC, mode="r")
+            reply = yield Send(system.fileserver.pid, request)
+            return reply.reply_code
+
+        assert system.run_client(
+            client(system.session())) is ReplyCode.INVALID_CONTEXT
+
+    def test_fabricated_context_ids_are_stable(self):
+        """NAME_TO_CONTEXT twice for the same directory yields the same id
+        (ordinary ids are per-ref, not per-request)."""
+        system = standard_system()
+
+        def client(session):
+            yield from session.mkdir("stable")
+            first = yield from session.name_to_context("stable")
+            second = yield from session.name_to_context("stable")
+            return first, second
+
+        first, second = system.run_client(client(system.session()))
+        assert first == second
+
+
+class TestContextTable:
+    def test_well_known_and_ordinary_coexist(self):
+        table = ContextTable()
+        root = object()
+        table.register_well_known(0, root)
+        other = object()
+        ordinary = table.id_for(other)
+        assert table.resolve(0) is root
+        assert table.resolve(ordinary) is other
+        assert ordinary != 0
+
+    def test_id_for_is_idempotent(self):
+        table = ContextTable()
+        ref = object()
+        assert table.id_for(ref) == table.id_for(ref)
+
+    def test_drop_ref_invalidates(self):
+        table = ContextTable()
+        ref = object()
+        context_id = table.id_for(ref)
+        table.drop_ref(ref)
+        assert table.resolve(context_id) is None
+        # A new ref gets a different id (time-before-reuse).
+        assert table.id_for(object()) != context_id

@@ -1,0 +1,138 @@
+"""Tests for typed object description records (paper Sec. 5.5, Figure 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.descriptors import (
+    ContextDescription,
+    DescriptorError,
+    DescriptorTag,
+    FileDescription,
+    MailboxDescription,
+    NameBindingDescription,
+    ObjectDescription,
+    PipeDescription,
+    PrefixDescription,
+    PrintJobDescription,
+    ProcessDescription,
+    TcpConnectionDescription,
+    TerminalDescription,
+    descriptor_class,
+)
+
+ALL_TYPES = [
+    FileDescription, ContextDescription, ProcessDescription,
+    TerminalDescription, TcpConnectionDescription, PrefixDescription,
+    MailboxDescription, PrintJobDescription, PipeDescription,
+    NameBindingDescription,
+]
+
+
+class TestEncoding:
+    def test_tag_field_leads_the_record(self):
+        record = FileDescription(name="naming.mss", size_bytes=100)
+        encoded = record.encode()
+        assert int.from_bytes(encoded[:2], "big") == int(DescriptorTag.FILE)
+
+    def test_roundtrip_every_type(self):
+        for cls in ALL_TYPES:
+            record = cls(name="sample")
+            decoded, consumed = ObjectDescription.decode(record.encode())
+            assert type(decoded) is cls
+            assert decoded == record
+            assert consumed == len(record.encode())
+
+    def test_full_file_record_roundtrip(self):
+        record = FileDescription(name="naming.mss", size_bytes=12345,
+                                 owner="cheriton", access=0o600,
+                                 created=1.25, modified=2.5, block_size=512)
+        decoded, __ = ObjectDescription.decode(record.encode())
+        assert decoded == record
+
+    def test_decode_dispatches_on_tag(self):
+        terminal = TerminalDescription(name="vt1", terminal_id=1)
+        decoded, __ = ObjectDescription.decode(terminal.encode())
+        assert isinstance(decoded, TerminalDescription)
+
+    def test_decode_all_concatenated_stream(self):
+        records = [FileDescription(name=f"f{i}", size_bytes=i)
+                   for i in range(5)]
+        stream = b"".join(r.encode() for r in records)
+        decoded = ObjectDescription.decode_all(stream)
+        assert decoded == records
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(DescriptorError, match="unknown"):
+            ObjectDescription.decode(b"\xff\xff\x00\x00")
+
+    def test_truncated_record_rejected(self):
+        encoded = FileDescription(name="f").encode()
+        with pytest.raises(DescriptorError, match="truncated"):
+            ObjectDescription.decode(encoded[:-3])
+
+    def test_field_overflow_rejected(self):
+        record = FileDescription(name="f", access=1 << 20)  # > u16
+        with pytest.raises(DescriptorError, match="does not fit"):
+            record.encode()
+
+    def test_descriptor_class_lookup(self):
+        assert descriptor_class(DescriptorTag.PIPE) is PipeDescription
+        with pytest.raises(DescriptorError):
+            descriptor_class(999)
+
+    @given(name=st.text(max_size=30), size=st.integers(0, 2**60),
+           access=st.integers(0, 0xFFFF),
+           created=st.floats(allow_nan=False, allow_infinity=False,
+                             width=32))
+    def test_file_record_roundtrip_property(self, name, size, access, created):
+        record = FileDescription(name=name, size_bytes=size, access=access,
+                                 created=float(created))
+        decoded, __ = ObjectDescription.decode(record.encode())
+        assert decoded == record
+
+
+class TestModification:
+    def test_mutable_fields_applied(self):
+        current = FileDescription(name="f", owner="mann", access=0o644,
+                                  size_bytes=10)
+        replacement = FileDescription(name="f", owner="cheriton",
+                                      access=0o600, size_bytes=9999)
+        updated = current.apply_modification(replacement)
+        assert updated.owner == "cheriton"
+        assert updated.access == 0o600
+
+    def test_immutable_fields_silently_ignored(self):
+        # "Servers are free to ignore changes to any fields which it makes
+        # no sense to change" (Sec. 5.5)
+        current = FileDescription(name="f", size_bytes=10, created=1.0)
+        replacement = FileDescription(name="f", size_bytes=9999, created=42.0)
+        updated = current.apply_modification(replacement)
+        assert updated.size_bytes == 10
+        assert updated.created == 1.0
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(DescriptorError, match="modification record"):
+            FileDescription(name="f").apply_modification(
+                PipeDescription(name="f"))
+
+    def test_modification_does_not_mutate_original(self):
+        current = FileDescription(name="f", owner="a")
+        current.apply_modification(FileDescription(name="f", owner="b"))
+        assert current.owner == "a"
+
+    def test_print_job_state_is_mutable(self):
+        job = PrintJobDescription(name="j", state="queued")
+        updated = job.apply_modification(
+            PrintJobDescription(name="j", state="cancelled"))
+        assert updated.state == "cancelled"
+
+
+class TestRegistry:
+    def test_all_tags_registered(self):
+        for cls in ALL_TYPES:
+            assert descriptor_class(cls.TAG) is cls
+
+    def test_duplicate_tag_rejected(self):
+        with pytest.raises(DescriptorError, match="already registered"):
+            class Clash(ObjectDescription):  # noqa: F811
+                TAG = DescriptorTag.FILE

@@ -1,0 +1,117 @@
+"""Tests for multicast name resolution (paper Sec. 7 future work / E10)."""
+
+import pytest
+
+from repro.core.context import ContextPair, WellKnownContext
+from repro.core.group_naming import (
+    group_context,
+    group_csname_request,
+    group_name_to_context,
+    group_open,
+)
+from repro.core.resolver import NameError_
+from repro.kernel.domain import Domain
+from repro.kernel.ipc import Delay
+from repro.kernel.messages import ReplyCode, RequestCode
+from repro.runtime import files
+from repro.runtime.workstation import setup_workstation, standard_prefixes
+from repro.servers import VFileServer, start_server
+from tests.helpers import run_on
+
+STORAGE_GROUP = group_context(1)
+
+
+def group_system(members=3):
+    """A context implemented transparently by a group of file servers."""
+    domain = Domain()
+    ws = setup_workstation(domain, "mann")
+    handles = []
+    for index in range(members):
+        host = domain.create_host(f"vax{index}")
+        server = VFileServer(user="mann", group_ids=(STORAGE_GROUP,))
+        handles.append(start_server(host, server))
+    standard_prefixes(ws, handles[0])
+    return domain, ws, handles
+
+
+class TestGroupResolution:
+    def test_owner_of_the_name_answers(self):
+        domain, ws, handles = group_system()
+        # Place a distinct file on member 1 only.
+        handles[1].server.store.make_path("users/mann/only-here.txt",
+                                          directory=False)
+
+        def client(session):
+            yield Delay(0.05)
+            reply = yield from group_open(
+                session.env, STORAGE_GROUP, "users/mann/only-here.txt")
+            return reply["server_pid"]
+
+        owner = run_on(domain, ws.host, client(ws.session()))
+        assert owner == handles[1].pid.value
+
+    def test_group_name_to_context_subsumes_getpid(self):
+        domain, ws, handles = group_system()
+        handles[2].server.store.make_path("users/mann/special")
+
+        def client(session):
+            yield Delay(0.05)
+            pair = yield from group_name_to_context(
+                session.env, STORAGE_GROUP, "users/mann/special")
+            # The pair is directly usable for ordinary operations:
+            session.env.current = pair
+            yield from files.write_file(session, "inside.txt", b"in")
+            return pair
+
+        pair = run_on(domain, ws.host, client(ws.session()))
+        assert pair.server == handles[2].pid
+        node = handles[2].server.store.resolve_path(
+            "users/mann/special/inside.txt")
+        assert node is not None
+
+    def test_unknown_name_gets_no_server(self):
+        domain, ws, handles = group_system()
+
+        def client(session):
+            yield Delay(0.05)
+            reply = yield from group_csname_request(
+                session.env, STORAGE_GROUP, RequestCode.QUERY_NAME,
+                "users/mann/nowhere.txt")
+            return reply.reply_code
+
+        assert run_on(domain, ws.host,
+                      client(ws.session())) is ReplyCode.NO_SERVER
+
+    def test_ambiguous_name_yields_first_owner(self):
+        """All members hold standard directories; exactly one reply wins,
+        the rest are dropped as duplicates."""
+        domain, ws, handles = group_system()
+
+        def client(session):
+            yield Delay(0.05)
+            pair = yield from group_name_to_context(
+                session.env, STORAGE_GROUP, "users/mann")
+            return pair
+
+        pair = run_on(domain, ws.host, client(ws.session()))
+        assert pair.server in {h.pid for h in handles}
+        assert domain.metrics.count("ipc.duplicate_replies") >= 1
+
+    def test_nonmember_servers_never_see_group_requests(self):
+        domain, ws, handles = group_system(members=2)
+        outsider_host = domain.create_host("outsider")
+        outsider = start_server(outsider_host, VFileServer(user="mann"))
+        baseline = domain.metrics.count(
+            f"net.delivered_to.{outsider_host.host_id}")
+
+        def client(session):
+            yield Delay(0.05)
+            reply = yield from group_csname_request(
+                session.env, STORAGE_GROUP, RequestCode.QUERY_NAME,
+                "users/mann")
+            return reply.ok
+
+        assert run_on(domain, ws.host, client(ws.session()))
+        delivered = domain.metrics.count(
+            f"net.delivered_to.{outsider_host.host_id}") - baseline
+        assert delivered == 0

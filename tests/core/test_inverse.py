@@ -1,0 +1,123 @@
+"""Tests for inverse name mapping and its documented failure modes (Sec. 6)."""
+
+import pytest
+
+from repro.core.context import ContextPair, WellKnownContext
+from repro.core.inverse import (
+    InverseStatus,
+    absolute_name,
+    context_to_name,
+    find_prefix_for,
+    instance_to_name,
+)
+from repro.runtime import files
+from tests.helpers import standard_system
+
+
+class TestFindPrefixFor:
+    def test_finds_matching_fixed_prefix(self):
+        system = standard_system()
+        target = ContextPair(system.fileserver.pid,
+                             int(WellKnownContext.HOME))
+
+        def client(session):
+            return (yield from find_prefix_for(session.env, target))
+
+        assert system.run_client(client(system.session())) == b"home"
+
+    def test_no_match_returns_none(self):
+        system = standard_system()
+        from repro.kernel.pids import Pid
+
+        target = ContextPair(Pid.make(42, 42), 0)
+
+        def client(session):
+            return (yield from find_prefix_for(session.env, target))
+
+        assert system.run_client(client(system.session())) is None
+
+    def test_generic_bindings_are_skipped(self):
+        system = standard_system()
+        # [print] is generic; even if a print server existed, generic
+        # bindings cannot be matched without re-resolution.
+        target = ContextPair(system.fileserver.pid, 0)
+
+        def client(session):
+            prefix = yield from find_prefix_for(session.env, target)
+            return prefix
+
+        assert system.run_client(client(system.session())) == b"root"
+
+
+class TestAbsoluteName:
+    def test_exact_when_prefix_names_the_server_root(self):
+        system = standard_system()
+
+        def client(session):
+            yield from session.mkdir("proj")
+            pair = yield from session.name_to_context("proj")
+            result = yield from absolute_name(session.env, pair.server,
+                                              pair.context_id)
+            return result
+
+        result = system.run_client(client(system.session()))
+        assert result.status is InverseStatus.EXACT
+        assert result.name == b"[root]users/mann/proj"
+        assert "many-to-one" in result.caveat
+
+    def test_server_relative_when_no_prefix_matches(self):
+        system = standard_system()
+        # Remove the [root] prefix so the server root cannot be named.
+        system.workstation.prefix_server.remove_prefix("root")
+
+        def client(session):
+            result = yield from absolute_name(
+                session.env, session.current.server,
+                session.current.context_id)
+            return result
+
+        result = system.run_client(client(system.session()))
+        assert result.status is InverseStatus.SERVER_RELATIVE
+        assert result.name == b"users/mann"
+        assert "may not be the one the user originally typed" in result.caveat
+
+    def test_no_mapping_for_deleted_open_file(self):
+        system = standard_system()
+
+        def client(session):
+            yield from files.write_file(session, "gone.txt", b"x")
+            stream = yield from session.open("gone.txt", "r")
+            yield from session.remove("gone.txt")
+            result = yield from absolute_name(
+                session.env, stream.server, 0, instance_id=stream.instance)
+            return result
+
+        result = system.run_client(client(system.session()))
+        assert result.status is InverseStatus.NO_MAPPING
+        assert result.name is None
+        assert "no guarantee" in result.caveat
+
+    def test_inverse_may_not_be_the_name_used(self):
+        """Many-to-one: resolution via one name, inverse produces another."""
+        system = standard_system()
+
+        def client(session):
+            yield from files.write_file(session, "[tmp]shared.txt", b"x")
+            # Open via the [tmp] prefix...
+            stream = yield from session.open("[tmp]shared.txt", "r")
+            name = yield from instance_to_name(stream.server, stream.instance)
+            return name
+
+        # ...but the server's inverse is the root-relative path, which is
+        # NOT the "[tmp]shared.txt" the client typed.
+        assert system.run_client(
+            client(system.session())) == b"tmp/shared.txt"
+
+    def test_context_to_name_for_unknown_context(self):
+        system = standard_system()
+
+        def client(session):
+            return (yield from context_to_name(session.current.server,
+                                               0x7777))
+
+        assert system.run_client(client(system.session())) is None

@@ -1,0 +1,168 @@
+"""Tests for the name mapping procedure (paper Sec. 5.4)."""
+
+import pytest
+
+from repro.core.context import ContextPair
+from repro.core.mapping import (
+    ForwardName,
+    Leaf,
+    MappingFault,
+    RemoteLink,
+    ResolvedObject,
+    ResolvedParent,
+    SubContext,
+    map_name,
+)
+from repro.kernel.messages import ReplyCode
+from repro.kernel.pids import Pid
+
+
+class DictSpace:
+    """A toy hierarchical name space: nested dicts, leaves are strings,
+    RemoteLink values are cross-server pointers."""
+
+    def __init__(self, tree, contexts=None):
+        self.tree = tree
+        self.contexts = contexts or {0: tree}
+
+    def root(self, context_id):
+        return self.contexts.get(context_id)
+
+    def lookup(self, context_ref, component):
+        if not isinstance(context_ref, dict):
+            return None
+        entry = context_ref.get(component)
+        if entry is None:
+            return None
+        if isinstance(entry, dict):
+            return SubContext(entry)
+        if isinstance(entry, RemoteLink):
+            return entry
+        return Leaf(entry)
+
+
+REMOTE = ContextPair(Pid.make(9, 9), 0x42)
+
+
+@pytest.fixture
+def space():
+    return DictSpace({
+        b"users": {
+            b"mann": {
+                b"naming.mss": "file:naming",
+                b"papers": {b"v.tex": "file:v"},
+            },
+            b"cheriton": RemoteLink(REMOTE),
+        },
+        b"readme": "file:readme",
+    })
+
+
+class TestResolution:
+    def test_resolves_nested_leaf(self, space):
+        outcome = map_name(space, 0, b"users/mann/naming.mss", 0)
+        assert isinstance(outcome, ResolvedObject)
+        assert outcome.ref == "file:naming"
+        assert not outcome.is_context
+        assert outcome.component == b"naming.mss"
+
+    def test_resolves_context(self, space):
+        outcome = map_name(space, 0, b"users/mann", 0)
+        assert isinstance(outcome, ResolvedObject)
+        assert outcome.is_context
+        assert outcome.ref is space.tree[b"users"][b"mann"]
+
+    def test_empty_name_denotes_the_context_itself(self, space):
+        outcome = map_name(space, 0, b"", 0)
+        assert isinstance(outcome, ResolvedObject)
+        assert outcome.is_context and outcome.ref is space.tree
+
+    def test_starts_at_the_given_index(self, space):
+        name = b"[home]users/mann"
+        outcome = map_name(space, 0, name, 6)
+        assert isinstance(outcome, ResolvedObject)
+        assert outcome.is_context
+
+    def test_interpretation_starts_in_the_named_context(self):
+        inner = {b"x": "leaf"}
+        space = DictSpace({b"a": inner}, contexts={0: {b"a": inner}, 5: inner})
+        outcome = map_name(space, 5, b"x", 0)
+        assert isinstance(outcome, ResolvedObject)
+        assert outcome.ref == "leaf"
+
+    def test_trailing_separators_ignored(self, space):
+        outcome = map_name(space, 0, b"users/mann/", 0)
+        assert isinstance(outcome, ResolvedObject)
+        assert outcome.is_context
+
+
+class TestForwarding:
+    def test_remote_link_forwards_with_updated_index(self, space):
+        name = b"users/cheriton/naming.mss"
+        outcome = map_name(space, 0, name, 0)
+        assert isinstance(outcome, ForwardName)
+        assert outcome.pair == REMOTE
+        # "the name index field ... updated to point to the first character
+        # of the name not yet parsed"
+        assert name[outcome.index:] == b"/naming.mss"
+
+    def test_final_component_link_also_forwards(self, space):
+        outcome = map_name(space, 0, b"users/cheriton", 0)
+        assert isinstance(outcome, ForwardName)
+        assert outcome.pair == REMOTE
+        assert outcome.index == len(b"users/cheriton")
+
+
+class TestFaults:
+    def test_unknown_component_not_found(self, space):
+        outcome = map_name(space, 0, b"users/nobody/x", 0)
+        assert isinstance(outcome, MappingFault)
+        assert outcome.code is ReplyCode.NOT_FOUND
+        assert outcome.not_found
+
+    def test_invalid_context_id(self, space):
+        outcome = map_name(space, 0x77, b"anything", 0)
+        assert isinstance(outcome, MappingFault)
+        assert outcome.code is ReplyCode.INVALID_CONTEXT
+
+    def test_leaf_in_the_middle_is_not_a_context(self, space):
+        outcome = map_name(space, 0, b"readme/inside", 0)
+        assert isinstance(outcome, MappingFault)
+        assert outcome.code is ReplyCode.NOT_A_CONTEXT
+
+
+class TestParentResolution:
+    def test_unbound_final_component_yields_parent(self, space):
+        outcome = map_name(space, 0, b"users/mann/new.txt", 0,
+                           want_parent=True)
+        assert isinstance(outcome, ResolvedParent)
+        assert outcome.parent_ref is space.tree[b"users"][b"mann"]
+        assert outcome.component == b"new.txt"
+
+    def test_bound_final_component_still_yields_parent(self, space):
+        outcome = map_name(space, 0, b"users/mann/naming.mss", 0,
+                           want_parent=True)
+        assert isinstance(outcome, ResolvedParent)
+        assert outcome.component == b"naming.mss"
+
+    def test_parent_walk_still_forwards_across_links(self, space):
+        outcome = map_name(space, 0, b"users/cheriton/sub/new.txt", 0,
+                           want_parent=True)
+        assert isinstance(outcome, ForwardName)
+        assert outcome.pair == REMOTE
+
+    def test_missing_intermediate_still_faults(self, space):
+        outcome = map_name(space, 0, b"nope/deeper/new.txt", 0,
+                           want_parent=True)
+        assert isinstance(outcome, MappingFault)
+        assert outcome.code is ReplyCode.NOT_FOUND
+
+    def test_empty_name_cannot_be_created(self, space):
+        outcome = map_name(space, 0, b"", 0, want_parent=True)
+        assert isinstance(outcome, MappingFault)
+        assert outcome.code is ReplyCode.BAD_NAME
+
+    def test_single_component_parent_is_the_root(self, space):
+        outcome = map_name(space, 0, b"newfile", 0, want_parent=True)
+        assert isinstance(outcome, ResolvedParent)
+        assert outcome.parent_ref is space.tree

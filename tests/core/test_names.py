@@ -1,0 +1,156 @@
+"""Unit + property tests for CSnames and the prefix syntax (paper Sec. 5.1, 5.8)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.names import (
+    MAX_NAME_BYTES,
+    BadName,
+    as_name_bytes,
+    as_text,
+    has_prefix,
+    is_final_component,
+    join,
+    next_component,
+    parse_prefix,
+    split_components,
+    validate_component,
+)
+
+
+class TestCoercion:
+    def test_str_becomes_utf8(self):
+        assert as_name_bytes("naming.mss") == b"naming.mss"
+
+    def test_bytes_pass_through(self):
+        assert as_name_bytes(b"raw") == b"raw"
+
+    def test_empty_name_is_legal(self):
+        # "a sequence of zero or more bytes" (Sec. 5.1)
+        assert as_name_bytes("") == b""
+
+    def test_non_ascii_names_are_legal(self):
+        assert as_name_bytes("ファイル") == "ファイル".encode("utf-8")
+
+    def test_oversized_name_rejected(self):
+        with pytest.raises(BadName, match="buffer"):
+            as_name_bytes("x" * (MAX_NAME_BYTES + 1))
+
+    def test_embedded_nul_rejected(self):
+        with pytest.raises(BadName, match="NUL"):
+            as_name_bytes(b"bad\x00name")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_name_bytes(42)  # type: ignore[arg-type]
+
+    def test_as_text_replaces_garbage(self):
+        assert as_text(b"\xff\xfe") != ""
+
+
+class TestPrefixSyntax:
+    def test_parse_prefix(self):
+        prefix, rest = parse_prefix(b"[home]src/naming.mss")
+        assert prefix == b"home"
+        assert rest == 6
+        assert b"[home]src/naming.mss"[rest:] == b"src/naming.mss"
+
+    def test_parse_prefix_at_offset(self):
+        name = b"xx[bin]cat"
+        assert has_prefix(name, 2)
+        prefix, rest = parse_prefix(name, 2)
+        assert prefix == b"bin" and name[rest:] == b"cat"
+
+    def test_prefix_only_name(self):
+        prefix, rest = parse_prefix(b"[home]")
+        assert prefix == b"home" and rest == 6
+
+    def test_has_prefix(self):
+        assert has_prefix(b"[p]x")
+        assert not has_prefix(b"p]x")
+        assert not has_prefix(b"")
+
+    def test_unterminated_prefix_rejected(self):
+        with pytest.raises(BadName, match="unterminated"):
+            parse_prefix(b"[home/naming.mss")
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(BadName, match="empty"):
+            parse_prefix(b"[]x")
+
+    def test_missing_prefix_rejected(self):
+        with pytest.raises(BadName):
+            parse_prefix(b"plain")
+
+    @given(st.text(min_size=1, max_size=20,
+                   alphabet=st.characters(min_codepoint=97, max_codepoint=122)),
+           st.text(max_size=30,
+                   alphabet=st.characters(min_codepoint=97, max_codepoint=122)))
+    def test_prefix_roundtrip_property(self, prefix, rest):
+        name = f"[{prefix}]{rest}".encode()
+        parsed, index = parse_prefix(name)
+        assert parsed == prefix.encode()
+        assert name[index:] == rest.encode()
+
+
+class TestComponents:
+    def test_next_component_walks_left_to_right(self):
+        name = b"a/bb/ccc"
+        component, index = next_component(name, 0)
+        assert component == b"a"
+        component, index = next_component(name, index)
+        assert component == b"bb"
+        component, index = next_component(name, index)
+        assert component == b"ccc"
+        component, __ = next_component(name, index)
+        assert component == b""
+
+    def test_leading_and_double_separators_skipped(self):
+        assert next_component(b"//a//b", 0) == (b"a", 3)
+        assert split_components(b"//a//b//") == [b"a", b"b"]
+
+    def test_split_components(self):
+        assert split_components("users/mann/naming.mss") == [
+            b"users", b"mann", b"naming.mss"]
+        assert split_components("") == []
+        assert split_components("solo") == [b"solo"]
+
+    def test_split_with_start_index(self):
+        assert split_components(b"[home]a/b", 6) == [b"a", b"b"]
+
+    def test_is_final_component(self):
+        name = b"a/b"
+        __, index = next_component(name, 0)
+        assert not is_final_component(name, index)
+        __, index = next_component(name, index)
+        assert is_final_component(name, index)
+
+    def test_join(self):
+        assert join("a", b"b", "c") == b"a/b/c"
+
+    @given(st.lists(st.text(min_size=1, max_size=8,
+                            alphabet=st.characters(min_codepoint=97,
+                                                   max_codepoint=122)),
+                    min_size=0, max_size=8))
+    def test_join_split_roundtrip_property(self, parts):
+        joined = join(*parts)
+        assert split_components(joined) == [p.encode() for p in parts]
+
+
+class TestComponentValidation:
+    def test_plain_component_ok(self):
+        assert validate_component(b"naming.mss") == b"naming.mss"
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(BadName):
+            validate_component(b"")
+
+    def test_bracket_bytes_rejected(self):
+        with pytest.raises(BadName):
+            validate_component(b"a[b")
+        with pytest.raises(BadName):
+            validate_component(b"a]b")
+
+    def test_separator_rejected(self):
+        with pytest.raises(BadName):
+            validate_component(b"a/b")

@@ -1,0 +1,117 @@
+"""Unit tests for the semantic model itself (paper Sec. 7, built)."""
+
+import pytest
+
+from repro.core.context import ContextPair
+from repro.core.semantics import (
+    AbstractNamingSystem,
+    AbstractObject,
+    Denotation,
+    Undefined,
+)
+from repro.kernel.pids import Pid
+
+A = ContextPair(Pid.make(1, 1), 0)
+B = ContextPair(Pid.make(2, 1), 0)
+SUB = ContextPair(Pid.make(1, 1), 5)
+
+FILE1 = AbstractObject("file", 101)
+FILE2 = AbstractObject("file", 102)
+
+
+@pytest.fixture
+def system():
+    model = AbstractNamingSystem()
+    model.define_context(A, {b"doc.txt": FILE1, b"sub": SUB, b"other": B})
+    model.define_context(SUB, {b"inner.txt": FILE2})
+    model.define_context(B, {b"remote.txt": FILE2, b"back": A})
+    return model
+
+
+class TestInterpretation:
+    def test_object_denotation(self, system):
+        meaning = system.interpret(A, b"doc.txt")
+        assert meaning == Denotation(FILE1)
+        assert not meaning.is_context
+
+    def test_context_denotation(self, system):
+        meaning = system.interpret(A, b"sub")
+        assert meaning == Denotation(SUB)
+        assert meaning.is_context
+
+    def test_empty_name_denotes_the_context(self, system):
+        assert system.interpret(A, b"") == Denotation(A)
+
+    def test_same_server_descent(self, system):
+        assert system.interpret(A, b"sub/inner.txt") == Denotation(FILE2)
+
+    def test_cross_server_descent_is_semantically_invisible(self, system):
+        # Remote hop behaves exactly like a local one -- forwarding is an
+        # operational device, not a semantic one.
+        assert system.interpret(A, b"other/remote.txt") == Denotation(FILE2)
+
+    def test_round_trip_through_two_servers(self, system):
+        assert system.interpret(A, b"other/back/doc.txt") == Denotation(FILE1)
+
+    def test_unbound_component_undefined(self, system):
+        meaning = system.interpret(A, b"ghost")
+        assert isinstance(meaning, Undefined)
+
+    def test_object_mid_name_undefined(self, system):
+        meaning = system.interpret(A, b"doc.txt/deeper")
+        assert isinstance(meaning, Undefined)
+        assert "continues" in meaning.reason
+
+    def test_unknown_context_undefined(self, system):
+        unknown = ContextPair(Pid.make(9, 9), 0)
+        assert isinstance(system.interpret(unknown, b"x"), Undefined)
+
+    def test_cycles_are_undefined_not_divergent(self, system):
+        system.bind(A, b"loop", B)
+        system.bind(B, b"loop", A)
+        meaning = system.interpret(A, b"loop/" * 200 + b"x")
+        assert isinstance(meaning, Undefined)
+
+
+class TestUserNames:
+    def test_prefixed_name(self, system):
+        prefix_ctx = ContextPair(Pid.make(3, 1), 0)
+        system.define_context(prefix_ctx, {b"home": A})
+        meaning = system.interpret_user_name(prefix_ctx, b"[home]doc.txt")
+        assert meaning == Denotation(FILE1)
+
+    def test_two_users_same_string_different_denotation(self, system):
+        """Per-user prefix servers, formally (Sec. 6)."""
+        mann = ContextPair(Pid.make(3, 1), 0)
+        cheriton = ContextPair(Pid.make(4, 1), 0)
+        system.define_context(mann, {b"home": A})
+        system.define_context(cheriton, {b"home": B})
+        at_mann = system.interpret_user_name(mann, b"[home]")
+        at_cheriton = system.interpret_user_name(cheriton, b"[home]")
+        assert at_mann != at_cheriton
+
+    def test_undefined_prefix(self, system):
+        prefix_ctx = ContextPair(Pid.make(3, 1), 0)
+        system.define_context(prefix_ctx, {})
+        meaning = system.interpret_user_name(prefix_ctx, b"[nope]x")
+        assert isinstance(meaning, Undefined)
+
+    def test_unbracketed_name_is_not_a_user_name(self, system):
+        prefix_ctx = ContextPair(Pid.make(3, 1), 0)
+        system.define_context(prefix_ctx, {b"home": A})
+        meaning = system.interpret_user_name(prefix_ctx, b"plain")
+        assert isinstance(meaning, Undefined)
+
+
+class TestInverse:
+    def test_names_of_is_set_valued(self, system):
+        system.bind(A, b"alias.txt", FILE1)
+        names = system.names_of(FILE1)
+        assert set(names) >= {b"doc.txt", b"alias.txt",
+                              b"other/back/doc.txt"}
+
+    def test_unnamed_object_has_no_names(self, system):
+        assert system.names_of(AbstractObject("file", 999)) == []
+
+    def test_objects_enumeration(self, system):
+        assert system.objects() == {FILE1, FILE2}

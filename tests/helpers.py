@@ -1,0 +1,81 @@
+"""Shared test scaffolding.
+
+``run_on`` executes a client generator to completion inside a simulated
+domain and returns its value; ``standard_system`` builds the workstation +
+file-server arrangement of the paper's Sec. 6 configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.core.context import ContextPair, WellKnownContext
+from repro.kernel.domain import Domain
+from repro.kernel.host import Host
+from repro.runtime.session import Session
+from repro.runtime.workstation import (
+    Workstation,
+    setup_workstation,
+    standard_prefixes,
+)
+from repro.servers.base import ServerHandle, start_server
+from repro.servers.fileserver.disk import DiskModel
+from repro.servers.fileserver.server import VFileServer
+
+MISSING = object()
+
+
+def run_on(domain: Domain, host: Host, gen: Generator, name: str = "client",
+           check: bool = True) -> Any:
+    """Run a client generator to completion; returns its return value."""
+    box: dict[str, Any] = {"result": MISSING}
+
+    def wrapper():
+        box["result"] = yield from gen
+
+    host.spawn(wrapper(), name=name)
+    domain.run()
+    if check:
+        domain.check_healthy()
+    if box["result"] is MISSING and check:
+        raise AssertionError(f"client {name!r} did not run to completion")
+    return box["result"]
+
+
+@dataclass
+class SystemFixture:
+    """A one-user V installation: workstation + remote file server."""
+
+    domain: Domain
+    workstation: Workstation
+    fileserver: ServerHandle
+
+    @property
+    def fs(self) -> VFileServer:
+        server = self.fileserver.server
+        assert isinstance(server, VFileServer)
+        return server
+
+    def session(self, current: Optional[ContextPair] = None) -> Session:
+        return self.workstation.session(current)
+
+    def home_context(self) -> ContextPair:
+        return ContextPair(self.fileserver.pid, int(WellKnownContext.HOME))
+
+    def run_client(self, gen: Generator, name: str = "client",
+                   check: bool = True) -> Any:
+        return run_on(self.domain, self.workstation.host, gen, name=name,
+                      check=check)
+
+
+def standard_system(user: str = "mann", seed: int = 0,
+                    disk: DiskModel | None = None) -> SystemFixture:
+    """Workstation + remote file server with the standard prefixes."""
+    domain = Domain(seed=seed)
+    workstation = setup_workstation(domain, user)
+    fs_host = domain.create_host("vax1")
+    handle = start_server(fs_host, VFileServer(user=user, disk=disk))
+    standard_prefixes(workstation, handle)
+    return SystemFixture(domain=domain, workstation=workstation,
+                         fileserver=handle)

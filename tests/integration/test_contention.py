@@ -1,0 +1,145 @@
+"""Concurrency and contention: many clients, one wire, one server."""
+
+import pytest
+
+from repro.kernel.domain import Domain
+from repro.kernel.ipc import Delay, GetPid, MoveFrom, Now, Receive, Reply, Segment, Send, SetPid
+from repro.kernel.messages import Message, ReplyCode
+from repro.kernel.services import Scope
+from repro.runtime import files
+from repro.runtime.workstation import setup_workstation, standard_prefixes
+from repro.servers import VFileServer, start_server
+from tests.helpers import run_on
+
+
+class TestServerSerialization:
+    def test_concurrent_clients_all_served(self):
+        """Ten workstations hammer one file server; every write lands."""
+        domain = Domain(seed=13)
+        fs = start_server(domain.create_host("vax"), VFileServer(user="mann"))
+        workstations = []
+        for index in range(10):
+            ws = setup_workstation(domain, "mann", name=f"ws{index}")
+            standard_prefixes(ws, fs)
+            workstations.append(ws)
+
+        def client(session, index):
+            yield Delay(0.001 * index)
+            yield from files.write_file(session, f"[home]c{index}.txt",
+                                        str(index).encode())
+
+        for index, ws in enumerate(workstations):
+            ws.host.spawn(client(ws.session(), index), f"client{index}")
+        domain.run()
+        domain.check_healthy()
+
+        for index in range(10):
+            node = fs.server.store.resolve_path(f"users/mann/c{index}.txt")
+            assert node is not None
+            assert bytes(node.data) == str(index).encode()
+
+    def test_requests_queue_fifo_at_a_busy_server(self):
+        """A single-threaded server serves queued requests in order."""
+        domain = Domain(seed=4)
+        host = domain.create_host("solo")
+        served = []
+
+        def server():
+            yield SetPid(1, Scope.BOTH)
+            while True:
+                delivery = yield Receive()
+                yield Delay(0.01)  # make a backlog form
+                served.append(delivery.message["tag"])
+                yield Reply(delivery.sender, Message.reply(ReplyCode.OK))
+
+        host.spawn(server(), "server")
+
+        def client(tag):
+            def body():
+                yield Delay(0.001 + tag * 1e-6)
+                pid = yield GetPid(1, Scope.ANY)
+                yield Send(pid, Message.request(1, tag=tag))
+            return body
+
+        for tag in range(6):
+            host.spawn(client(tag)(), f"c{tag}")
+        domain.run()
+        domain.check_healthy()
+        assert served == sorted(served)
+
+
+class TestWireContention:
+    def test_bulk_transfer_delays_foreground_transactions(self):
+        """A 64 KB MoveTo saturating the bus stretches a concurrent
+        transaction; after the transfer, latency recovers."""
+        domain = Domain(seed=2)
+        client_host = domain.create_host("ws")
+        mover_host = domain.create_host("mover")
+        sink_host = domain.create_host("sink")
+        echo_host = domain.create_host("echo")
+
+        def echo():
+            yield SetPid(1, Scope.BOTH)
+            while True:
+                delivery = yield Receive()
+                yield Reply(delivery.sender, Message.reply(ReplyCode.OK))
+
+        def sink():
+            yield SetPid(2, Scope.BOTH)
+            delivery = yield Receive()
+            yield MoveFrom(delivery.sender, 0, 64 * 1024)
+            yield Reply(delivery.sender, Message.reply(ReplyCode.OK))
+
+        def mover():
+            yield Delay(0.05)
+            pid = yield GetPid(2, Scope.ANY)
+            yield Send(pid, Message.request(1),
+                       Segment(b"\x00" * (64 * 1024)))
+
+        echo_host.spawn(echo(), "echo")
+        sink_host.spawn(sink(), "sink")
+        mover_host.spawn(mover(), "mover")
+
+        def probe():
+            yield Delay(0.02)
+            pid = yield GetPid(1, Scope.ANY)
+            # Quiet wire:
+            t0 = yield Now()
+            yield Send(pid, Message.request(1))
+            quiet = (yield Now()) - t0
+            # During the bulk transfer:
+            yield Delay(0.1)  # transfer runs 0.05 .. 0.39
+            t0 = yield Now()
+            yield Send(pid, Message.request(1))
+            busy = (yield Now()) - t0
+            # After it:
+            yield Delay(0.4)
+            t0 = yield Now()
+            yield Send(pid, Message.request(1))
+            after = (yield Now()) - t0
+            return quiet, busy, after
+
+        quiet, busy, after = run_on(domain, client_host, probe())
+        assert busy > quiet * 1.2      # measurable interference
+        assert after == pytest.approx(quiet, rel=0.05)  # full recovery
+
+    def test_bus_bytes_account_for_the_transfer(self):
+        domain = Domain(seed=2)
+        a = domain.create_host("a")
+        b = domain.create_host("b")
+
+        def receiver():
+            yield SetPid(2, Scope.BOTH)
+            delivery = yield Receive()
+            yield MoveFrom(delivery.sender, 0, 8 * 1024)
+            yield Reply(delivery.sender, Message.reply(ReplyCode.OK))
+
+        b.spawn(receiver(), "recv")
+
+        def sender():
+            yield Delay(0.01)
+            pid = yield GetPid(2, Scope.ANY)
+            yield Send(pid, Message.request(1), Segment(b"\x00" * (8 * 1024)))
+
+        run_on(domain, a, sender())
+        assert domain.metrics.count("net.bytes") >= 8 * 1024

@@ -1,0 +1,164 @@
+"""A whole-installation scenario: the paper's Sec. 6 configuration, live.
+
+Multiple diskless workstations, several file servers, printer, mail,
+internet, and team servers -- exercising the uniform protocol across every
+object kind at once, the way the paper's users did.
+"""
+
+import pytest
+
+from repro.core.context import ContextPair, WellKnownContext
+from repro.core.descriptors import (
+    FileDescription,
+    MailboxDescription,
+    PrintJobDescription,
+    ProcessDescription,
+    TcpConnectionDescription,
+)
+from repro.kernel.domain import Domain
+from repro.kernel.ipc import Delay, GetPid, Send
+from repro.kernel.messages import Message, RequestCode
+from repro.kernel.services import Scope, ServiceId
+from repro.runtime import files
+from repro.runtime.program import run_program
+from repro.runtime.workstation import setup_workstation, standard_prefixes
+from repro.servers import (
+    InternetServer,
+    MailServer,
+    PrinterServer,
+    TeamServer,
+    VFileServer,
+    start_server,
+)
+from tests.helpers import run_on
+
+
+@pytest.fixture
+def installation():
+    domain = Domain(seed=99)
+    ws_mann = setup_workstation(domain, "mann")
+    ws_cheriton = setup_workstation(domain, "cheriton")
+    fs1 = start_server(domain.create_host("vax1"), VFileServer(user="mann"))
+    fs2 = start_server(domain.create_host("vax2"),
+                       VFileServer(user="cheriton"))
+    printer = start_server(domain.create_host("printhost"), PrinterServer())
+    mail = MailServer(hostname="su-score.ARPA")
+    mail.add_mailbox("mann")
+    mail.add_mailbox("cheriton")
+    start_server(domain.create_host("mailhost"), mail)
+    start_server(domain.create_host("nethost"), InternetServer())
+    start_server(domain.create_host("teamhost"), TeamServer())
+    standard_prefixes(ws_mann, fs1)
+    standard_prefixes(ws_cheriton, fs2)
+    # Users see each other's servers through extra prefixes.
+    ws_mann.prefix_server.define_prefix(
+        "cheriton", ContextPair(fs2.pid, int(WellKnownContext.PUBLIC)))
+    ws_cheriton.prefix_server.define_prefix(
+        "mann", ContextPair(fs1.pid, int(WellKnownContext.PUBLIC)))
+    return domain, ws_mann, ws_cheriton, fs1, fs2, mail
+
+
+def test_a_day_in_the_installation(installation):
+    domain, ws_mann, ws_cheriton, fs1, fs2, mail = installation
+    observed = {}
+
+    def mann_works(session):
+        yield Delay(0.05)
+        # Write a paper draft, share a copy via the public context.
+        yield from files.write_file(session, "[home]naming.mss",
+                                    b"\\section{Naming}" * 40)
+        yield from files.copy_file(session, "[home]naming.mss",
+                                   "[public]naming.mss")
+        # Print it.
+        spool = yield from session.open("[print]naming-draft", "w")
+        draft = yield from files.read_file(session, "[home]naming.mss")
+        yield from spool.write(draft)
+        yield from spool.close()
+        # Mail a note.
+        yield from session.csname_request(
+            RequestCode.MAIL_DELIVER, "[mail]cheriton@su-score.ARPA",
+            body=b"draft is in [mann]naming.mss", **{"from": "mann"})
+        # Start a long-running job.
+        team = yield GetPid(int(ServiceId.TEAM), Scope.ANY)
+        name, __ = yield from run_program(team, "latex", duration=30.0)
+        observed["job"] = name
+
+    def cheriton_works(session):
+        yield Delay(1.5)  # after mann's activity
+        check = yield from session.csname_request(
+            RequestCode.MAIL_CHECK, "[mail]cheriton@su-score.ARPA")
+        observed["mail_unread"] = check["unread"]
+        draft = yield from files.read_file(session, "[mann]naming.mss")
+        observed["draft_bytes"] = len(draft)
+        # A uniform list-directory across utterly different contexts:
+        listings = {}
+        for prefix in ("[mann]", "[print]", "[team]", "[mail]"):
+            listings[prefix] = (yield from session.list_directory(prefix))
+        observed["listings"] = listings
+
+    run_on(domain, ws_mann.host, mann_works(ws_mann.session()), name="mann",
+           check=False)
+    result = run_on(domain, ws_cheriton.host,
+                    cheriton_works(ws_cheriton.session()), name="cheriton")
+    domain.check_healthy()
+
+    assert observed["mail_unread"] == 1
+    assert observed["draft_bytes"] == len(b"\\section{Naming}") * 40
+    listings = observed["listings"]
+    assert any(isinstance(r, FileDescription) for r in listings["[mann]"])
+    assert any(isinstance(r, PrintJobDescription)
+               for r in listings["[print]"])
+    assert any(isinstance(r, ProcessDescription) and r.name == observed["job"]
+               for r in listings["[team]"])
+    assert any(isinstance(r, MailboxDescription) for r in listings["[mail]"])
+
+
+def test_uniform_delete_across_object_kinds(installation):
+    """Sec. 1's Delete(object_name) promise, demonstrated on three types."""
+    domain, ws_mann, *__ = installation
+
+    def client(session):
+        yield Delay(0.05)
+        # A file.
+        yield from files.write_file(session, "[home]junk.txt", b"x")
+        yield from session.remove("[home]junk.txt")
+        # A running program.
+        team = yield GetPid(int(ServiceId.TEAM), Scope.ANY)
+        name, __ = yield from run_program(team, "spin", duration=3600.0)
+        yield from session.remove(f"[team]{name}")
+        # A print job (queued then removed).
+        spool = yield from session.open("[print]doomed", "w")
+        yield from spool.write(b"z")
+        yield from spool.close()
+        yield from session.remove("[print]doomed")
+        team_list = yield from session.list_directory("[team]")
+        print_list = yield from session.list_directory("[print]")
+        return team_list, print_list
+
+    team_list, print_list = run_on(domain, ws_mann.host,
+                                   client(ws_mann.session()))
+    assert team_list == []
+    assert print_list == []
+
+
+def test_query_is_uniform_across_servers(installation):
+    domain, ws_mann, *__ = installation
+
+    def client(session):
+        yield Delay(0.05)
+        yield from files.write_file(session, "[home]q.txt", b"q")
+        records = {}
+        records["file"] = yield from session.query("[home]q.txt")
+        records["mail"] = yield from session.query(
+            "[mail]mann@su-score.ARPA")
+        nethost = yield GetPid(int(ServiceId.INTERNET), Scope.ANY)
+        reply = yield Send(nethost, Message.request(
+            RequestCode.TCP_CONNECT, host="mit-ai", port=23))
+        records["tcp"] = yield from session.query(
+            f"[tcp]{reply['connection']}")
+        return records
+
+    records = run_on(domain, ws_mann.host, client(ws_mann.session()))
+    assert isinstance(records["file"], FileDescription)
+    assert isinstance(records["mail"], MailboxDescription)
+    assert isinstance(records["tcp"], TcpConnectionDescription)

@@ -1,0 +1,468 @@
+"""Behavioural tests for the IPC primitives (paper Sec. 3.1).
+
+These tests run small process constellations on a simulated domain and check
+both results and simulated timing against the calibrated model.
+"""
+
+import pytest
+
+from repro.kernel.domain import Domain
+from repro.kernel.ipc import (
+    Delay,
+    Forward,
+    GetPid,
+    MoveFrom,
+    MoveTo,
+    MyPid,
+    Now,
+    Receive,
+    Reply,
+    Segment,
+    Send,
+    SetPid,
+    Spawn,
+)
+from repro.kernel.messages import Message, ReplyCode
+from repro.kernel.pids import Pid
+from repro.kernel.services import Scope
+from tests.helpers import run_on
+
+
+def echo_server(replies=None):
+    """A server replying OK with an 'echo' of field 'x'."""
+    yield SetPid(1, Scope.BOTH)
+    while True:
+        delivery = yield Receive()
+        yield Reply(delivery.sender,
+                    Message.reply(ReplyCode.OK, echo=delivery.message.get("x")))
+
+
+def wait_for_service(service=1):
+    """Poll GetPid until the server has registered."""
+    while True:
+        pid = yield GetPid(service, Scope.ANY)
+        if pid is not None:
+            return pid
+        yield Delay(0.001)
+
+
+class TestSendReceiveReply:
+    def test_transaction_roundtrip_remote(self, two_hosts):
+        domain, alpha, beta = two_hosts
+        beta.spawn(echo_server(), "server")
+
+        def client():
+            pid = yield from wait_for_service()
+            reply = yield Send(pid, Message.request(0x0101, x="hello"))
+            return reply
+
+        reply = run_on(domain, alpha, client())
+        assert reply.ok
+        assert reply["echo"] == "hello"
+
+    def test_remote_transaction_takes_paper_time(self, two_hosts):
+        """32-byte message between hosts: 2.56 ms (E1's headline number)."""
+        domain, alpha, beta = two_hosts
+        beta.spawn(echo_server(), "server")
+
+        def client():
+            pid = yield from wait_for_service()
+            t0 = yield Now()
+            yield Send(pid, Message.request(0x0101, x=1))
+            t1 = yield Now()
+            return t1 - t0
+
+        elapsed = run_on(domain, alpha, client())
+        assert elapsed == pytest.approx(2.56e-3, rel=0.01)
+
+    def test_local_transaction_takes_770us(self, domain):
+        host = domain.create_host("solo")
+        host.spawn(echo_server(), "server")
+
+        def client():
+            pid = yield from wait_for_service()
+            t0 = yield Now()
+            yield Send(pid, Message.request(0x0101, x=1))
+            t1 = yield Now()
+            return t1 - t0
+
+        elapsed = run_on(domain, host, client())
+        assert elapsed == pytest.approx(770e-6, rel=0.01)
+
+    def test_sender_blocks_until_reply(self, domain):
+        host = domain.create_host("solo")
+        order = []
+
+        def slow_server():
+            yield SetPid(1, Scope.BOTH)
+            delivery = yield Receive()
+            yield Delay(0.5)
+            order.append("replied")
+            yield Reply(delivery.sender, Message.reply())
+
+        def client():
+            pid = yield from wait_for_service()
+            yield Send(pid, Message.request(1))
+            order.append("resumed")
+
+        host.spawn(slow_server(), "server")
+        run_on(domain, host, client())
+        assert order == ["replied", "resumed"]
+
+    def test_receive_filter_by_sender(self, domain):
+        host = domain.create_host("solo")
+        log = []
+
+        def server():
+            yield SetPid(1, Scope.BOTH)
+            me = yield MyPid()
+            first = yield Receive()
+            # Deliberately wait for the *other* client before answering.
+            wanted = first.message["partner"]
+            second = yield Receive(from_pid=Pid(wanted))
+            log.append(second.sender.value)
+            yield Reply(second.sender, Message.reply())
+            yield Reply(first.sender, Message.reply())
+
+        def client_a(partner_pid_value):
+            pid = yield from wait_for_service()
+            yield Send(pid, Message.request(1, partner=partner_pid_value))
+
+        def client_b():
+            yield Delay(0.01)
+            pid = yield from wait_for_service()
+            yield Send(pid, Message.request(1))
+
+        host.spawn(server(), "server")
+        proc_b = host.spawn(client_b(), "b")
+        run_on(domain, host, client_a(proc_b.pid.value))
+        assert log == [proc_b.pid.value]
+
+    def test_send_to_dead_local_process_fails_fast(self, domain):
+        host = domain.create_host("solo")
+        dead = Pid.make(host.host_id, 0xBEEF)
+
+        def client():
+            reply = yield Send(dead, Message.request(1))
+            return reply.reply_code
+
+        code = run_on(domain, host, client())
+        assert code is ReplyCode.NONEXISTENT_PROCESS
+
+    def test_send_to_dead_remote_process_gets_nack(self, two_hosts):
+        domain, alpha, beta = two_hosts
+        dead = Pid.make(beta.host_id, 0xBEEF)
+
+        def client():
+            reply = yield Send(dead, Message.request(1))
+            return reply.reply_code
+
+        code = run_on(domain, alpha, client())
+        assert code is ReplyCode.NONEXISTENT_PROCESS
+
+    def test_send_to_crashed_host_times_out(self, two_hosts):
+        domain, alpha, beta = two_hosts
+        target = beta.spawn(echo_server(), "server")
+        beta.crash()
+
+        def client():
+            t0 = yield Now()
+            reply = yield Send(target.pid, Message.request(1))
+            t1 = yield Now()
+            return reply.reply_code, t1 - t0
+
+        code, elapsed = run_on(domain, alpha, client())
+        assert code is ReplyCode.TIMEOUT
+        # probe protocol: interval * (max failed + 1), small wiggle room
+        assert 0.3 <= elapsed <= 0.6
+
+    def test_reply_without_receive_is_an_error(self, domain):
+        host = domain.create_host("solo")
+
+        def rogue():
+            try:
+                yield Reply(Pid.make(host.host_id, 77), Message.reply())
+            except Exception as err:  # noqa: BLE001
+                return type(err).__name__
+
+        assert run_on(domain, host, rogue()) == "NotAwaitingReply"
+
+    def test_server_death_fails_pending_senders(self, domain):
+        host = domain.create_host("solo")
+
+        def mortal_server():
+            yield SetPid(1, Scope.BOTH)
+            yield Receive()
+            # exits without replying
+
+        def client():
+            pid = yield from wait_for_service()
+            reply = yield Send(pid, Message.request(1))
+            return reply.reply_code
+
+        host.spawn(mortal_server(), "server")
+        code = run_on(domain, host, client())
+        assert code is ReplyCode.NONEXISTENT_PROCESS
+
+
+class TestForward:
+    def test_forward_preserves_original_sender(self, domain):
+        hosts = [domain.create_host(f"h{i}") for i in range(3)]
+        seen = {}
+
+        def backend():
+            yield SetPid(2, Scope.BOTH)
+            delivery = yield Receive()
+            seen["sender"] = delivery.sender
+            seen["forwarder"] = delivery.forwarder
+            yield Reply(delivery.sender, Message.reply(ReplyCode.OK, by="backend"))
+
+        def frontend():
+            yield SetPid(1, Scope.BOTH)
+            while True:
+                delivery = yield Receive()
+                backend_pid = yield from wait_for_service(2)
+                yield Forward(delivery, backend_pid)
+
+        hosts[1].spawn(frontend(), "frontend")
+        hosts[2].spawn(backend(), "backend")
+
+        def client():
+            me = yield MyPid()
+            pid = yield from wait_for_service(1)
+            reply = yield Send(pid, Message.request(7, x=1))
+            return me, reply
+
+        me, reply = run_on(domain, hosts[0], client())
+        assert reply["by"] == "backend"
+        assert seen["sender"] == me          # original sender, not forwarder
+        assert seen["forwarder"] is not None
+
+    def test_forward_can_rewrite_the_message(self, domain):
+        host = domain.create_host("solo")
+
+        def backend():
+            yield SetPid(2, Scope.BOTH)
+            delivery = yield Receive()
+            yield Reply(delivery.sender,
+                        Message.reply(ReplyCode.OK, got=delivery.message["tag"]))
+
+        def frontend():
+            yield SetPid(1, Scope.BOTH)
+            delivery = yield Receive()
+            backend_pid = yield from wait_for_service(2)
+            rewritten = Message.request(delivery.message.code, tag="rewritten")
+            yield Forward(delivery, backend_pid, rewritten)
+
+        host.spawn(frontend(), "frontend")
+        host.spawn(backend(), "backend")
+
+        def client():
+            pid = yield from wait_for_service(1)
+            reply = yield Send(pid, Message.request(7, tag="original"))
+            return reply["got"]
+
+        assert run_on(domain, host, client()) == "rewritten"
+
+    def test_forward_chain_across_three_servers(self, domain):
+        hosts = [domain.create_host(f"h{i}") for i in range(4)]
+
+        def hop(my_service, next_service):
+            def body():
+                yield SetPid(my_service, Scope.BOTH)
+                delivery = yield Receive()
+                if next_service is None:
+                    yield Reply(delivery.sender,
+                                Message.reply(ReplyCode.OK, at=my_service))
+                else:
+                    next_pid = yield from wait_for_service(next_service)
+                    yield Forward(delivery, next_pid)
+            return body
+
+        hosts[1].spawn(hop(1, 2)(), "s1")
+        hosts[2].spawn(hop(2, 3)(), "s2")
+        hosts[3].spawn(hop(3, None)(), "s3")
+
+        def client():
+            pid = yield from wait_for_service(1)
+            reply = yield Send(pid, Message.request(9))
+            return reply["at"]
+
+        assert run_on(domain, hosts[0], client()) == 3
+
+
+class TestBulkMoves:
+    def test_movefrom_reads_exposed_segment(self, two_hosts):
+        domain, alpha, beta = two_hosts
+        payload = bytes(range(256)) * 8  # 2 KB
+
+        def server():
+            yield SetPid(1, Scope.BOTH)
+            delivery = yield Receive()
+            data = yield MoveFrom(delivery.sender, 0,
+                                  delivery.message["nbytes"])
+            yield Reply(delivery.sender,
+                        Message.reply(ReplyCode.OK, checksum=sum(data)))
+
+        beta.spawn(server(), "server")
+
+        def client():
+            pid = yield from wait_for_service()
+            reply = yield Send(pid, Message.request(1, nbytes=len(payload)),
+                               Segment(payload))
+            return reply["checksum"]
+
+        assert run_on(domain, alpha, client()) == sum(payload)
+
+    def test_moveto_writes_into_writable_segment(self, two_hosts):
+        domain, alpha, beta = two_hosts
+        content = b"program-image-bytes"
+
+        def server():
+            yield SetPid(1, Scope.BOTH)
+            delivery = yield Receive()
+            yield MoveTo(delivery.sender, 0, content)
+            yield Reply(delivery.sender, Message.reply(ReplyCode.OK,
+                                                       size=len(content)))
+
+        beta.spawn(server(), "server")
+
+        def client():
+            pid = yield from wait_for_service()
+            buffer = Segment(size=64, writable=True)
+            reply = yield Send(pid, Message.request(1), buffer)
+            return buffer.read(0, int(reply["size"]))
+
+        assert run_on(domain, alpha, client()) == content
+
+    def test_moveto_into_readonly_segment_is_an_error(self, two_hosts):
+        domain, alpha, beta = two_hosts
+
+        def server():
+            yield SetPid(1, Scope.BOTH)
+            delivery = yield Receive()
+            try:
+                yield MoveTo(delivery.sender, 0, b"data")
+            except Exception as err:  # noqa: BLE001
+                yield Reply(delivery.sender,
+                            Message.reply(ReplyCode.OK, error=type(err).__name__))
+                return
+            yield Reply(delivery.sender, Message.reply(ReplyCode.OK, error=""))
+
+        beta.spawn(server(), "server")
+
+        def client():
+            pid = yield from wait_for_service()
+            reply = yield Send(pid, Message.request(1), Segment(b"\x00" * 16))
+            return reply["error"]
+
+        assert run_on(domain, alpha, client()) == "BadSegmentAccess"
+
+    def test_move_against_non_blocked_process_is_an_error(self, domain):
+        host = domain.create_host("solo")
+        def idle():
+            yield Delay(10.0)
+
+        bystander = host.spawn(idle(), "bystander")
+
+        def server():
+            yield SetPid(1, Scope.BOTH)
+            delivery = yield Receive()
+            try:
+                yield MoveFrom(bystander.pid, 0, 10)
+            except Exception as err:  # noqa: BLE001
+                yield Reply(delivery.sender,
+                            Message.reply(ReplyCode.OK, error=type(err).__name__))
+
+        host.spawn(server(), "server")
+
+        def client():
+            pid = yield from wait_for_service()
+            reply = yield Send(pid, Message.request(1), Segment(b"x"))
+            return reply["error"]
+
+        assert run_on(domain, host, client()) == "NotAwaitingReply"
+
+    def test_remote_move_charges_bulk_time(self, two_hosts):
+        domain, alpha, beta = two_hosts
+        nbytes = 64 * 1024
+
+        def server():
+            yield SetPid(1, Scope.BOTH)
+            delivery = yield Receive()
+            t0 = yield Now()
+            yield MoveFrom(delivery.sender, 0, nbytes)
+            t1 = yield Now()
+            yield Reply(delivery.sender,
+                        Message.reply(ReplyCode.OK, elapsed=t1 - t0))
+
+        beta.spawn(server(), "server")
+
+        def client():
+            pid = yield from wait_for_service()
+            reply = yield Send(pid, Message.request(1), Segment(b"\x00" * nbytes))
+            return reply["elapsed"]
+
+        elapsed = run_on(domain, alpha, client())
+        expected = domain.latency.bulk_move_remote(nbytes)
+        assert elapsed == pytest.approx(expected, rel=0.01)
+        # E2's headline: 64 KB in ~338 ms.
+        assert elapsed == pytest.approx(0.338, rel=0.02)
+
+
+class TestMiscEffects:
+    def test_spawn_runs_child_on_same_host(self, domain):
+        host = domain.create_host("solo")
+
+        def child(marker):
+            marker.append("ran")
+            yield Delay(0.001)
+
+        def parent():
+            marker = []
+            child_pid = yield Spawn(child(marker), "child")
+            yield Delay(0.01)
+            return marker, child_pid
+
+        marker, child_pid = run_on(domain, host, parent())
+        assert marker == ["ran"]
+        assert child_pid.logical_host == host.host_id
+
+    def test_now_reports_simulated_time(self, domain):
+        host = domain.create_host("solo")
+
+        def body():
+            t0 = yield Now()
+            yield Delay(1.5)
+            t1 = yield Now()
+            return t1 - t0
+
+        assert run_on(domain, host, body()) == pytest.approx(1.5)
+
+    def test_mypid_matches_spawned_process(self, domain):
+        host = domain.create_host("solo")
+
+        def body():
+            return (yield MyPid())
+
+        proc_pid = {}
+
+        def wrapper():
+            pid = yield MyPid()
+            proc_pid["pid"] = pid
+
+        proc = host.spawn(wrapper(), "w")
+        domain.run()
+        assert proc_pid["pid"] == proc.pid
+
+    def test_process_failure_recorded_not_fatal(self, domain):
+        host = domain.create_host("solo")
+
+        def crasher():
+            yield Delay(0.001)
+            raise ValueError("bug in server code")
+
+        host.spawn(crasher(), "crasher")
+        domain.run()
+        assert len(domain.failures) == 1
+        assert isinstance(domain.failures[0][1], ValueError)

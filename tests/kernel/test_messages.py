@@ -1,0 +1,98 @@
+"""Unit tests for messages, reply codes, and packets (paper Sec. 3.2)."""
+
+import pytest
+
+from repro.kernel.messages import (
+    Message,
+    Packet,
+    PacketKind,
+    ReplyCode,
+    RequestCode,
+)
+from repro.kernel.pids import Pid
+from repro.net.latency import SHORT_MESSAGE_BYTES
+
+
+class TestMessage:
+    def test_request_code_is_the_tag_field(self):
+        message = Message.request(RequestCode.OPEN_FILE, mode="r")
+        assert message.code == int(RequestCode.OPEN_FILE)
+        assert message["mode"] == "r"
+
+    def test_reply_defaults_to_ok(self):
+        reply = Message.reply()
+        assert reply.ok
+        assert reply.reply_code is ReplyCode.OK
+
+    def test_error_reply(self):
+        reply = Message.reply(ReplyCode.NOT_FOUND)
+        assert not reply.ok
+        assert reply.reply_code is ReplyCode.NOT_FOUND
+
+    def test_short_message_wire_size_is_32_bytes(self):
+        message = Message.request(RequestCode.GET_TIME)
+        assert message.wire_bytes == SHORT_MESSAGE_BYTES == 32
+
+    def test_segment_adds_to_wire_size(self):
+        message = Message.request(RequestCode.READ_INSTANCE,
+                                  segment=b"x" * 100)
+        assert message.wire_bytes == 32 + 100
+
+    def test_segment_buffer_dominates_actual_length(self):
+        # V ships fixed-size name buffers: the wire carries the buffer.
+        message = Message.request(RequestCode.OPEN_FILE, segment=b"short",
+                                  segment_buffer=256)
+        assert message.segment_wire_bytes == 256
+        assert message.wire_bytes == 288
+
+    def test_get_with_default(self):
+        message = Message.request(RequestCode.GET_TIME, a=1)
+        assert message.get("a") == 1
+        assert message.get("b", "fallback") == "fallback"
+
+    def test_non_bytes_segment_rejected(self):
+        with pytest.raises(TypeError):
+            Message(code=1, segment="not-bytes")  # type: ignore[arg-type]
+
+    def test_negative_segment_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            Message(code=1, segment_buffer=-1)
+
+    def test_repr_names_known_codes(self):
+        assert "OPEN_FILE" in repr(Message.request(RequestCode.OPEN_FILE))
+        assert "NOT_FOUND" in repr(Message.reply(ReplyCode.NOT_FOUND))
+
+
+class TestPacket:
+    def test_message_kinds_require_a_message(self):
+        with pytest.raises(ValueError):
+            Packet(PacketKind.REQUEST, src_pid=Pid(1), dst_pid=Pid(2), txn_id=1)
+
+    def test_control_packets_are_short(self):
+        probe = Packet(PacketKind.PROBE, src_pid=Pid(1), dst_pid=Pid(2),
+                       txn_id=9)
+        assert probe.payload_bytes == SHORT_MESSAGE_BYTES
+
+    def test_request_packet_charges_message_size(self):
+        packet = Packet(PacketKind.REQUEST, src_pid=Pid(1), dst_pid=Pid(2),
+                        txn_id=1,
+                        message=Message.request(1, segment=b"x" * 10))
+        assert packet.payload_bytes == 42
+
+    def test_move_data_charges_declared_bytes(self):
+        packet = Packet(PacketKind.MOVE_DATA, src_pid=Pid(0), dst_pid=None,
+                        txn_id=0, info={"data_bytes": 1024})
+        assert packet.payload_bytes == 1024
+
+
+class TestCodeSpaces:
+    def test_request_codes_unique(self):
+        values = [int(code) for code in RequestCode]
+        assert len(values) == len(set(values))
+
+    def test_reply_codes_unique(self):
+        values = [int(code) for code in ReplyCode]
+        assert len(values) == len(set(values))
+
+    def test_ok_is_zero(self):
+        assert int(ReplyCode.OK) == 0

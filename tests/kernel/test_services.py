@@ -1,0 +1,192 @@
+"""Tests for SetPid/GetPid service naming (paper Sec. 4.2)."""
+
+import pytest
+
+from repro.kernel.domain import Domain
+from repro.kernel.ipc import Delay, GetPid, MyPid, Receive, Reply, SetPid
+from repro.kernel.messages import Message, ReplyCode
+from repro.kernel.pids import Pid
+from repro.kernel.services import Registration, Scope, ServiceId, ServiceRegistry
+from tests.helpers import run_on
+
+
+class TestServiceRegistry:
+    def test_local_scope_visible_locally_only(self):
+        registry = ServiceRegistry()
+        registry.set_pid(1, Pid.make(1, 5), Scope.LOCAL)
+        assert registry.lookup_local(1) == Pid.make(1, 5)
+        assert registry.lookup_remote(1) is None
+
+    def test_remote_scope_visible_remotely_only(self):
+        registry = ServiceRegistry()
+        registry.set_pid(1, Pid.make(1, 5), Scope.REMOTE)
+        assert registry.lookup_local(1) is None
+        assert registry.lookup_remote(1) == Pid.make(1, 5)
+
+    def test_both_scope_visible_everywhere(self):
+        registry = ServiceRegistry()
+        registry.set_pid(1, Pid.make(1, 5), Scope.BOTH)
+        assert registry.lookup_local(1) == Pid.make(1, 5)
+        assert registry.lookup_remote(1) == Pid.make(1, 5)
+
+    def test_local_and_remote_registrations_coexist(self):
+        # "even to allow both simultaneously for the same service" (Sec. 4.2)
+        registry = ServiceRegistry()
+        local_pid, public_pid = Pid.make(1, 5), Pid.make(1, 6)
+        registry.set_pid(1, local_pid, Scope.LOCAL)
+        registry.set_pid(1, public_pid, Scope.REMOTE)
+        assert registry.lookup_local(1) == local_pid
+        assert registry.lookup_remote(1) == public_pid
+
+    def test_reregistration_replaces_same_visibility(self):
+        registry = ServiceRegistry()
+        registry.set_pid(1, Pid.make(1, 5), Scope.BOTH)
+        registry.set_pid(1, Pid.make(1, 9), Scope.BOTH)
+        assert registry.lookup_local(1) == Pid.make(1, 9)
+
+    def test_remove_pid_clears_all_registrations(self):
+        registry = ServiceRegistry()
+        pid = Pid.make(1, 5)
+        registry.set_pid(1, pid, Scope.BOTH)
+        registry.set_pid(2, pid, Scope.LOCAL)
+        registry.remove_pid(pid)
+        assert registry.lookup_local(1) is None
+        assert registry.lookup_local(2) is None
+
+    def test_any_is_not_a_registration_scope(self):
+        with pytest.raises(ValueError):
+            ServiceRegistry().set_pid(1, Pid.make(1, 5), Scope.ANY)
+
+    def test_registration_visibility_helpers(self):
+        reg = Registration(1, Pid.make(1, 2), Scope.LOCAL)
+        assert reg.visible_locally() and not reg.visible_remotely()
+
+
+def _service_server(service, scope):
+    def body():
+        yield SetPid(service, scope)
+        while True:
+            delivery = yield Receive()
+            me = yield MyPid()
+            yield Reply(delivery.sender, Message.reply(ReplyCode.OK, pid=me.value))
+    return body
+
+
+class TestGetPidAcrossTheDomain:
+    def test_local_lookup_prefers_local_server(self, domain):
+        host = domain.create_host("ws")
+        other = domain.create_host("far")
+        local_proc = host.spawn(_service_server(1, Scope.LOCAL)(), "local")
+        other.spawn(_service_server(1, Scope.BOTH)(), "public")
+
+        def client():
+            yield Delay(0.01)
+            pid = yield GetPid(1, Scope.ANY)
+            return pid
+
+        assert run_on(domain, host, client()) == local_proc.pid
+
+    def test_broadcast_finds_remote_server(self, domain):
+        ws = domain.create_host("ws")
+        far = domain.create_host("far")
+        server_proc = far.spawn(_service_server(1, Scope.BOTH)(), "srv")
+
+        def client():
+            yield Delay(0.01)
+            pid = yield GetPid(1, Scope.ANY)
+            return pid
+
+        assert run_on(domain, ws, client()) == server_proc.pid
+
+    def test_local_only_lookup_does_not_broadcast(self, domain):
+        ws = domain.create_host("ws")
+        far = domain.create_host("far")
+        far.spawn(_service_server(1, Scope.BOTH)(), "srv")
+
+        def client():
+            yield Delay(0.01)
+            pid = yield GetPid(1, Scope.LOCAL)
+            return pid
+
+        assert run_on(domain, ws, client()) is None
+        assert domain.metrics.count("services.getpid_broadcasts") == 0
+
+    def test_remote_only_registration_invisible_to_local_lookup(self, domain):
+        ws = domain.create_host("ws")
+        ws.spawn(_service_server(1, Scope.REMOTE)(), "srv")
+
+        def client():
+            yield Delay(0.01)
+            pid = yield GetPid(1, Scope.LOCAL)
+            return pid
+
+        assert run_on(domain, ws, client()) is None
+
+    def test_missing_service_times_out_with_none(self, domain):
+        ws = domain.create_host("ws")
+        domain.create_host("far")
+
+        def client():
+            pid = yield GetPid(99, Scope.ANY)
+            return pid
+
+        assert run_on(domain, ws, client()) is None
+        assert domain.metrics.count("services.getpid_timeouts") == 1
+
+    def test_nonmatching_hosts_count_broadcast_discards(self, domain):
+        ws = domain.create_host("ws")
+        for index in range(4):
+            domain.create_host(f"idle{index}")
+
+        def client():
+            pid = yield GetPid(42, Scope.ANY)
+            return pid
+
+        run_on(domain, ws, client())
+        # Every other host examined and discarded the query.
+        assert domain.metrics.count("services.broadcast_discards") == 4
+
+    def test_binding_tracks_server_restart(self, domain):
+        """Sec. 4.2: same service, new process after a crash."""
+        ws = domain.create_host("ws")
+        far = domain.create_host("far")
+        old = far.spawn(_service_server(1, Scope.BOTH)(), "srv-1")
+
+        def phase1():
+            yield Delay(0.01)
+            return (yield GetPid(1, Scope.ANY))
+
+        first = run_on(domain, ws, phase1())
+        assert first == old.pid
+
+        far.crash()
+        far.restart()
+        new = far.spawn(_service_server(1, Scope.BOTH)(), "srv-2")
+
+        def phase2():
+            yield Delay(0.01)
+            return (yield GetPid(1, Scope.ANY))
+
+        second = run_on(domain, ws, phase2())
+        assert second == new.pid
+        assert second != first
+
+    def test_service_id_logical_pids(self):
+        pid = ServiceId.STORAGE.logical_pid
+        assert pid.is_logical_service
+        assert pid.local_id == int(ServiceId.STORAGE)
+
+    def test_dead_server_registration_not_returned(self, domain):
+        ws = domain.create_host("ws")
+
+        def short_lived():
+            yield SetPid(1, Scope.BOTH)
+            yield Delay(0.001)
+
+        ws.spawn(short_lived(), "flash")
+
+        def client():
+            yield Delay(0.05)
+            return (yield GetPid(1, Scope.LOCAL))
+
+        assert run_on(domain, ws, client()) is None

@@ -1,0 +1,166 @@
+"""Model-based property tests over the core data structures.
+
+- the mapping procedure against randomly generated trees (resolution agrees
+  with direct tree navigation; unknown paths always fault; parent
+  resolution agrees with child resolution);
+- the FileStream byte protocol against a plain in-memory reference model
+  (random interleavings of writes, reads, and seeks).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mapping import (
+    ForwardName,
+    Leaf,
+    MappingFault,
+    ResolvedObject,
+    ResolvedParent,
+    SubContext,
+    map_name,
+)
+from repro.kernel.messages import ReplyCode
+
+# ---------------------------------------------------------------------------
+# Random trees for the mapping procedure.
+# ---------------------------------------------------------------------------
+
+component = st.text(min_size=1, max_size=6,
+                    alphabet=st.characters(min_codepoint=97,
+                                           max_codepoint=122))
+
+
+def trees(depth):
+    if depth == 0:
+        return st.just("LEAF")
+    return st.recursive(
+        st.just("LEAF"),
+        lambda children: st.dictionaries(component, children, min_size=0,
+                                         max_size=4),
+        max_leaves=12,
+    )
+
+
+class DictSpace:
+    def __init__(self, tree):
+        self.tree = tree
+
+    def root(self, context_id):
+        return self.tree if context_id == 0 else None
+
+    def lookup(self, ref, comp):
+        if not isinstance(ref, dict):
+            return None
+        entry = ref.get(comp.decode())
+        if entry is None:
+            return None
+        if isinstance(entry, dict):
+            return SubContext(entry)
+        return Leaf(entry)
+
+
+def all_paths(tree, prefix=()):
+    """Every (path, node) pair in the tree, including the root."""
+    yield prefix, tree
+    if isinstance(tree, dict):
+        for name, child in tree.items():
+            yield from all_paths(child, prefix + (name,))
+
+
+@settings(max_examples=60)
+@given(trees(3))
+def test_every_tree_path_resolves_to_its_node(tree):
+    if not isinstance(tree, dict):
+        tree = {}
+    space = DictSpace(tree)
+    for path, node in all_paths(tree):
+        name = "/".join(path).encode()
+        outcome = map_name(space, 0, name, 0)
+        assert isinstance(outcome, ResolvedObject), (path, outcome)
+        if isinstance(node, dict):
+            assert outcome.is_context and outcome.ref is node
+        else:
+            assert not outcome.is_context and outcome.ref == node
+
+
+@settings(max_examples=60)
+@given(trees(3), component)
+def test_unknown_final_component_always_faults(tree, bogus):
+    if not isinstance(tree, dict):
+        tree = {}
+    space = DictSpace(tree)
+    for path, node in all_paths(tree):
+        if not isinstance(node, dict) or bogus in node:
+            continue
+        name = "/".join(path + (bogus,)).encode()
+        outcome = map_name(space, 0, name, 0)
+        assert isinstance(outcome, MappingFault)
+        assert outcome.code is ReplyCode.NOT_FOUND
+
+
+@settings(max_examples=60)
+@given(trees(3))
+def test_parent_resolution_consistent_with_child(tree):
+    if not isinstance(tree, dict):
+        tree = {}
+    space = DictSpace(tree)
+    for path, node in all_paths(tree):
+        if not path:
+            continue
+        name = "/".join(path).encode()
+        child = map_name(space, 0, name, 0)
+        parent = map_name(space, 0, name, 0, want_parent=True)
+        assert isinstance(child, ResolvedObject)
+        assert isinstance(parent, ResolvedParent)
+        assert parent.component.decode() == path[-1]
+        # The parent really holds the child.
+        looked_up = space.lookup(parent.parent_ref, parent.component)
+        assert looked_up is not None
+
+
+# ---------------------------------------------------------------------------
+# FileStream vs a reference byte model.
+# ---------------------------------------------------------------------------
+
+operation = st.one_of(
+    st.tuples(st.just("write"), st.integers(0, 1500),
+              st.binary(min_size=1, max_size=600)),
+    st.tuples(st.just("read"), st.integers(0, 1500), st.integers(1, 700)),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(operation, min_size=1, max_size=6))
+def test_filestream_matches_reference_model(ops):
+    from tests.helpers import standard_system
+
+    system = standard_system()
+    reference = bytearray()
+
+    def client(session):
+        stream = yield from session.open("model.bin", "w")
+        observations = []
+        for op in ops:
+            if op[0] == "write":
+                __, position, data = op
+                if position > len(reference):
+                    reference.extend(b"\x00" * (position - len(reference)))
+                end = position + len(data)
+                if end > len(reference):
+                    reference.extend(b"\x00" * (end - len(reference)))
+                reference[position:end] = data
+                stream.seek(position)
+                yield from stream.write(data)
+            else:
+                __, position, count = op
+                stream.seek(position)
+                got = yield from stream.read(count)
+                expected = bytes(reference[position:position + count])
+                observations.append((got, expected))
+        final = yield from session.query("model.bin")
+        return observations, final.size_bytes
+
+    observations, size = system.run_client(client(system.session()))
+    for got, expected in observations:
+        assert got == expected
+    assert size == len(reference)

@@ -1,0 +1,147 @@
+"""Tests for the V executive (the command interpreter of paper Sec. 7)."""
+
+import pytest
+
+from repro.runtime.executive import Executive
+from repro.servers import MailServer, PrinterServer, TeamServer, start_server
+from tests.helpers import standard_system
+
+
+def run_script(system, script, extra_servers=()):
+    for server in extra_servers:
+        start_server(system.domain.create_host(server.server_name), server)
+    executive = Executive(system.session(), user="mann")
+
+    def body():
+        from repro.kernel.ipc import Delay
+
+        yield Delay(0.05)
+        yield from executive.run_script(script)
+        return executive.output
+
+    return system.run_client(body(), name="executive")
+
+
+class TestFileCommands:
+    def test_write_cat_roundtrip(self):
+        output = run_script(standard_system(), """
+            write notes.txt remember the naming paper
+            cat notes.txt
+        """)
+        assert output == ["remember the naming paper"]
+
+    def test_ls_renders_types(self):
+        output = run_script(standard_system(), """
+            mkdir src
+            write hello.txt hi
+            ls
+        """)
+        assert output == ["-  hello.txt                   2  mann",
+                          "d  src                         0 entries"]
+
+    def test_ls_with_pattern(self):
+        output = run_script(standard_system(), """
+            write a.py x
+            write b.txt x
+            write c.py x
+            ls . *.py
+        """)
+        assert [line.split()[1] for line in output] == ["a.py", "c.py"]
+
+    def test_cp_and_rm(self):
+        output = run_script(standard_system(), """
+            write one.txt data
+            cp one.txt two.txt
+            rm one.txt
+            cat two.txt
+            cat one.txt
+        """)
+        assert output == ["4 bytes", "data",
+                          "cat: one.txt: NOT_FOUND"]
+
+    def test_cd_and_pwd(self):
+        output = run_script(standard_system(), """
+            mkdir deep
+            cd deep
+            pwd
+        """)
+        assert output == ["[root]users/mann/deep"]
+
+    def test_query(self):
+        output = run_script(standard_system(), """
+            write q.txt hello
+            query q.txt
+        """)
+        assert output == ["-  q.txt                       5  mann"]
+
+
+class TestPrefixCommands:
+    def test_define_and_use_prefix(self):
+        output = run_script(standard_system(), """
+            mkdir proj
+            define proj proj
+            write [proj]inside.txt payload
+            cat [proj]inside.txt
+        """)
+        assert output == ["payload"]
+
+    def test_undefine(self):
+        output = run_script(standard_system(), """
+            undefine tmp
+            cat [tmp]anything
+        """)
+        assert output == ["cat: [tmp]anything: NOT_FOUND"]
+
+    def test_prefixes_listing(self):
+        output = run_script(standard_system(), "prefixes")
+        assert "p  [home] (fixed)" in output
+        assert "p  [print] (generic)" in output
+
+
+class TestServiceCommands:
+    def test_run_program(self):
+        output = run_script(standard_system(), "run editor 30",
+                            extra_servers=(TeamServer(),))
+        assert output[0].startswith("[editor.1] pid ")
+
+    def test_print_job(self):
+        output = run_script(standard_system(), """
+            write doc.txt some document text
+            print myjob doc.txt
+        """, extra_servers=(PrinterServer(),))
+        assert output == ["myjob: 1 page(s), done"]
+
+    def test_mail_command(self):
+        mail = MailServer(hostname="su-score.ARPA")
+        mail.add_mailbox("cheriton")
+        output = run_script(standard_system(),
+                            "mail cheriton@su-score.ARPA lunch at noon",
+                            extra_servers=(mail,))
+        assert output == ["delivered to cheriton@su-score.arpa"]
+
+
+class TestRobustness:
+    def test_unknown_command(self):
+        output = run_script(standard_system(), "frobnicate everything")
+        assert output == ["frobnicate: unknown command"]
+
+    def test_usage_errors(self):
+        output = run_script(standard_system(), "cp only-one-arg")
+        assert output == ["cp: usage: cp SOURCE DESTINATION"]
+
+    def test_comments_and_blank_lines_ignored(self):
+        output = run_script(standard_system(), """
+            # a comment
+
+            write x.txt ok
+            cat x.txt
+        """)
+        assert output == ["ok"]
+
+    def test_executive_survives_errors(self):
+        output = run_script(standard_system(), """
+            cat ghost.txt
+            write real.txt fine
+            cat real.txt
+        """)
+        assert output == ["cat: ghost.txt: NOT_FOUND", "fine"]

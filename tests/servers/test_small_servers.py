@@ -1,0 +1,309 @@
+"""Tests for the time, exception, pipe, and terminal servers."""
+
+import pytest
+
+from repro.core.descriptors import (
+    PipeDescription,
+    ProcessDescription,
+    TerminalDescription,
+)
+from repro.core.resolver import NameError_
+from repro.kernel.domain import Domain
+from repro.kernel.ipc import Delay, GetPid, Send
+from repro.kernel.messages import Message, ReplyCode, RequestCode
+from repro.kernel.services import Scope, ServiceId
+from repro.runtime.session import Session
+from repro.runtime.workstation import setup_workstation, standard_prefixes
+from repro.servers import (
+    ExceptionServer,
+    PipeServer,
+    TerminalServer,
+    TimeServer,
+    VFileServer,
+    start_server,
+)
+from repro.servers.timeserver import get_time
+from tests.helpers import run_on, standard_system
+
+
+def system_with(server, ws_local=False, name=None):
+    """standard_system plus one extra server (local or on its own host)."""
+    system = standard_system()
+    host = (system.workstation.host if ws_local
+            else system.domain.create_host("extra"))
+    handle = start_server(host, server, name=name)
+    return system, handle
+
+
+class TestTimeServer:
+    def test_get_time_returns_simulated_time(self):
+        system, handle = system_with(TimeServer(epoch_offset=1000.0))
+
+        def client(session):
+            yield Delay(0.5)
+            pid = yield GetPid(int(ServiceId.TIME), Scope.ANY)
+            value = yield from get_time(pid)
+            return value
+
+        value = system.run_client(client(system.session()))
+        assert value == pytest.approx(1000.5, abs=0.05)
+
+    def test_set_time_shifts_the_epoch(self):
+        system, handle = system_with(TimeServer())
+
+        def client(session):
+            yield Delay(0.01)
+            pid = yield GetPid(int(ServiceId.TIME), Scope.ANY)
+            yield Send(pid, Message.request(RequestCode.SET_TIME, time=500.0))
+            return (yield from get_time(pid))
+
+        assert system.run_client(
+            client(system.session())) == pytest.approx(500.0, abs=0.05)
+
+    def test_time_server_rejects_csnames(self):
+        system, handle = system_with(TimeServer())
+
+        def client(session):
+            yield Delay(0.01)
+            pid = yield GetPid(int(ServiceId.TIME), Scope.ANY)
+            from repro.core.protocol import make_csname_request
+
+            reply = yield Send(pid, make_csname_request(
+                RequestCode.QUERY_NAME, "anything", 0))
+            return reply.reply_code
+
+        assert system.run_client(
+            client(system.session())) is ReplyCode.ILLEGAL_REQUEST
+
+
+class TestExceptionServer:
+    def test_raise_and_list_incidents(self):
+        system, handle = system_with(ExceptionServer())
+
+        def client(session):
+            yield Delay(0.01)
+            pid = yield GetPid(int(ServiceId.EXCEPTION), Scope.ANY)
+            yield Send(pid, Message.request(
+                RequestCode.RAISE_EXCEPTION, exc_code="bus-error",
+                detail="editor crashed"))
+            yield from session.add_prefix(
+                "exc", __import__(
+                    "repro.core.context", fromlist=["ContextPair"]
+                ).ContextPair(pid, 0))
+            return (yield from session.list_directory("[exc]"))
+
+        records = system.run_client(client(system.session()))
+        assert len(records) == 1
+        assert isinstance(records[0], ProcessDescription)
+        assert records[0].state == "faulted:bus-error"
+        assert records[0].program == "editor crashed"
+
+    def test_query_incident_by_name(self):
+        system, handle = system_with(ExceptionServer())
+
+        def client(session):
+            yield Delay(0.01)
+            pid = yield GetPid(int(ServiceId.EXCEPTION), Scope.ANY)
+            reply = yield Send(pid, Message.request(
+                RequestCode.RAISE_EXCEPTION, exc_code="trap"))
+            name = reply["incident"]
+            from repro.core.context import ContextPair
+
+            yield from session.add_prefix("exc", ContextPair(pid, 0))
+            return (yield from session.query(f"[exc]{name}"))
+
+        record = system.run_client(client(system.session()))
+        assert record.state == "faulted:trap"
+
+
+class TestPipeServer:
+    def build(self):
+        system, handle = system_with(PipeServer())
+        return system, handle
+
+    def test_write_then_read_through_pipe(self):
+        system, handle = self.build()
+
+        def client(session):
+            yield Delay(0.01)
+            from repro.core.context import ContextPair
+
+            pid = yield GetPid(int(ServiceId.PIPE), Scope.ANY)
+            yield from session.add_prefix("pipe", ContextPair(pid, 0))
+            from repro.servers.pipeserver import pipe_write
+
+            writer = yield from session.open("[pipe]data", "w")
+            yield from pipe_write(writer, b"through the pipe")
+            reader = yield from session.open("[pipe]data", "r")
+            from repro.vio.client import read_block
+
+            code, data = yield from read_block(reader.server, reader.instance, 0)
+            yield from writer.close()
+            yield from reader.close()
+            return code, data
+
+        code, data = system.run_client(client(system.session()))
+        assert code is ReplyCode.OK
+        assert data == b"through the pipe"
+
+    def test_empty_pipe_with_writer_says_retry(self):
+        system, handle = self.build()
+
+        def client(session):
+            yield Delay(0.01)
+            from repro.core.context import ContextPair
+            from repro.vio.client import read_block
+
+            pid = yield GetPid(int(ServiceId.PIPE), Scope.ANY)
+            yield from session.add_prefix("pipe", ContextPair(pid, 0))
+            writer = yield from session.open("[pipe]p", "w")
+            reader = yield from session.open("[pipe]p", "r")
+            code, __ = yield from read_block(reader.server, reader.instance, 0)
+            return code
+
+        assert system.run_client(client(system.session())) is ReplyCode.RETRY
+
+    def test_empty_pipe_without_writer_is_eof(self):
+        system, handle = self.build()
+
+        def client(session):
+            yield Delay(0.01)
+            from repro.core.context import ContextPair
+            from repro.vio.client import read_block
+
+            pid = yield GetPid(int(ServiceId.PIPE), Scope.ANY)
+            yield from session.add_prefix("pipe", ContextPair(pid, 0))
+            writer = yield from session.open("[pipe]q", "w")
+            yield from writer.close()
+            reader = yield from session.open("[pipe]q", "r")
+            code, __ = yield from read_block(reader.server, reader.instance, 0)
+            return code
+
+        assert system.run_client(
+            client(system.session())) is ReplyCode.END_OF_FILE
+
+    def test_pipe_appears_in_directory(self):
+        system, handle = self.build()
+
+        def client(session):
+            yield Delay(0.01)
+            from repro.core.context import ContextPair
+
+            pid = yield GetPid(int(ServiceId.PIPE), Scope.ANY)
+            yield from session.add_prefix("pipe", ContextPair(pid, 0))
+            from repro.servers.pipeserver import pipe_write
+
+            writer = yield from session.open("[pipe]named", "w")
+            yield from pipe_write(writer, b"abc")
+            return (yield from session.list_directory("[pipe]"))
+
+        records = system.run_client(client(system.session()))
+        assert len(records) == 1
+        record = records[0]
+        assert isinstance(record, PipeDescription)
+        assert record.name == "named"
+        assert record.buffered_bytes == 3
+        assert record.writers == 1
+
+    def test_busy_pipe_cannot_be_deleted(self):
+        system, handle = self.build()
+
+        def client(session):
+            yield Delay(0.01)
+            from repro.core.context import ContextPair
+
+            pid = yield GetPid(int(ServiceId.PIPE), Scope.ANY)
+            yield from session.add_prefix("pipe", ContextPair(pid, 0))
+            writer = yield from session.open("[pipe]busy", "w")
+            try:
+                yield from session.remove("[pipe]busy")
+            except NameError_ as err:
+                code = err.code
+            yield from writer.close()
+            yield from session.remove("[pipe]busy")
+            return code
+
+        assert system.run_client(client(system.session())) is ReplyCode.BUSY
+
+
+class TestTerminalServer:
+    def build(self):
+        system = standard_system()
+        handle = start_server(system.workstation.host, TerminalServer("mann"))
+        return system, handle
+
+    def test_create_write_read_terminal(self):
+        system, handle = self.build()
+
+        def client(session):
+            yield Delay(0.01)
+            pid = yield GetPid(int(ServiceId.TERMINAL), Scope.LOCAL)
+            reply = yield Send(pid, Message.request(
+                RequestCode.TERMINAL_CREATE, rows=10, cols=40))
+            name = reply["terminal"]
+            stream = yield from session.open(f"[terminal]{name}", "r")
+            yield from stream.write(b"hello\nworld\n")
+            stream.seek(0)
+            image = yield from stream.read_all()
+            yield from stream.close()
+            return name, image
+
+        name, image = system.run_client(client(system.session()))
+        assert name == "vt1"
+        assert image == b"hello\nworld"
+
+    def test_terminals_listed_with_geometry(self):
+        system, handle = self.build()
+
+        def client(session):
+            yield Delay(0.01)
+            pid = yield GetPid(int(ServiceId.TERMINAL), Scope.LOCAL)
+            yield Send(pid, Message.request(RequestCode.TERMINAL_CREATE,
+                                            rows=50, cols=132))
+            yield Send(pid, Message.request(RequestCode.TERMINAL_CREATE))
+            return (yield from session.list_directory("[terminal]"))
+
+        records = system.run_client(client(system.session()))
+        assert [r.name for r in records] == ["vt1", "vt2"]
+        assert isinstance(records[0], TerminalDescription)
+        assert (records[0].rows, records[0].cols) == (50, 132)
+
+    def test_modify_resizes_terminal(self):
+        system, handle = self.build()
+
+        def client(session):
+            yield Delay(0.01)
+            pid = yield GetPid(int(ServiceId.TERMINAL), Scope.LOCAL)
+            yield Send(pid, Message.request(RequestCode.TERMINAL_CREATE))
+            record = yield from session.query("[terminal]vt1")
+            record.rows, record.cols = 66, 100
+            yield from session.modify("[terminal]vt1", record)
+            return (yield from session.query("[terminal]vt1"))
+
+        record = system.run_client(client(system.session()))
+        assert (record.rows, record.cols) == (66, 100)
+
+    def test_delete_terminal_by_name(self):
+        """Uniform Delete on a transient object."""
+        system, handle = self.build()
+
+        def client(session):
+            yield Delay(0.01)
+            pid = yield GetPid(int(ServiceId.TERMINAL), Scope.LOCAL)
+            yield Send(pid, Message.request(RequestCode.TERMINAL_CREATE))
+            yield from session.remove("[terminal]vt1")
+            return (yield from session.list_directory("[terminal]"))
+
+        assert system.run_client(client(system.session())) == []
+
+    def test_terminal_service_is_local_scope(self):
+        system, handle = self.build()
+        remote_host = system.domain.create_host("other-ws")
+
+        def remote_client():
+            yield Delay(0.05)
+            pid = yield GetPid(int(ServiceId.TERMINAL), Scope.ANY)
+            return pid
+
+        found = run_on(system.domain, remote_host, remote_client())
+        assert found is None  # local-scope registration stays private

@@ -1,0 +1,177 @@
+"""Unit + property tests for the file server's inode store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.context import ContextPair
+from repro.core.names import BadName
+from repro.kernel.pids import Pid
+from repro.servers.fileserver.storage import (
+    DirectoryNode,
+    FileNode,
+    FileStore,
+    RemoteLinkEntry,
+    StorageError,
+)
+
+
+@pytest.fixture
+def store():
+    return FileStore(owner="mann")
+
+
+class TestCreation:
+    def test_create_file(self, store):
+        node = store.create_file(store.root, b"a.txt", now=1.5)
+        assert isinstance(node, FileNode)
+        assert node.parent is store.root
+        assert node.created == 1.5
+        assert store.file_count == 1
+
+    def test_create_directory(self, store):
+        node = store.create_directory(store.root, b"src")
+        assert isinstance(node, DirectoryNode)
+        assert store.directory_count == 2
+
+    def test_duplicate_name_rejected(self, store):
+        store.create_file(store.root, b"a")
+        with pytest.raises(StorageError, match="already bound"):
+            store.create_directory(store.root, b"a")
+
+    def test_reserved_names_rejected(self, store):
+        with pytest.raises(BadName):
+            store.create_file(store.root, b".")
+        with pytest.raises(BadName):
+            store.create_directory(store.root, b"..")
+
+    def test_separator_in_name_rejected(self, store):
+        with pytest.raises(BadName):
+            store.create_file(store.root, b"a/b")
+
+    def test_owner_inherited_from_directory(self, store):
+        directory = store.create_directory(store.root, b"d", owner="x")
+        node = store.create_file(directory, b"f")
+        assert node.owner == "x"
+
+    def test_inodes_unique(self, store):
+        nodes = [store.create_file(store.root, f"f{i}".encode())
+                 for i in range(50)]
+        inodes = {n.inode for n in nodes}
+        assert len(inodes) == 50
+
+
+class TestLookup:
+    def test_get_entry(self, store):
+        node = store.create_file(store.root, b"a")
+        assert store.get(store.root, b"a") is node
+        assert store.get(store.root, b"missing") is None
+
+    def test_dot_and_dotdot(self, store):
+        child = store.create_directory(store.root, b"child")
+        assert store.get(child, b".") is child
+        assert store.get(child, b"..") is store.root
+        assert store.get(store.root, b"..") is store.root  # root's parent
+
+    def test_resolve_path_helper(self, store):
+        store.make_path("a/b/c")
+        found = store.resolve_path("a/b/c")
+        assert isinstance(found, DirectoryNode)
+        assert store.resolve_path("a/missing") is None
+
+    def test_make_path_file(self, store):
+        node = store.make_path("a/b/file.txt", directory=False)
+        assert isinstance(node, FileNode)
+        assert store.resolve_path("a/b/file.txt") is node
+
+    def test_make_path_idempotent(self, store):
+        first = store.make_path("x/y")
+        second = store.make_path("x/y")
+        assert first is second
+
+
+class TestPathOf:
+    def test_path_of_nested_node(self, store):
+        node = store.make_path("users/mann/doc.txt", directory=False)
+        assert store.path_of(node) == b"users/mann/doc.txt"
+
+    def test_path_of_root(self, store):
+        assert store.path_of(store.root) == b""
+
+    def test_detached_node_has_no_path(self, store):
+        node = store.create_file(store.root, b"gone")
+        store.remove(store.root, b"gone")
+        with pytest.raises(StorageError, match="detached"):
+            store.path_of(node)
+
+
+class TestRemoval:
+    def test_remove_file(self, store):
+        store.create_file(store.root, b"a")
+        removed = store.remove(store.root, b"a")
+        assert isinstance(removed, FileNode)
+        assert store.file_count == 0
+        assert store.get(store.root, b"a") is None
+
+    def test_remove_empty_directory(self, store):
+        store.create_directory(store.root, b"d")
+        store.remove(store.root, b"d")
+        assert store.directory_count == 1
+
+    def test_remove_nonempty_directory_rejected(self, store):
+        directory = store.create_directory(store.root, b"d")
+        store.create_file(directory, b"f")
+        with pytest.raises(StorageError, match="not empty"):
+            store.remove(store.root, b"d")
+
+    def test_remove_missing_rejected(self, store):
+        with pytest.raises(StorageError, match="no entry"):
+            store.remove(store.root, b"ghost")
+
+    def test_remove_remote_link(self, store):
+        pair = ContextPair(Pid.make(9, 9), 0)
+        store.link_remote(store.root, b"other", pair)
+        removed = store.remove(store.root, b"other")
+        assert isinstance(removed, RemoteLinkEntry)
+
+
+class TestRename:
+    def test_rename_within_directory(self, store):
+        store.create_file(store.root, b"old")
+        store.rename(store.root, b"old", store.root, b"new")
+        assert store.get(store.root, b"new") is not None
+        assert store.get(store.root, b"old") is None
+
+    def test_rename_across_directories(self, store):
+        src = store.create_directory(store.root, b"src")
+        dst = store.create_directory(store.root, b"dst")
+        node = store.create_file(src, b"f")
+        store.rename(src, b"f", dst, b"f2")
+        assert node.parent is dst
+        assert node.name == b"f2"
+        assert store.path_of(node) == b"dst/f2"
+
+    def test_rename_onto_existing_name_rejected(self, store):
+        store.create_file(store.root, b"a")
+        store.create_file(store.root, b"b")
+        with pytest.raises(StorageError):
+            store.rename(store.root, b"a", store.root, b"b")
+
+
+class TestAccounting:
+    def test_total_bytes(self, store):
+        f1 = store.make_path("a/f1", directory=False)
+        f2 = store.make_path("f2", directory=False)
+        f1.data.extend(b"x" * 10)
+        f2.data.extend(b"y" * 5)
+        assert store.total_bytes() == 15
+
+
+@given(st.lists(
+    st.text(min_size=1, max_size=6,
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122)),
+    min_size=1, max_size=6, unique=True))
+def test_path_of_inverts_make_path_property(parts):
+    store = FileStore()
+    path = "/".join(parts)
+    node = store.make_path(path, directory=False)
+    assert store.path_of(node).decode() == path

@@ -1,0 +1,147 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_schedule_and_run_advances_clock():
+    engine = Engine()
+    fired = []
+    engine.schedule(0.5, fired.append, "a")
+    engine.run()
+    assert fired == ["a"]
+    assert engine.now == 0.5
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.schedule(0.3, fired.append, "late")
+    engine.schedule(0.1, fired.append, "early")
+    engine.schedule(0.2, fired.append, "middle")
+    engine.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_simultaneous_events_fire_in_scheduling_order():
+    engine = Engine()
+    fired = []
+    for label in ("first", "second", "third"):
+        engine.schedule(1.0, fired.append, label)
+    engine.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Engine().schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_the_past_rejected():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(0.1, fired.append, "cancelled")
+    engine.schedule(0.2, fired.append, "kept")
+    event.cancel()
+    engine.run()
+    assert fired == ["kept"]
+
+
+def test_cancel_is_idempotent():
+    engine = Engine()
+    event = engine.schedule(0.1, lambda: None)
+    event.cancel()
+    event.cancel()
+    engine.run()
+
+
+def test_callbacks_can_schedule_more_events():
+    engine = Engine()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            engine.schedule(0.1, chain, depth + 1)
+
+    engine.schedule(0.0, chain, 0)
+    engine.run()
+    assert fired == [0, 1, 2, 3]
+    assert engine.now == pytest.approx(0.3)
+
+
+def test_run_until_stops_clock_without_dropping_events():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, fired.append, "early")
+    engine.schedule(5.0, fired.append, "late")
+    engine.run(until=2.0)
+    assert fired == ["early"]
+    assert engine.now == 2.0
+    engine.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_for_is_relative():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    engine.run()
+    engine.run_for(2.0)
+    assert engine.now == 3.0
+
+
+def test_max_events_guards_against_livelock():
+    engine = Engine()
+
+    def forever():
+        engine.schedule(0.001, forever)
+
+    engine.schedule(0.0, forever)
+    with pytest.raises(SimulationError, match="max_events"):
+        engine.run(max_events=100)
+
+
+def test_step_returns_false_on_empty_queue():
+    assert Engine().step() is False
+
+
+def test_events_processed_counter():
+    engine = Engine()
+    for __ in range(5):
+        engine.schedule(0.1, lambda: None)
+    engine.run()
+    assert engine.events_processed == 5
+
+
+def test_pending_excludes_cancelled():
+    engine = Engine()
+    keep = engine.schedule(0.1, lambda: None)
+    drop = engine.schedule(0.2, lambda: None)
+    drop.cancel()
+    assert engine.pending == 1
+    keep.cancel()
+    assert engine.pending == 0
+
+
+def test_reentrant_run_rejected():
+    engine = Engine()
+
+    def nested():
+        engine.run()
+
+    engine.schedule(0.0, nested)
+    with pytest.raises(SimulationError, match="re-entrant"):
+        engine.run()

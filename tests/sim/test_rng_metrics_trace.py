@@ -1,0 +1,129 @@
+"""Unit tests for the RNG, metrics, and trace utilities."""
+
+import pytest
+
+from repro.sim.metrics import LatencyRecorder, Metrics
+from repro.sim.rng import DeterministicRng, derive_seed
+from repro.sim.trace import Tracer
+
+
+class TestRng:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.randint("s", 0, 100) for __ in range(10)] == [
+            b.randint("s", 0, 100) for __ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint("s", 0, 10**9) for __ in range(4)] != [
+            b.randint("s", 0, 10**9) for __ in range(4)]
+
+    def test_streams_are_independent_of_creation_order(self):
+        a = DeterministicRng(5)
+        first = a.randint("one", 0, 10**9)
+        b = DeterministicRng(5)
+        b.randint("two", 0, 10**9)  # touch another stream first
+        assert b.randint("one", 0, 10**9) == first
+
+    def test_choice_and_shuffle_deterministic(self):
+        a = DeterministicRng(3)
+        b = DeterministicRng(3)
+        items_a, items_b = list(range(20)), list(range(20))
+        a.shuffle("sh", items_a)
+        b.shuffle("sh", items_b)
+        assert items_a == items_b
+        assert a.choice("c", "abcdef") == b.choice("c", "abcdef")
+
+    def test_zipf_is_skewed_toward_low_indices(self):
+        rng = DeterministicRng(11)
+        draws = [rng.zipf_index("z", 100, skew=1.2) for __ in range(2000)]
+        head = sum(1 for d in draws if d < 10)
+        assert head > len(draws) * 0.4  # top-10% of names get >40% of draws
+        assert all(0 <= d < 100 for d in draws)
+
+    def test_derive_seed_stable_and_sensitive(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_subclassing_blocked(self):
+        with pytest.raises(TypeError):
+            class Sub(DeterministicRng):  # noqa: F811
+                pass
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        metrics = Metrics()
+        metrics.incr("net.frames")
+        metrics.incr("net.frames", 4)
+        assert metrics.count("net.frames") == 5
+        assert metrics.count("absent") == 0
+
+    def test_latency_summary(self):
+        recorder = LatencyRecorder("op")
+        recorder.extend([0.001, 0.002, 0.003, 0.004])
+        summary = recorder.summary()
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(0.0025)
+        assert summary.minimum == 0.001
+        assert summary.maximum == 0.004
+        assert summary.p50 == 0.002
+        assert summary.mean_ms == pytest.approx(2.5)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder("op").record(-1.0)
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder("op").summary()
+
+    def test_shared_recorder_by_name(self):
+        metrics = Metrics()
+        metrics.latency("open").record(0.001)
+        metrics.latency("open").record(0.002)
+        assert metrics.latency("open").summary().count == 2
+        assert metrics.has_latency("open")
+        assert not metrics.has_latency("close")
+
+    def test_snapshot_shape(self):
+        metrics = Metrics()
+        metrics.incr("a")
+        metrics.latency("op").record(0.004)
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"a": 1}
+        assert snap["latencies"]["op"]["count"] == 1
+        assert snap["latencies"]["op"]["mean_ms"] == pytest.approx(4.0)
+
+
+class TestTracer:
+    def test_records_and_selects(self):
+        tracer = Tracer()
+        tracer.record(0.1, "ipc", "client", "Send")
+        tracer.record(0.2, "ipc", "server", "Reply")
+        tracer.record(0.3, "svc", "server", "SetPid")
+        assert len(tracer) == 3
+        assert [e.detail for e in tracer.select(category="ipc")] == ["Send", "Reply"]
+        assert [e.detail for e in tracer.select(subject="server")] == [
+            "Reply", "SetPid"]
+        assert tracer.categories() == {"ipc", "svc"}
+
+    def test_predicate_filter(self):
+        tracer = Tracer()
+        tracer.record(0.1, "ipc", "a", "Send x")
+        tracer.record(0.2, "ipc", "a", "Forward x")
+        found = tracer.select(predicate=lambda e: "Forward" in e.detail)
+        assert len(found) == 1
+
+    def test_limit_stops_recording(self):
+        tracer = Tracer(limit=2)
+        for index in range(5):
+            tracer.record(float(index), "c", "s", str(index))
+        assert len(tracer) == 2
+
+    def test_format_renders_times_in_ms(self):
+        tracer = Tracer()
+        tracer.record(0.00256, "ipc", "client", "transaction")
+        assert "2.560ms" in tracer.format()

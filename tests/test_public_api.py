@@ -1,0 +1,53 @@
+"""Smoke tests for the top-level public API (`import repro`)."""
+
+import pytest
+
+import repro
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_readme_snippet_works():
+    """The README's four-line setup must actually run."""
+    domain = repro.Domain()
+    ws = repro.setup_workstation(domain, "mann")
+    fs = repro.start_server(domain.create_host("vax1"),
+                            repro.VFileServer(user="mann"))
+    repro.standard_prefixes(ws, fs)
+
+    from repro.runtime import files
+
+    result = {}
+
+    def program(session):
+        yield from files.write_file(session, "[home]api.txt", b"public api")
+        result["data"] = yield from files.read_file(session, "api.txt")
+
+    ws.run_program(program)
+    domain.run()
+    domain.check_healthy()
+    assert result["data"] == b"public api"
+
+
+def test_session_constructible_from_primitives():
+    domain = repro.Domain()
+    host = domain.create_host("h")
+    fs = repro.start_server(host, repro.VFileServer(user="u"))
+    session = repro.Session(
+        repro.ContextPair(fs.pid, int(repro.WellKnownContext.HOME)),
+        prefix_server=None, latency=repro.STANDARD_3MBIT)
+    assert session.prefix_server is None
+    assert session.current.server == fs.pid
+
+
+def test_latency_models_exported():
+    assert repro.STANDARD_10MBIT.bandwidth_bps > repro.STANDARD_3MBIT.bandwidth_bps
+    custom = repro.LatencyModel(bandwidth_bps=1e9)
+    assert custom.wire_time(100) < repro.STANDARD_3MBIT.wire_time(100)

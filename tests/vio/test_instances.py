@@ -1,0 +1,112 @@
+"""Unit tests for server-side instances and the id table (paper Sec. 4.3)."""
+
+import pytest
+
+from repro.kernel.messages import ReplyCode
+from repro.kernel.pids import Pid
+from repro.vio.instance import (
+    Instance,
+    InstanceError,
+    InstanceTable,
+    MemoryInstance,
+)
+
+OWNER = Pid.make(1, 1)
+
+
+def run_gen(gen):
+    """Drive an effect-free instance hook to its return value."""
+    try:
+        next(gen)
+    except StopIteration as stop:
+        return stop.value
+    raise AssertionError("instance hook yielded an effect unexpectedly")
+
+
+class TestMemoryInstance:
+    def test_read_within_data(self):
+        instance = MemoryInstance(OWNER, data=b"abcdef", block_size=4)
+        code, data = run_gen(instance.read_block(0))
+        assert (code, data) == (ReplyCode.OK, b"abcd")
+        code, data = run_gen(instance.read_block(1))
+        assert (code, data) == (ReplyCode.OK, b"ef")
+
+    def test_read_past_end_is_eof(self):
+        instance = MemoryInstance(OWNER, data=b"ab", block_size=4)
+        code, data = run_gen(instance.read_block(1))
+        assert code is ReplyCode.END_OF_FILE
+
+    def test_write_extends_data(self):
+        instance = MemoryInstance(OWNER, block_size=4)
+        code, written = run_gen(instance.write_block(1, b"wxyz"))
+        assert (code, written) == (ReplyCode.OK, 4)
+        assert instance.data == bytearray(b"\x00\x00\x00\x00wxyz")
+        assert instance.size_bytes() == 8
+
+    def test_oversized_write_rejected(self):
+        instance = MemoryInstance(OWNER, block_size=4)
+        code, __ = run_gen(instance.write_block(0, b"12345"))
+        assert code is ReplyCode.BAD_ARGS
+
+    def test_readonly_write_rejected(self):
+        instance = MemoryInstance(OWNER, data=b"ro", writable=False)
+        code, __ = run_gen(instance.write_block(0, b"x"))
+        assert code is ReplyCode.MODE_ERROR
+
+    def test_query_fields_shape(self):
+        instance = MemoryInstance(OWNER, data=b"abc", block_size=512)
+        table = InstanceTable()
+        table.insert(instance)
+        fields = instance.query_fields()
+        assert fields["size_bytes"] == 3
+        assert fields["block_size"] == 512
+        assert fields["instance"] == instance.instance_id
+        assert fields["readable"] and fields["writable"]
+
+    def test_base_instance_defaults(self):
+        instance = Instance(OWNER)
+        code, data = run_gen(instance.read_block(0))
+        assert code is ReplyCode.END_OF_FILE
+        code, __ = run_gen(instance.write_block(0, b"x"))
+        assert code is ReplyCode.MODE_ERROR
+
+
+class TestInstanceTable:
+    def test_ids_unique_and_nonzero(self):
+        table = InstanceTable()
+        ids = [table.insert(MemoryInstance(OWNER)) for __ in range(100)]
+        assert len(set(ids)) == 100
+        assert 0 not in ids
+
+    def test_get_and_release(self):
+        table = InstanceTable()
+        instance = MemoryInstance(OWNER)
+        instance_id = table.insert(instance)
+        assert table.get(instance_id) is instance
+        released = table.release(instance_id)
+        assert released is instance
+        assert table.get(instance_id) is None
+        assert instance.instance_id is None
+
+    def test_released_id_not_soon_reused(self):
+        table = InstanceTable(start=1)
+        first = table.insert(MemoryInstance(OWNER))
+        table.release(first)
+        soon = [table.insert(MemoryInstance(OWNER)) for __ in range(50)]
+        assert first not in soon
+
+    def test_release_owned_by(self):
+        table = InstanceTable()
+        other = Pid.make(2, 2)
+        table.insert(MemoryInstance(OWNER))
+        table.insert(MemoryInstance(other))
+        table.insert(MemoryInstance(other))
+        assert table.release_owned_by(other) == 2
+        assert len(table) == 1
+
+    def test_wraparound_skips_live_ids(self):
+        table = InstanceTable(start=0xFFFF)
+        first = table.insert(MemoryInstance(OWNER))
+        second = table.insert(MemoryInstance(OWNER))
+        assert first == 0xFFFF
+        assert second == 1  # 0 skipped

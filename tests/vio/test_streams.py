@@ -1,0 +1,174 @@
+"""Tests for the client-side I/O protocol: block ops and FileStream."""
+
+import pytest
+
+from repro.kernel.messages import ReplyCode
+from repro.runtime import files
+from repro.vio.client import (
+    FileStream,
+    IoError,
+    query_instance,
+    read_all_bytes,
+    read_block,
+    release_instance,
+    write_block,
+)
+from tests.helpers import standard_system
+
+
+def opened(system, name, content, mode="r"):
+    """Client generator: create a file and open it."""
+    def setup(session):
+        yield from files.write_file(session, name, content)
+        stream = yield from session.open(name, mode)
+        return session, stream
+    return setup
+
+
+class TestBlockOps:
+    def test_read_block_by_block(self):
+        system = standard_system()
+        content = bytes(range(256)) * 4  # exactly 2 blocks of 512
+
+        def client(session):
+            yield from files.write_file(session, "b.bin", content)
+            stream = yield from session.open("b.bin", "r")
+            code0, block0 = yield from read_block(stream.server,
+                                                  stream.instance, 0)
+            code1, block1 = yield from read_block(stream.server,
+                                                  stream.instance, 1)
+            code2, __ = yield from read_block(stream.server,
+                                              stream.instance, 2)
+            return (code0, block0), (code1, block1), code2
+
+        (c0, b0), (c1, b1), c2 = system.run_client(client(system.session()))
+        assert c0 is ReplyCode.OK and b0 == content[:512]
+        assert c1 is ReplyCode.OK and b1 == content[512:]
+        assert c2 is ReplyCode.END_OF_FILE
+
+    def test_bad_instance_rejected(self):
+        system = standard_system()
+
+        def client(session):
+            stream = yield from session.open("[tmp]t", "w")
+            code, __ = yield from read_block(stream.server, 0xDEAD, 0)
+            return code
+
+        assert system.run_client(
+            client(system.session())) is ReplyCode.BAD_INSTANCE
+
+    def test_query_instance_fields(self):
+        system = standard_system()
+
+        def client(session):
+            yield from files.write_file(session, "q.bin", b"x" * 700)
+            stream = yield from session.open("q.bin", "r")
+            reply = yield from query_instance(stream.server, stream.instance)
+            return reply
+
+        reply = system.run_client(client(system.session()))
+        assert reply["size_bytes"] == 700
+        assert reply["block_size"] == 512
+
+    def test_release_invalidates_instance(self):
+        system = standard_system()
+
+        def client(session):
+            yield from files.write_file(session, "r.bin", b"x")
+            stream = yield from session.open("r.bin", "r")
+            code = yield from release_instance(stream.server, stream.instance)
+            late, __ = yield from read_block(stream.server, stream.instance, 0)
+            return code, late
+
+        code, late = system.run_client(client(system.session()))
+        assert code is ReplyCode.OK
+        assert late is ReplyCode.BAD_INSTANCE
+
+    def test_read_all_bytes(self):
+        system = standard_system()
+        content = b"z" * 1500
+
+        def client(session):
+            yield from files.write_file(session, "all.bin", content)
+            stream = yield from session.open("all.bin", "r")
+            return (yield from read_all_bytes(stream.server, stream.instance))
+
+        assert system.run_client(client(system.session())) == content
+
+
+class TestFileStream:
+    def test_positioned_reads(self):
+        system = standard_system()
+        content = bytes(range(200)) * 10  # 2000 bytes
+
+        def client(session):
+            yield from files.write_file(session, "s.bin", content)
+            stream = yield from session.open("s.bin", "r")
+            first = yield from stream.read(100)
+            second = yield from stream.read(700)
+            stream.seek(1990)
+            tail = yield from stream.read(100)
+            return first, second, tail
+
+        first, second, tail = system.run_client(client(system.session()))
+        assert first == content[:100]
+        assert second == content[100:800]
+        assert tail == content[1990:]
+
+    def test_partial_block_write_preserves_neighbors(self):
+        system = standard_system()
+
+        def client(session):
+            yield from files.write_file(session, "p.bin", b"A" * 1024)
+            stream = yield from session.open("p.bin", "a")
+            stream.seek(500)
+            yield from stream.write(b"BBB")
+            return (yield from files.read_file(session, "p.bin"))
+
+        data = system.run_client(client(system.session()))
+        assert data[:500] == b"A" * 500
+        assert data[500:503] == b"BBB"
+        assert data[503:] == b"A" * 521
+
+    def test_write_spanning_blocks(self):
+        system = standard_system()
+
+        def client(session):
+            stream = yield from session.open("span.bin", "w")
+            yield from stream.write(b"x" * 1300)
+            yield from stream.close()
+            record = yield from session.query("span.bin")
+            return record.size_bytes
+
+        assert system.run_client(client(system.session())) == 1300
+
+    def test_open_classmethod_queries_block_size(self):
+        system = standard_system()
+
+        def client(session):
+            yield from files.write_file(session, "o.bin", b"abc")
+            raw = yield from session.open("o.bin", "r")
+            stream = yield from FileStream.open(raw.server, raw.instance)
+            return stream.block_size
+
+        assert system.run_client(client(system.session())) == 512
+
+    def test_double_close_raises_io_error(self):
+        system = standard_system()
+
+        def client(session):
+            yield from files.write_file(session, "c.bin", b"x")
+            stream = yield from session.open("c.bin", "r")
+            yield from stream.close()
+            try:
+                yield from stream.close()
+            except IoError as err:
+                return err.code
+
+        assert system.run_client(
+            client(system.session())) is ReplyCode.BAD_INSTANCE
+
+    def test_negative_seek_rejected(self):
+        stream = FileStream(server=None, instance=1, block_size=512)
+        with pytest.raises(ValueError):
+            stream.seek(-1)

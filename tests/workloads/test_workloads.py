@@ -1,0 +1,105 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.baseline import CentralNameServer, UidObjectServer, audit
+from repro.servers.fileserver.server import VFileServer
+from repro.workloads import (
+    NameTreeSpec,
+    Operation,
+    populate_baseline,
+    populate_fileserver,
+    zipf_trace,
+)
+from repro.workloads.traces import uniform_trace
+
+
+class TestNameTreeSpec:
+    def test_counts_match_walk(self):
+        spec = NameTreeSpec(depth=2, fanout=3, files_per_directory=4)
+        assert spec.directory_count() == 1 + 3 + 9
+        assert spec.file_count() == 13 * 4
+
+    def test_flat_tree(self):
+        spec = NameTreeSpec(depth=0, fanout=5, files_per_directory=2)
+        assert spec.directory_count() == 1
+        assert spec.file_count() == 2
+
+
+class TestPopulateFileserver:
+    def test_tree_built_and_paths_resolve(self):
+        server = VFileServer(user="mann")
+        spec = NameTreeSpec(depth=2, fanout=2, files_per_directory=3)
+        paths = populate_fileserver(server, spec)
+        assert len(paths) == spec.file_count()
+        for path in paths:
+            node = server.store.resolve_path(path)
+            assert node is not None
+            assert node.size == spec.file_bytes
+
+    def test_population_is_idempotent_per_root(self):
+        server = VFileServer(user="mann")
+        spec = NameTreeSpec(depth=1, fanout=2, files_per_directory=1)
+        populate_fileserver(server, spec, root="one")
+        paths = populate_fileserver(server, spec, root="two")
+        assert all(p.startswith("two/") for p in paths)
+
+
+class TestPopulateBaseline:
+    def test_same_logical_names_and_consistency(self):
+        from repro.kernel.pids import Pid
+
+        ns = CentralNameServer()
+        servers = [UidObjectServer(allocator_id=i + 1) for i in range(2)]
+        for index, server in enumerate(servers):
+            server.pid = Pid.make(index + 1, 1)
+        spec = NameTreeSpec(depth=1, fanout=2, files_per_directory=2)
+
+        v_server = VFileServer(user="mann")
+        v_paths = populate_fileserver(v_server, spec)
+        b_paths = populate_baseline(ns, servers, spec)
+        assert v_paths == b_paths
+        report = audit(ns, servers)
+        assert report.consistent
+        assert report.bindings == spec.file_count()
+
+    def test_objects_spread_across_servers(self):
+        from repro.kernel.pids import Pid
+
+        ns = CentralNameServer()
+        servers = [UidObjectServer(allocator_id=i + 1) for i in range(3)]
+        for index, server in enumerate(servers):
+            server.pid = Pid.make(index + 1, 1)
+        populate_baseline(ns, servers,
+                          NameTreeSpec(depth=2, fanout=3,
+                                       files_per_directory=3))
+        counts = [len(s.objects) for s in servers]
+        assert all(count > 0 for count in counts)
+
+
+class TestTraces:
+    NAMES = [f"data/f{i}" for i in range(50)]
+
+    def test_trace_is_deterministic(self):
+        a = zipf_trace(self.NAMES, 200, seed=3)
+        b = zipf_trace(self.NAMES, 200, seed=3)
+        assert a.events == b.events
+        assert zipf_trace(self.NAMES, 200, seed=4).events != a.events
+
+    def test_read_fraction_respected(self):
+        trace = zipf_trace(self.NAMES, 2000, seed=1, read_fraction=0.9)
+        reads = sum(1 for op, __ in trace if op is Operation.OPEN_READ)
+        assert 0.85 < reads / len(trace) < 0.95
+
+    def test_zipf_trace_has_high_reuse(self):
+        trace = zipf_trace(self.NAMES, 1000, seed=2, skew=1.2)
+        assert trace.reuse_fraction() > 0.8
+        assert trace.unique_names() <= len(self.NAMES)
+
+    def test_uniform_trace_all_reads(self):
+        trace = uniform_trace(self.NAMES, 300, seed=5)
+        assert all(op is Operation.OPEN_READ for op, __ in trace)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_trace([], 10)
