@@ -15,7 +15,7 @@ Reproduced: all four cells plus the constancy of the delta.
 import pytest
 
 from conftest import report_table
-from _common import open_timing_system, run_on
+from _common import export_observability, open_timing_system, run_on
 
 from repro.core.context import ContextPair, WellKnownContext
 from repro.kernel.ipc import Now
@@ -62,6 +62,9 @@ def measure_all() -> dict:
 
         results[label] = run_on(domain, workstation.host, timer(),
                                 name=f"timer-{label}") * 1e3
+    # With REPRO_TRACE_DIR set, every Open above produced a span tree;
+    # render them with `python -m repro.obs.report <dir>/bench_e4.spans.jsonl`.
+    export_observability(domain.obs, "bench_e4")
     return results
 
 

@@ -14,7 +14,7 @@ by half a transaction per hop.
 import pytest
 
 from conftest import report_table
-from _common import run_on
+from _common import export_observability, maybe_observability, run_on
 
 from repro.core.context import ContextPair, WellKnownContext
 from repro.kernel.domain import Domain
@@ -29,7 +29,7 @@ MAX_HOPS = 4
 
 def build_chain(hops: int):
     """fs0 -> fs1 -> ... -> fs_hops, linked through home directories."""
-    domain = Domain()
+    domain = Domain(obs=maybe_observability())
     workstation = setup_workstation(domain, "mann")
     handles = [start_server(domain.create_host(f"vax{i}"),
                             VFileServer(user="mann"))
@@ -57,8 +57,11 @@ def measure_hops(hops: int, rounds: int = 10) -> float:
             total += t1 - t0
         return total / rounds
 
-    return run_on(domain, workstation.host,
-                  client(workstation.session())) * 1e3
+    mean = run_on(domain, workstation.host, client(workstation.session()))
+    # Each chain length exports its own trace file: the span trees show one
+    # extra Forward hop (and one more net.wire leg) per cross-server link.
+    export_observability(domain.obs, f"bench_e7_hops{hops}")
+    return mean * 1e3
 
 
 def test_e7_forwarding_cost_per_hop(benchmark):

@@ -40,7 +40,16 @@ from repro.core.protocol import (
     read_csname_header,
     rewrite_for_forward,
 )
-from repro.kernel.ipc import Delay, Delivery, JoinGroup, MyPid, Receive, Reply, SetPid
+from repro.kernel.ipc import (
+    Annotate,
+    Delay,
+    Delivery,
+    JoinGroup,
+    MyPid,
+    Receive,
+    Reply,
+    SetPid,
+)
 from repro.kernel.ipc import Forward as ForwardEffect
 from repro.kernel.messages import Message, ReplyCode, RequestCode
 from repro.kernel.pids import Pid
@@ -231,14 +240,32 @@ class CSNHServer:
         prefix server's GetPid for generic bindings).  The default runs the
         Sec. 5.4 procedure over :meth:`namespace`.
         """
-        yield from ()
+        want_parent = delivery.message.code in PARENT_RESOLUTION_OPS
+        return (yield from self.run_mapping(delivery, header,
+                                            want_parent=want_parent))
+
+    def run_mapping(self, delivery: Delivery, header: CSNameHeader,
+                    want_parent: bool = False) -> Gen:
+        """Run the Sec. 5.4 walk over :meth:`namespace`, annotating each step.
+
+        Subclasses overriding :meth:`map_request` for custom ``want_parent``
+        rules should delegate here so their hop spans still record the walk.
+        """
         space = self.namespace()
         if space is None:
             return MappingFault(ReplyCode.ILLEGAL_REQUEST,
                                 f"{self.server_name} has no name space")
-        want_parent = delivery.message.code in PARENT_RESOLUTION_OPS
-        return map_name(space, header.context_id, header.name,
-                        header.name_index, want_parent=want_parent)
+        steps: list[str] = []
+        outcome = map_name(
+            space, header.context_id, header.name, header.name_index,
+            want_parent=want_parent,
+            observer=lambda piece, kind: steps.append(
+                f"{piece.decode(errors='replace')}={kind}"))
+        for step in steps:
+            # Zero-cost: records the component-by-component walk on this
+            # request's hop span (ignored when the request is untraced).
+            yield Annotate(delivery.txn_id, {"walk": step}, append=True)
+        return outcome
 
     def handle_csname(self, delivery: Delivery) -> Gen:
         message = delivery.message
@@ -248,6 +275,9 @@ class CSNHServer:
             yield from self.reply_error(delivery, ReplyCode.BAD_ARGS)
             return
         outcome: MappingOutcome = yield from self.map_request(delivery, header)
+        yield Annotate(delivery.txn_id,
+                       {"mapping": _mapping_step(self, header, outcome)},
+                       append=True)
         if isinstance(outcome, ForwardName):
             yield from self.forward_request(delivery, outcome)
             return
@@ -440,3 +470,31 @@ class CSNHServer:
         yield from instance.release()
         self.instances.release(instance.instance_id or 0)
         yield from self.reply_ok(delivery)
+
+
+def _mapping_step(server: CSNHServer, header: CSNameHeader,
+                  outcome: MappingOutcome) -> dict:
+    """Summarize one server's share of a name's interpretation (for spans).
+
+    ``consumed`` counts the name bytes this server interpreted -- on a
+    forwarded resolution each hop span carries its own share, so the trace
+    shows exactly how the name was split across servers (Sec. 5.4).
+    """
+    step: dict[str, Any] = {
+        "server": server.server_name,
+        "context_id": header.context_id,
+        "name_index": header.name_index,
+    }
+    if isinstance(outcome, ForwardName):
+        step["outcome"] = "forward"
+        step["consumed"] = outcome.index - header.name_index
+    elif isinstance(outcome, MappingFault):
+        step["outcome"] = "fault"
+        step["fault"] = outcome.code.name
+    elif isinstance(outcome, ResolvedParent):
+        step["outcome"] = "parent"
+        step["consumed"] = outcome.index - header.name_index
+    else:
+        step["outcome"] = "resolved"
+        step["consumed"] = outcome.index - header.name_index
+    return step

@@ -21,7 +21,7 @@ interpret the name in any way it chooses").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Protocol, Union
+from typing import Any, Callable, Optional, Protocol, Union
 
 from repro.core.context import ContextPair
 from repro.core.names import next_component
@@ -117,6 +117,12 @@ class MappingFault:
 
 MappingOutcome = Union[ResolvedObject, ResolvedParent, ForwardName, MappingFault]
 
+#: Observability hook: called once per component examined, with the
+#: component and what the lookup decided ("leaf", "context", "remote-link",
+#: "missing", "not-a-context").  See CSNHServer.map_request, which feeds
+#: these steps into the request's hop span.
+StepObserver = Callable[[bytes, str], None]
+
 
 def map_name(
     namespace: NameSpace,
@@ -124,6 +130,7 @@ def map_name(
     name: bytes,
     index: int,
     want_parent: bool = False,
+    observer: Optional[StepObserver] = None,
 ) -> MappingOutcome:
     """Run the Sec. 5.4 procedure over ``namespace``.
 
@@ -133,6 +140,8 @@ def map_name(
     An already-bound final component still resolves the parent, letting the
     operation decide whether that is an error.
     """
+    if observer is None:
+        observer = _null_observer
     current = namespace.root(context_id)
     if current is None:
         return MappingFault(ReplyCode.INVALID_CONTEXT,
@@ -155,23 +164,33 @@ def map_name(
         remaining_after, __ = next_component(name, next_index)
         is_final = remaining_after == b""
         if want_parent and is_final:
+            observer(next_piece, "parent-slot")
             return ResolvedParent(current, next_piece, next_index)
         entry = namespace.lookup(current, next_piece)
         if entry is None:
+            observer(next_piece, "missing")
             return MappingFault(ReplyCode.NOT_FOUND,
                                 f"no {next_piece!r} in context")
         if isinstance(entry, RemoteLink):
+            observer(next_piece, "remote-link")
             return ForwardName(entry.pair, next_index)
         if isinstance(entry, Leaf):
             if not is_final:
+                observer(next_piece, "not-a-context")
                 return MappingFault(
                     ReplyCode.NOT_A_CONTEXT,
                     f"{next_piece!r} is not a context but the name continues")
+            observer(next_piece, "leaf")
             return ResolvedObject(ref=entry.ref, is_context=False,
                                   parent_ref=current, component=next_piece,
                                   index=next_index)
         assert isinstance(entry, SubContext)
+        observer(next_piece, "context")
         parent = current
         current = entry.ref
         component = next_piece
         index = next_index
+
+
+def _null_observer(component: bytes, kind: str) -> None:
+    return None

@@ -44,7 +44,7 @@ from repro.core.mapping import (
 )
 from repro.core.names import BadName, as_text, parse_prefix, validate_component
 from repro.core.protocol import CSNameHeader
-from repro.kernel.ipc import Delivery, GetPid
+from repro.kernel.ipc import Annotate, Delivery, GetPid
 from repro.kernel.messages import ReplyCode, RequestCode
 from repro.kernel.pids import Pid
 from repro.kernel.services import Scope, ServiceId
@@ -144,6 +144,10 @@ class ContextPrefixServer(CSNHServer):
         if binding is None:
             return MappingFault(ReplyCode.NOT_FOUND,
                                 f"prefix [{as_text(prefix)}] is not defined")
+        # Zero-cost span enrichment: which prefix matched and how it binds.
+        yield Annotate(delivery.txn_id,
+                       {"prefix": as_text(prefix),
+                        "binding": "generic" if binding.is_generic else "fixed"})
         if binding.is_generic:
             pid = yield GetPid(binding.generic_service, Scope.ANY)
             if pid is None:

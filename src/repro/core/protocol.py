@@ -139,5 +139,7 @@ def rewrite_for_forward(message: Message, context_id: int,
     fields = dict(message.fields)
     fields[FIELD_CONTEXT_ID] = int(context_id)
     fields[FIELD_NAME_INDEX] = int(name_index)
+    # The trace context rides along so causality survives the rewrite; the
+    # kernel re-points it at the forwarding hop's span when one exists.
     return Message(code=message.code, fields=fields, segment=message.segment,
-                   segment_buffer=message.segment_buffer)
+                   segment_buffer=message.segment_buffer, trace=message.trace)

@@ -18,15 +18,18 @@ charged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.core.context import ContextPair, WellKnownContext
-from repro.core.names import as_name_bytes, has_prefix
+from repro.core.names import as_name_bytes, as_text, has_prefix
 from repro.core.protocol import make_csname_request
-from repro.kernel.ipc import Delay, Send
-from repro.kernel.messages import Message, ReplyCode
+from repro.kernel.ipc import Delay, Now, Send
+from repro.kernel.messages import Message, ReplyCode, code_name
 from repro.kernel.pids import Pid
 from repro.net.latency import LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 Gen = Generator[Any, Any, Any]
 
@@ -53,6 +56,10 @@ class NamingEnvironment:
     current: ContextPair
     prefix_server: Optional[Pid]
     latency: LatencyModel
+    #: Optional observability bundle: when set, every CSname request opens a
+    #: root "resolve" span that the kernel's transaction and hop spans chain
+    #: under (see repro.obs).  Zero simulated cost either way.
+    obs: Optional["Observability"] = None
 
     def route(self, name: bytes) -> tuple[Pid, int]:
         """The single common '['-check: where does this CSname request go?"""
@@ -74,10 +81,26 @@ def send_csname_request(env: NamingEnvironment, code: int, name: str | bytes,
     """
     data = as_name_bytes(name)
     dst, context_id = env.route(data)
+    span = None
+    if env.obs is not None:
+        start = yield Now()
+        span = env.obs.spans.start(
+            f"resolve:{code_name(code)}", start, actor="client-stub",
+            csname=as_text(data), context_id=context_id, routed_to=str(dst),
+            via_prefix=has_prefix(data))
     yield Delay(env.latency.stub_pre)
     message = make_csname_request(code, data, context_id, **variant_fields)
+    if span is not None:
+        message.trace = span.context
     reply = yield Send(dst, message)
     yield Delay(env.latency.stub_post)
+    if span is not None:
+        end = yield Now()
+        env.obs.spans.finish(span, end, reply_code=code_name(reply.code),
+                             ok=reply.ok)
+        env.obs.registry.histogram(
+            "csname.resolve_seconds",
+            op=code_name(code)).observe(end - span.start)
     return reply
 
 

@@ -12,7 +12,7 @@ and the hosts.  Convenience helpers create hosts and run the clock.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.kernel.config import DEFAULT_CONFIG, KernelConfig
 from repro.kernel.groups import GroupRegistry
@@ -26,6 +26,9 @@ from repro.sim.metrics import Metrics
 from repro.sim.rng import DeterministicRng
 from repro.sim.trace import Tracer
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+
 
 class Domain:
     """One V-System installation, fully simulated."""
@@ -36,14 +39,20 @@ class Domain:
         seed: int = 0,
         config: KernelConfig = DEFAULT_CONFIG,
         tracer: Optional[Tracer] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.engine = Engine()
-        self.metrics = Metrics()
+        #: Observability bundle (span collector + metrics registry), or None.
+        #: With obs attached the kernel emits a span tree per message
+        #: transaction (see repro.obs); without it no tracing branch runs.
+        self.obs = obs
+        self.metrics = Metrics(
+            registry=obs.registry if obs is not None else None)
         self.rng = DeterministicRng(seed)
         self.latency = latency
         self.config = config
         self.tracer = tracer
-        self.ethernet = Ethernet(self.engine, latency, self.metrics)
+        self.ethernet = Ethernet(self.engine, latency, self.metrics, obs=obs)
         self.groups = GroupRegistry()
         self.hosts: dict[int, Host] = {}
         self._next_host_id = 1

@@ -36,7 +36,7 @@ from repro.kernel.errors import (
     NotAwaitingReply,
 )
 from repro.kernel.ipc import Delivery
-from repro.kernel.messages import Message, Packet, PacketKind, ReplyCode
+from repro.kernel.messages import Message, Packet, PacketKind, ReplyCode, code_name
 from repro.kernel.pids import Pid, PidAllocator
 from repro.kernel.process import Process, ProcessState, Transaction
 from repro.kernel.services import Scope, ServiceRegistry
@@ -65,6 +65,7 @@ class Host:
         self.latency = domain.latency
         self.metrics = domain.metrics
         self.config = domain.config
+        self.obs = domain.obs
 
         start = domain.rng.randint(f"pids.{host_id}", 1, 0xFFFE)
         self.allocator = PidAllocator(host_id, start=start)
@@ -80,6 +81,10 @@ class Host:
         self._getpid_waiters: dict[int, tuple[Process, Any]] = {}
         #: Group-send timeout events: txn_id -> event
         self._group_timeouts: dict[int, Any] = {}
+        #: Observability: txn_id -> transaction span (this host's senders).
+        self._txn_spans: dict[int, Any] = {}
+        #: Observability: (txn_id, receiver pid) -> server hop span.
+        self._hop_spans: dict[tuple[int, Pid], Any] = {}
 
         self.ethernet.attach(host_id, self._on_frame)
 
@@ -134,6 +139,13 @@ class Host:
         for event in self._group_timeouts.values():
             event.cancel()
         self._group_timeouts.clear()
+        if self.obs is not None:
+            for span in list(self._txn_spans.values()) + list(
+                    self._hop_spans.values()):
+                self.obs.spans.finish(span, self.engine.now,
+                                      aborted="host crashed")
+        self._txn_spans.clear()
+        self._hop_spans.clear()
         self.registry.clear()
         self.metrics.incr("kernel.crashes")
         self._trace("fault", self.name, "host crashed")
@@ -195,6 +207,13 @@ class Host:
         proc.unreplied.clear()
         for delivery in held:
             self._presence.pop(delivery.txn_id, None)
+            if self.obs is not None:
+                span = self._hop_spans.pop((delivery.txn_id, proc.pid), None)
+                if span is not None:
+                    self.obs.spans.finish(
+                        span, self.engine.now,
+                        reply_code=ReplyCode.NONEXISTENT_PROCESS.name,
+                        aborted="receiver exited")
             self._route_reply(
                 proc.pid, delivery,
                 Message.reply(ReplyCode.NONEXISTENT_PROCESS), busy=False,
@@ -238,6 +257,18 @@ class Host:
         proc.state = ProcessState.SEND_BLOCKED
         self._outstanding[txn.txn_id] = txn
         self.metrics.incr("ipc.sends")
+        if self.obs is not None:
+            # One span per message transaction, parented under whatever
+            # context the sender put on the message (e.g. the client stub's
+            # resolve span); the outgoing message carries *our* context so
+            # receiver-side hop spans chain under the transaction.
+            span = self.obs.spans.start(
+                f"ipc.txn:{code_name(effect.message.code)}", self.engine.now,
+                parent=effect.message.trace, actor=f"{self.name}/{proc.name}",
+                dst=str(effect.dst), txn=txn.txn_id,
+                request_bytes=effect.message.wire_bytes)
+            effect.message.trace = span.context
+            self._txn_spans[txn.txn_id] = span
         self._trace("ipc", proc.name,
                     f"Send {effect.message!r} -> {effect.dst!r} (txn {txn.txn_id})")
         if effect.dst.is_local_to(self.host_id):
@@ -277,6 +308,14 @@ class Host:
             return
         current.cancel_probe()
         self._group_timeouts.pop(current.txn_id, None)
+        span = self._txn_spans.pop(current.txn_id, None)
+        if span is not None:
+            self.obs.spans.finish(span, self.engine.now,
+                                  reply_code=code_name(reply.code),
+                                  reply_bytes=reply.wire_bytes)
+            self.obs.registry.histogram(
+                "ipc.txn_seconds",
+                op=code_name(current.message.code)).observe(span.duration)
         sender = self.find_process(current.sender)
         if sender is None or sender.pending_txn is not current:
             return
@@ -304,6 +343,17 @@ class Host:
         if not delivery.via_group:
             self._presence[delivery.txn_id] = ("queued", proc.pid)
         self.metrics.incr("ipc.deliveries")
+        if (self.obs is not None and delivery.message.trace is not None
+                and not delivery.via_group):
+            # The server-side hop: opens when the request lands at the
+            # receiving process, closes at its Reply or Forward.  Group
+            # deliveries are excluded -- non-owners silently discard, so
+            # their spans would never close.
+            span = self.obs.spans.start(
+                f"server:{proc.name}", self.engine.now,
+                parent=delivery.message.trace,
+                actor=f"{self.name}/{proc.name}", txn=delivery.txn_id)
+            self._hop_spans[(delivery.txn_id, proc.pid)] = span
         if proc.state is ProcessState.RECV_BLOCKED and (
             proc.recv_filter is None or proc.recv_filter == delivery.sender
         ):
@@ -328,6 +378,13 @@ class Host:
         delivery = self._find_unreplied(proc, effect.to)
         self._presence.pop(delivery.txn_id, None)
         self.metrics.incr("ipc.replies")
+        if self.obs is not None:
+            span = self._hop_spans.pop((delivery.txn_id, proc.pid), None)
+            if span is not None:
+                self.obs.spans.finish(span, self.engine.now,
+                                      reply_code=code_name(effect.message.code))
+                # The reply frame's wire span hangs off this hop.
+                effect.message.trace = span.context
         self._trace("ipc", proc.name,
                     f"Reply {effect.message!r} -> {effect.to!r} (txn {delivery.txn_id})")
         return self._route_reply(proc.pid, delivery, effect.message, busy=True,
@@ -371,6 +428,14 @@ class Host:
             )
         message = effect.message if effect.message is not None else delivery.message
         self.metrics.incr("ipc.forwards")
+        if self.obs is not None:
+            span = self._hop_spans.pop((delivery.txn_id, proc.pid), None)
+            if span is not None:
+                self.obs.spans.finish(span, self.engine.now,
+                                      forwarded_to=str(effect.dst))
+                # The next hop's span chains under this one: the span tree
+                # *is* the Sec. 5.4 forwarding path.
+                message.trace = span.context
         self._trace("ipc", proc.name,
                     f"Forward txn {delivery.txn_id} -> {effect.dst!r}")
         # Tell the sender's kernel where the transaction went, if it is here.
@@ -567,6 +632,18 @@ class Host:
         self.engine.schedule(effect.seconds, self._advance, proc, None)
         return _BLOCKED
 
+    def _do_annotate(self, proc: Process, effect: ipc.Annotate) -> Any:
+        """Zero-cost: enrich the hop span of a held transaction, if traced."""
+        if self.obs is not None:
+            span = self._hop_spans.get((effect.txn_id, proc.pid))
+            if span is not None:
+                if effect.append:
+                    for key, value in effect.attrs.items():
+                        span.append_attr(key, value)
+                else:
+                    span.attrs.update(effect.attrs)
+        return None
+
     def _do_now(self, proc: Process, effect: ipc.Now) -> Any:
         return self.engine.now
 
@@ -749,6 +826,7 @@ _EFFECT_HANDLERS = {
     ipc.LeaveGroup: Host._do_leave_group,
     ipc.GroupSend: Host._do_group_send,
     ipc.Delay: Host._do_delay,
+    ipc.Annotate: Host._do_annotate,
     ipc.Now: Host._do_now,
     ipc.MyPid: Host._do_my_pid,
     ipc.Spawn: Host._do_spawn,

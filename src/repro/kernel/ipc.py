@@ -204,6 +204,27 @@ class GroupSend:
 
 
 @dataclass
+class Annotate:
+    """Attach observability attributes to the span of a held transaction.
+
+    Servers yield this while handling the request identified by ``txn_id``
+    (its :class:`Delivery`'s transaction id) to enrich the kernel-created
+    hop span with protocol-level facts: which context was searched, how much
+    of the name was consumed, what the mapping decided.  Costs **zero
+    simulated time** and is a no-op when the domain has no observability
+    attached, so instrumented servers behave identically either way.
+
+    ``append=True`` accumulates each attribute onto a list instead of
+    overwriting -- used for per-step mapping records, which grow when a
+    server's name space links back into itself.
+    """
+
+    txn_id: int
+    attrs: dict
+    append: bool = False
+
+
+@dataclass
 class Now:
     """Resumes with the current simulated time (seconds)."""
 

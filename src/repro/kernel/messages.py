@@ -21,10 +21,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.kernel.pids import Pid
 from repro.net.latency import SHORT_MESSAGE_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.span import SpanContext
 
 
 class RequestCode(enum.IntEnum):
@@ -117,6 +120,17 @@ class ReplyCode(enum.IntEnum):
     INCONSISTENT = 0x0014         # baseline: registry disagrees with the server
 
 
+def code_name(code: int) -> str:
+    """Symbolic name for a request/reply code (hex for unknown codes)."""
+    try:
+        return RequestCode(code).name
+    except ValueError:
+        try:
+            return ReplyCode(code).name
+        except ValueError:
+            return f"{code:#06x}"
+
+
 @dataclass
 class Message:
     """A V short message: request/reply code + named fields (+ segment).
@@ -129,12 +143,18 @@ class Message:
     the wire it occupies ``segment_wire_bytes``: the maximum of its length
     and ``segment_buffer`` -- V shipped fixed-size buffers for names, which
     is what makes remote Open cost what it costs (see latency.py).
+
+    ``trace`` is the observability propagation token (see
+    :mod:`repro.obs.span`): pure metadata, never charged on the wire.  The
+    kernel rewrites it at each hop so span trees follow ``Forward`` chains;
+    a real kernel would pack the three ids into the short-message header.
     """
 
     code: int
     fields: dict[str, Any] = field(default_factory=dict)
     segment: Optional[bytes] = None
     segment_buffer: int = 0
+    trace: Optional["SpanContext"] = None
 
     def __post_init__(self) -> None:
         if self.segment is not None and not isinstance(self.segment, (bytes, bytearray)):
@@ -179,15 +199,8 @@ class Message:
                    segment_buffer=segment_buffer)
 
     def __repr__(self) -> str:
-        try:
-            name = RequestCode(self.code).name
-        except ValueError:
-            try:
-                name = ReplyCode(self.code).name
-            except ValueError:
-                name = f"{self.code:#06x}"
         seg = f" +seg[{self.segment_wire_bytes}]" if self.segment_wire_bytes else ""
-        return f"Message({name}, {self.fields}{seg})"
+        return f"Message({code_name(self.code)}, {self.fields}{seg})"
 
 
 class PacketKind(enum.Enum):

@@ -205,6 +205,10 @@ class AsyncHost:
             return None
         if isinstance(effect, ipc.GroupSend):
             return await self._do_group_send(proc, effect)
+        if isinstance(effect, ipc.Annotate):
+            # Span annotations are simulation-side observability; the socket
+            # transport carries no trace contexts, so this is a no-op.
+            return None
         if isinstance(effect, ipc.Exit):
             raise asyncio.CancelledError
         raise IllegalEffect(f"{effect!r} is not a kernel effect")

@@ -17,12 +17,16 @@ drop predicate supports network partitions.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.latency import LatencyModel
 from repro.net.packet import BROADCAST, Frame, GroupAddress
+from repro.obs.registry import DEFAULT_BYTES_BUCKETS
 from repro.sim.engine import Engine
 from repro.sim.metrics import Metrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 DeliverFn = Callable[[Frame], None]
 
@@ -39,10 +43,12 @@ class Ethernet:
         engine: Engine,
         latency: LatencyModel,
         metrics: Metrics | None = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.engine = engine
         self.latency = latency
         self.metrics = metrics if metrics is not None else Metrics()
+        self.obs = obs
         self._interfaces: dict[int, DeliverFn] = {}
         self._link_up: dict[int, bool] = {}
         self._groups: dict[int, set[int]] = {}
@@ -119,6 +125,24 @@ class Ethernet:
             self.metrics.incr("net.broadcast_frames")
         elif frame.is_multicast:
             self.metrics.incr("net.multicast_frames")
+
+        if self.obs is not None:
+            self.obs.registry.histogram(
+                "net.frame_bytes",
+                buckets=DEFAULT_BYTES_BUCKETS).observe(frame.payload_bytes)
+            message = getattr(frame.payload, "message", None)
+            trace = getattr(message, "trace", None)
+            if trace is not None:
+                # Time on the wire for a traced message, including any wait
+                # for the bus -- this is the "forwarding cost" leg of a
+                # resolution's critical path.
+                kind = getattr(frame.payload, "kind", None)
+                self.obs.spans.emit(
+                    "net.wire", start, arrival, parent=trace,
+                    actor="ethernet",
+                    kind=getattr(kind, "value", str(kind)),
+                    bytes=frame.payload_bytes, src_host=frame.src_host,
+                    dst=str(frame.dst), queued=start - now)
 
         if not self._link_up.get(frame.src_host, False):
             self.metrics.incr("net.frames_lost")

@@ -1,0 +1,277 @@
+"""Trace reporting: ``python -m repro.obs.report trace.jsonl``.
+
+Loads a span JSONL file (written by :func:`repro.obs.export.write_spans_jsonl`)
+and renders, per request:
+
+- the **hop timeline** -- the span tree with offsets, durations, and a bar
+  chart, so a forwarded ``Open`` reads as client stub -> prefix server ->
+  (wire) -> context server -> (wire) -> file server;
+- the **critical-path breakdown** -- exclusive time per actor, i.e. "where
+  did the milliseconds go: prefix server CPU, forwarding on the wire, or the
+  file server?";
+- a **top-N slowest resolutions** table across the whole file.
+
+All render functions are pure (list[str] in, strings out) so tests can
+assert on them without capturing stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.export import TraceFile, read_spans_jsonl
+from repro.obs.span import Span, SpanNode, build_tree
+
+BAR_WIDTH = 28
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}"
+
+
+def _label(span: Span, actors: Dict[int, str]) -> str:
+    name = span.name
+    csname = span.attrs.get("csname")
+    if csname and not name.startswith(("ipc.", "net.", "server:")):
+        name = f"{name} {csname!r}"
+    return name
+
+
+def _bar(start: float, end: Optional[float], window_start: float,
+         window_end: float) -> str:
+    """A fixed-width bar locating [start, end] inside the trace window."""
+    if end is None or window_end <= window_start:
+        return "?" * 3
+    scale = BAR_WIDTH / (window_end - window_start)
+    left = int((start - window_start) * scale)
+    width = max(1, round((end - start) * scale))
+    left = min(left, BAR_WIDTH - 1)
+    width = min(width, BAR_WIDTH - left)
+    return "." * left + "#" * width + "." * (BAR_WIDTH - left - width)
+
+
+def render_timeline(roots: Sequence[SpanNode],
+                    actors: Optional[Dict[int, str]] = None) -> str:
+    """The hop timeline: one line per span, indented by tree depth."""
+    actors = actors or {}
+    if not roots:
+        return "(empty trace)"
+    window_start = min(node.span.start for node in roots)
+    window_end = max((node.span.end or node.span.start) for node in roots)
+    for root in roots:
+        for __, node in root.walk():
+            if node.span.end is not None:
+                window_end = max(window_end, node.span.end)
+    lines = [f"{'offset ms':>9}  {'dur ms':>8}  {'|' + ' ' * (BAR_WIDTH - 2) + '|'}  span"]
+    for root in roots:
+        for depth, node in root.walk():
+            span = node.span
+            offset = span.start - window_start
+            duration = _ms(span.duration) if span.finished else "open"
+            bar = _bar(span.start, span.end, window_start, window_end)
+            indent = "  " * depth
+            actor = f"  [{span.actor}]" if span.actor else ""
+            lines.append(f"{_ms(offset):>9}  {duration:>8}  {bar}  "
+                         f"{indent}{_label(span, actors)}{actor}")
+    return "\n".join(lines)
+
+
+def critical_path(roots: Sequence[SpanNode]) -> List[tuple[str, float]]:
+    """Exclusive time per actor: span duration minus its children's.
+
+    This is the "time in prefix server vs. forwarding vs. file server"
+    breakdown: a span's self-time is what *it* spent that no child span
+    accounts for.  Returned sorted by time, descending.
+    """
+    totals: Dict[str, float] = {}
+    for root in roots:
+        for __, node in root.walk():
+            span = node.span
+            if not span.finished:
+                continue
+            child_time = sum(child.span.duration for child in node.children
+                             if child.span.finished)
+            exclusive = max(0.0, span.duration - child_time)
+            key = span.actor or span.name
+            totals[key] = totals.get(key, 0.0) + exclusive
+    return sorted(totals.items(), key=lambda item: item[1], reverse=True)
+
+
+def render_critical_path(roots: Sequence[SpanNode]) -> str:
+    rows = critical_path(roots)
+    total = sum(seconds for __, seconds in rows)
+    lines = [f"{'actor':<28} {'exclusive ms':>12}  {'share':>6}"]
+    for actor, seconds in rows:
+        share = seconds / total * 100 if total else 0.0
+        lines.append(f"{actor:<28} {_ms(seconds):>12}  {share:5.1f}%")
+    lines.append(f"{'total':<28} {_ms(total):>12}  100.0%")
+    return "\n".join(lines)
+
+
+def _trace_summary(trace_id: int, spans: List[Span]) -> dict:
+    roots = build_tree(spans)
+    root = roots[0].span if roots else spans[0]
+    hops = sum(1 for span in spans if span.name.startswith("server:"))
+    forwards = sum(1 for span in spans
+                   if span.attrs.get("forwarded_to") is not None)
+    reply = root.attrs.get("reply_code")
+    if reply is None:
+        for span in spans:
+            if span.attrs.get("reply_code") is not None:
+                reply = span.attrs["reply_code"]
+    return {
+        "trace_id": trace_id,
+        "root": root,
+        "total": max((s.end or s.start) for s in spans) - root.start,
+        "hops": hops,
+        "forwards": forwards,
+        "reply": reply if reply is not None else "?",
+    }
+
+
+def slowest_traces(tracefile: TraceFile, top: int = 10) -> List[dict]:
+    """Per-trace summaries, slowest first."""
+    summaries = [_trace_summary(trace_id, spans)
+                 for trace_id, spans in tracefile.traces().items()]
+    summaries.sort(key=lambda s: s["total"], reverse=True)
+    return summaries[:top]
+
+
+def render_slowest_table(tracefile: TraceFile, top: int = 10) -> str:
+    rows = slowest_traces(tracefile, top)
+    lines = [f"{'trace':>6}  {'total ms':>9}  {'hops':>4}  {'fwd':>3}  "
+             f"{'reply':<12} root"]
+    for row in rows:
+        root = row["root"]
+        name = _label(root, tracefile.actors)
+        lines.append(f"{row['trace_id']:>6}  {_ms(row['total']):>9}  "
+                     f"{row['hops']:>4}  {row['forwards']:>3}  "
+                     f"{str(row['reply']):<12} {name}")
+    return "\n".join(lines)
+
+
+def render_trace(tracefile: TraceFile, trace_id: int) -> str:
+    """Timeline + critical path for one trace."""
+    spans = tracefile.traces().get(trace_id)
+    if not spans:
+        return f"trace {trace_id} not found"
+    roots = build_tree(spans)
+    root = roots[0].span
+    out = [
+        f"trace {trace_id}: {_label(root, tracefile.actors)} "
+        f"({_ms(root.duration)} ms, {len(spans)} spans)",
+        "",
+        "hop timeline:",
+        render_timeline(roots, tracefile.actors),
+        "",
+        "critical path (exclusive time per actor):",
+        render_critical_path(roots),
+    ]
+    unfinished = [s for s in spans if not s.finished]
+    if unfinished:
+        out.append("")
+        out.append(f"warning: {len(unfinished)} span(s) never finished "
+                   f"({', '.join(s.name for s in unfinished[:5])})")
+    return "\n".join(out)
+
+
+def render_metrics(path: str | Path, top: int = 20) -> str:
+    """Summarize a metrics JSONL file (counters + histogram percentiles)."""
+    counters: List[dict] = []
+    histograms: List[dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") == "counter":
+                counters.append(record)
+            elif record.get("kind") == "histogram" and record.get("count"):
+                histograms.append(record)
+    lines: List[str] = []
+    if counters:
+        counters.sort(key=lambda r: r["value"], reverse=True)
+        lines.append(f"{'counter':<44} {'value':>12}")
+        for record in counters[:top]:
+            tag = "".join(f"{{{k}={v}}}" for k, v in
+                          sorted((record.get("tags") or {}).items()))
+            lines.append(f"{record['name'] + tag:<44} {record['value']:>12}")
+    if histograms:
+        lines.append("")
+        lines.append(f"{'histogram':<36} {'count':>7} {'mean':>9} "
+                     f"{'p50':>9} {'p95':>9} {'p99':>9}")
+        for record in histograms:
+            tag = "".join(f"{{{k}={v}}}" for k, v in
+                          sorted((record.get("tags") or {}).items()))
+            lines.append(
+                f"{record['name'] + tag:<36} {record['count']:>7} "
+                f"{record['mean']:>9.6f} {record['p50']:>9.6f} "
+                f"{record['p95']:>9.6f} {record['p99']:>9.6f}")
+    return "\n".join(lines) if lines else "(no metrics)"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render hop timelines and critical-path breakdowns "
+                    "from a span JSONL trace file.")
+    parser.add_argument("trace_file", help="span JSONL file to load")
+    parser.add_argument("--top", type=int, default=10,
+                        help="rows in the slowest-resolutions table")
+    parser.add_argument("--trace", type=int, default=None,
+                        help="render one trace id in full (default: slowest)")
+    parser.add_argument("--all", action="store_true",
+                        help="render every trace in full")
+    parser.add_argument("--metrics", default=None,
+                        help="also summarize a metrics JSONL file")
+    args = parser.parse_args(argv)
+
+    try:
+        tracefile = read_spans_jsonl(args.trace_file)
+    except OSError as err:
+        print(f"{args.trace_file}: {err.strerror or err}", file=sys.stderr)
+        return 1
+    if not tracefile.spans:
+        print(f"{args.trace_file}: no spans")
+        return 1
+
+    print(f"{args.trace_file}: {len(tracefile.spans)} spans, "
+          f"{len(tracefile.traces())} traces")
+    print()
+    print(f"slowest resolutions (top {args.top}):")
+    print(render_slowest_table(tracefile, args.top))
+
+    if args.all:
+        targets = [s["trace_id"] for s in
+                   slowest_traces(tracefile, len(tracefile.traces()))]
+    elif args.trace is not None:
+        targets = [args.trace]
+    else:
+        slowest = slowest_traces(tracefile, 1)
+        targets = [slowest[0]["trace_id"]] if slowest else []
+    for trace_id in targets:
+        print()
+        print(render_trace(tracefile, trace_id))
+
+    if args.metrics:
+        print()
+        print(f"metrics ({args.metrics}):")
+        try:
+            print(render_metrics(args.metrics))
+        except OSError as err:
+            print(f"{args.metrics}: {err.strerror or err}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output piped into `head` or a closed pager -- not an error.
+        sys.exit(0)

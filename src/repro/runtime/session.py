@@ -13,7 +13,7 @@ a generator over kernel effects and every one routed through the single
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.core.context import ContextPair, WellKnownContext
 from repro.core.descriptors import ObjectDescription
@@ -32,6 +32,9 @@ from repro.kernel.pids import Pid
 from repro.net.latency import LatencyModel
 from repro.vio.client import FileStream
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+
 Gen = Generator[Any, Any, Any]
 
 
@@ -39,10 +42,11 @@ class Session:
     """One program's view of the name space."""
 
     def __init__(self, current: ContextPair, prefix_server: Optional[Pid],
-                 latency: LatencyModel) -> None:
+                 latency: LatencyModel,
+                 obs: Optional["Observability"] = None) -> None:
         self.env = NamingEnvironment(current=current,
                                      prefix_server=prefix_server,
-                                     latency=latency)
+                                     latency=latency, obs=obs)
 
     # ------------------------------------------------------------ properties
 

@@ -55,7 +55,8 @@ class Workstation:
                 "no current context: pass one or set default_context "
                 "(standard_prefixes does this)")
         return Session(current=context, prefix_server=self.prefix_pid,
-                       latency=self.host.latency)
+                       latency=self.host.latency,
+                       obs=self.host.domain.obs)
 
     def run_program(self, body_factory, name: str = "program") -> Process:
         """Spawn a user program; ``body_factory(session)`` returns its body."""

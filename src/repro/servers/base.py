@@ -36,4 +36,7 @@ def start_server(host: Host, server: CSNHServer,
     the kernel with ``MyPid``); the handle's ``pid`` is valid immediately.
     """
     process = host.spawn(server.body(), name=name or server.server_name)
-    return ServerHandle(server=server, process=process, host=host)
+    handle = ServerHandle(server=server, process=process, host=host)
+    if host.domain.obs is not None:
+        host.domain.obs.register_actor(handle.pid, server.server_name)
+    return handle

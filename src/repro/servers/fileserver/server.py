@@ -177,7 +177,6 @@ class VFileServer(CSNHServer):
 
     def map_request(self, delivery: Delivery, header: CSNameHeader) -> Gen:
         """Like the base procedure, but creating opens resolve the parent."""
-        yield from ()
         code = delivery.message.code
         want_parent = code in {
             int(RequestCode.CREATE_FILE), int(RequestCode.CREATE_CONTEXT),
@@ -188,8 +187,8 @@ class VFileServer(CSNHServer):
         if code == int(RequestCode.OPEN_FILE):
             mode = str(delivery.message.get("mode", "r"))
             want_parent = mode != "r"
-        return map_name(self._namespace, header.context_id, header.name,
-                        header.name_index, want_parent=want_parent)
+        return (yield from self.run_mapping(delivery, header,
+                                            want_parent=want_parent))
 
     # ------------------------------------------------------------------ open
 

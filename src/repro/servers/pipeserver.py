@@ -24,7 +24,7 @@ from repro.core.descriptors import (
     ObjectDescription,
     PipeDescription,
 )
-from repro.core.mapping import Leaf, MappingOutcome, ResolvedObject, ResolvedParent, map_name
+from repro.core.mapping import Leaf, MappingOutcome, ResolvedObject, ResolvedParent
 from repro.core.names import BadName, validate_component
 from repro.core.protocol import CSNameHeader
 from repro.kernel.ipc import Delay, Delivery
@@ -151,13 +151,12 @@ class PipeServer(CSNHServer):
         return self._namespace
 
     def map_request(self, delivery: Delivery, header: CSNameHeader) -> Gen:
-        yield from ()
         code = delivery.message.code
         want_parent = code == int(RequestCode.DELETE_NAME)
         if code == int(RequestCode.OPEN_FILE):
             want_parent = str(delivery.message.get("mode", "r")) != "r"
-        return map_name(self._namespace, header.context_id, header.name,
-                        header.name_index, want_parent=want_parent)
+        return (yield from self.run_mapping(delivery, header,
+                                            want_parent=want_parent))
 
     # ------------------------------------------------------------------- ops
 

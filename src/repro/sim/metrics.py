@@ -4,14 +4,32 @@ Benchmarks observe the simulation exclusively through this module, so the
 same recorders serve unit tests (exact assertions against calibrated
 constants) and the benchmark harness (summary statistics for the tables in
 EXPERIMENTS.md).
+
+Since the observability work this is a thin compatibility shim over
+:class:`repro.obs.registry.MetricsRegistry`: every ``incr`` lands in a real
+registry counter (shared with the span-emitting kernel when a Domain is
+built with an :class:`~repro.obs.Observability` bundle), and every latency
+sample is mirrored into a registry histogram, so ``repro.obs.export`` sees
+benchmark latencies without the benches changing a line.  The exact-sample
+:class:`LatencyRecorder` is kept because tests assert calibrated constants
+to sub-percent tolerance, which fixed buckets cannot represent.
 """
 
 from __future__ import annotations
 
 import math
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.obs.registry import Histogram, MetricsError, MetricsRegistry, NoSamplesError
+
+__all__ = [
+    "LatencyRecorder",
+    "LatencySummary",
+    "Metrics",
+    "MetricsError",
+    "NoSamplesError",
+]
 
 
 @dataclass
@@ -24,6 +42,8 @@ class LatencySummary:
     maximum: float
     p50: float
     p95: float
+    p99: float
+    stddev: float
 
     @property
     def mean_ms(self) -> float:
@@ -35,16 +55,25 @@ class LatencySummary:
 
 
 class LatencyRecorder:
-    """Collects latency samples for one named operation."""
+    """Collects exact latency samples for one named operation.
 
-    def __init__(self, name: str) -> None:
+    When given a ``mirror`` histogram every sample is also observed there,
+    so a shared :class:`~repro.obs.registry.MetricsRegistry` exports the
+    same data in bucketed form.
+    """
+
+    def __init__(self, name: str, mirror: Optional[Histogram] = None) -> None:
         self.name = name
         self.samples: list[float] = []
+        self.mirror = mirror
 
     def record(self, seconds: float) -> None:
         if seconds < 0:
-            raise ValueError(f"negative latency sample for {self.name!r}: {seconds}")
+            raise MetricsError(
+                f"negative latency sample for {self.name!r}: {seconds}")
         self.samples.append(seconds)
+        if self.mirror is not None:
+            self.mirror.observe(seconds)
 
     def extend(self, samples: Iterable[float]) -> None:
         for sample in samples:
@@ -52,48 +81,60 @@ class LatencyRecorder:
 
     def summary(self) -> LatencySummary:
         if not self.samples:
-            raise ValueError(f"no samples recorded for {self.name!r}")
+            raise NoSamplesError(f"no samples recorded for {self.name!r}")
         ordered = sorted(self.samples)
+        count = len(ordered)
+        mean = sum(ordered) / count
+        variance = sum((s - mean) ** 2 for s in ordered) / count
         return LatencySummary(
-            count=len(ordered),
-            mean=sum(ordered) / len(ordered),
+            count=count,
+            mean=mean,
             minimum=ordered[0],
             maximum=ordered[-1],
             p50=_percentile(ordered, 0.50),
             p95=_percentile(ordered, 0.95),
+            p99=_percentile(ordered, 0.99),
+            stddev=math.sqrt(variance),
         )
 
 
 def _percentile(ordered: list[float], fraction: float) -> float:
     """Nearest-rank percentile over a pre-sorted sample list."""
     if not ordered:
-        raise ValueError("empty sample list")
+        raise NoSamplesError("empty sample list")
     rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
     return ordered[rank]
 
 
-@dataclass
 class Metrics:
     """A bag of named counters and latency recorders shared by a simulation.
 
     Components increment counters (``metrics.incr("net.frames")``) and record
     latencies (``metrics.latency("open.remote").record(dt)``); benches read
-    them back after the run.
+    them back after the run.  Pass ``registry=`` to share instruments with an
+    observability bundle; otherwise a private registry is created.
     """
 
-    counters: dict[str, int] = field(default_factory=lambda: defaultdict(int))
-    _recorders: dict[str, LatencyRecorder] = field(default_factory=dict)
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._recorders: dict[str, LatencyRecorder] = {}
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Legacy dict view of the (untagged) counters."""
+        return self.registry.counter_values()
 
     def incr(self, name: str, amount: int = 1) -> None:
-        self.counters[name] += amount
+        self.registry.counter(name).incr(amount)
 
     def count(self, name: str) -> int:
-        return self.counters.get(name, 0)
+        return self.registry.counter_value(name)
 
     def latency(self, name: str) -> LatencyRecorder:
         recorder = self._recorders.get(name)
         if recorder is None:
-            recorder = LatencyRecorder(name)
+            recorder = LatencyRecorder(
+                name, mirror=self.registry.histogram(f"latency.{name}"))
             self._recorders[name] = recorder
         return recorder
 
@@ -115,5 +156,7 @@ class Metrics:
                     "mean_ms": summary.mean_ms,
                     "p50_ms": summary.p50 * 1e3,
                     "p95_ms": summary.p95 * 1e3,
+                    "p99_ms": summary.p99 * 1e3,
+                    "stddev_ms": summary.stddev * 1e3,
                 }
         return result

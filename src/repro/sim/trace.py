@@ -13,6 +13,7 @@ anyway) or meaningfully slow real execution.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -31,16 +32,27 @@ class TraceEvent:
 
 
 class Tracer:
-    """An append-only event log with simple querying."""
+    """An append-only event log with simple querying.
+
+    ``limit`` bounds memory as a *ring buffer*: once full, recording a new
+    event drops the oldest one (and counts it in ``dropped``).  A long run
+    therefore always ends with the most recent -- usually most interesting --
+    events, instead of a snapshot of the warm-up and silence thereafter.
+    """
 
     def __init__(self, limit: int | None = None) -> None:
-        self.events: list[TraceEvent] = []
+        self._events: deque[TraceEvent] = deque(maxlen=limit)
         self.limit = limit
+        self.dropped = 0
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
 
     def record(self, time: float, category: str, subject: str, detail: str) -> None:
-        if self.limit is not None and len(self.events) >= self.limit:
-            return
-        self.events.append(TraceEvent(time, category, subject, detail))
+        if self.limit is not None and len(self._events) == self.limit:
+            self.dropped += 1
+        self._events.append(TraceEvent(time, category, subject, detail))
 
     def select(
         self,

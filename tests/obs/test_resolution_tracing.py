@@ -1,0 +1,217 @@
+"""End-to-end tracing: span trees across CSNH forwarding hops.
+
+The acceptance scenario for the observability work: a forwarded resolution
+(``[home]naming.mss`` crossing prefix server -> file server) must produce a
+single trace id whose span tree shows every hop with correct parent/child
+links -- and a failed resolution must close its spans with the reply code
+that killed it.
+"""
+
+import pytest
+
+from repro.core.context import ContextPair, WellKnownContext
+from repro.core.mapping import MappingFault
+from repro.core.csnh import CSNHServer
+from repro.core.resolver import NameError_
+from repro.kernel.domain import Domain
+from repro.kernel.messages import ReplyCode
+from repro.obs import Observability
+from repro.obs.export import read_spans_jsonl
+from repro.obs.report import render_trace
+from repro.runtime import files
+from repro.runtime.workstation import setup_workstation, standard_prefixes
+from repro.servers import VFileServer, start_server
+from tests.helpers import run_on
+
+
+def obs_system(seed: int = 0):
+    """The Sec. 6 arrangement with an Observability bundle attached."""
+    domain = Domain(seed=seed, obs=Observability())
+    workstation = setup_workstation(domain, "mann")
+    handle = start_server(domain.create_host("vax1"), VFileServer(user="mann"))
+    standard_prefixes(workstation, handle)
+    return domain, workstation, handle
+
+
+def last_resolve(obs: Observability, op: str, csname: str):
+    """The most recent root span for ``op`` on ``csname``."""
+    matches = [span for span in obs.spans.find(f"resolve:{op}")
+               if span.attrs.get("csname") == csname]
+    assert matches, f"no resolve:{op} span for {csname!r}"
+    return matches[-1]
+
+
+class TestForwardedResolution:
+    def run_forwarded_open(self):
+        domain, workstation, handle = obs_system()
+
+        def client(session):
+            yield from files.write_file(session, "[home]naming.mss", b"x" * 64)
+            stream = yield from session.open("[home]naming.mss", "r")
+            yield from stream.close()
+
+        run_on(domain, workstation.host, client(workstation.session()))
+        return domain, workstation, handle
+
+    def test_single_trace_with_linked_hops(self):
+        domain, __, handle = self.run_forwarded_open()
+        obs = domain.obs
+        root = last_resolve(obs, "OPEN_FILE", "[home]naming.mss")
+        spans = obs.spans.trace(root.trace_id)
+
+        # One trace id covers the whole walk, and every span closed.
+        assert {span.trace_id for span in spans} == {root.trace_id}
+        assert all(span.finished for span in spans)
+        assert root.attrs["ok"] is True
+        assert root.attrs["reply_code"] == "OK"
+
+        # Tree shape: resolve -> ipc.txn -> prefix hop -> fileserver hop,
+        # each hop the child of the hop that forwarded to it.
+        (tree,) = obs.spans.tree(root.trace_id)
+        assert tree.span is root
+        (txn,) = tree.children
+        assert txn.span.name.startswith("ipc.txn")
+        by_name = {span.name: span for span in spans}
+        prefix_hop = by_name["server:prefix-server"]
+        fs_hop = by_name["server:fileserver"]
+        assert prefix_hop.parent_id == txn.span.span_id
+        assert fs_hop.parent_id == prefix_hop.span_id
+
+        # The prefix hop records what it matched and where it forwarded.
+        assert prefix_hop.attrs["prefix"] == "home"
+        assert prefix_hop.attrs["binding"] == "fixed"
+        assert prefix_hop.attrs["forwarded_to"] == str(handle.pid)
+        (prefix_step,) = prefix_hop.attrs["mapping"]
+        assert prefix_step["outcome"] == "forward"
+        assert prefix_step["consumed"] == len("[home]")
+
+        # The file server hop finished the walk and replied OK.
+        assert fs_hop.attrs["reply_code"] == "OK"
+        (fs_step,) = fs_hop.attrs["mapping"]
+        assert fs_step["outcome"] == "resolved"
+        assert "naming.mss=leaf" in fs_hop.attrs["walk"]
+
+        # The forwarded request and the direct reply each crossed the wire.
+        wires = obs.spans.find("net.wire", trace_id=root.trace_id)
+        assert len(wires) == 2
+        assert {span.parent_id for span in wires} == {
+            prefix_hop.span_id, fs_hop.span_id}
+
+    def test_registry_sees_the_resolution(self):
+        domain, __, __ = self.run_forwarded_open()
+        registry = domain.obs.registry
+        histogram = registry.histogram("csname.resolve_seconds",
+                                       op="OPEN_FILE")
+        assert histogram.count >= 1
+        assert histogram.minimum > 0
+        assert registry.histogram("net.frame_bytes").count > 0
+
+    def test_export_read_report_round_trip(self, tmp_path):
+        domain, __, __ = self.run_forwarded_open()
+        obs = domain.obs
+        root = last_resolve(obs, "OPEN_FILE", "[home]naming.mss")
+        path = tmp_path / "trace.jsonl"
+        obs.export_spans(path)
+        tracefile = read_spans_jsonl(path)
+        assert "prefix" in tracefile.actors.values()
+        assert "fileserver" in tracefile.actors.values()
+        text = render_trace(tracefile, root.trace_id)
+        assert "server:prefix-server" in text
+        assert "server:fileserver" in text
+        assert "critical path" in text
+        assert "never finished" not in text
+
+
+class DenyingServer(CSNHServer):
+    """A server whose name space refuses everyone (the failing fixture)."""
+
+    server_name = "denying"
+
+    def map_request(self, delivery, header):
+        yield from ()
+        return MappingFault(ReplyCode.NO_PERMISSION, "owner only")
+
+
+def failing_open(domain, workstation, session, name: str):
+    """Open ``name``; return the NameError_ code the stub raised."""
+
+    def client():
+        try:
+            yield from session.open(name, "r")
+        except NameError_ as err:
+            return err.code
+        return None
+
+    return run_on(domain, workstation.host, client())
+
+
+class TestFailureReplies:
+    """Every NameError_ branch, and the span evidence it leaves behind."""
+
+    def test_not_found_from_the_forwarded_server(self):
+        domain, workstation, __ = obs_system()
+        code = failing_open(domain, workstation, workstation.session(),
+                            "[home]missing.txt")
+        assert code is ReplyCode.NOT_FOUND
+        root = last_resolve(domain.obs, "OPEN_FILE", "[home]missing.txt")
+        assert root.attrs["reply_code"] == "NOT_FOUND"
+        assert root.attrs["ok"] is False
+        fs_hop = domain.obs.spans.find("server:fileserver",
+                                       trace_id=root.trace_id)[-1]
+        (step,) = fs_hop.attrs["mapping"]
+        assert step == {"server": "fileserver",
+                        "context_id": int(WellKnownContext.HOME),
+                        "name_index": len("[home]"),
+                        "outcome": "fault", "fault": "NOT_FOUND"}
+
+    def test_invalid_context_from_a_bad_context_id(self):
+        domain, workstation, handle = obs_system()
+        session = workstation.session(ContextPair(handle.pid, 0x4242))
+        code = failing_open(domain, workstation, session, "naming.mss")
+        assert code is ReplyCode.INVALID_CONTEXT
+        root = last_resolve(domain.obs, "OPEN_FILE", "naming.mss")
+        assert root.attrs["reply_code"] == "INVALID_CONTEXT"
+
+    def test_bad_name_from_an_unterminated_prefix(self):
+        domain, workstation, __ = obs_system()
+        code = failing_open(domain, workstation, workstation.session(),
+                            "[unclosed")
+        assert code is ReplyCode.BAD_NAME
+        root = last_resolve(domain.obs, "OPEN_FILE", "[unclosed")
+        assert root.attrs["reply_code"] == "BAD_NAME"
+        hop = domain.obs.spans.find("server:prefix",
+                                    trace_id=root.trace_id)[-1]
+        (step,) = hop.attrs["mapping"]
+        assert step["fault"] == "BAD_NAME"
+
+    def test_no_permission_from_a_denying_server(self):
+        domain, workstation, __ = obs_system()
+        deny = start_server(domain.create_host("vault"), DenyingServer())
+        session = workstation.session(
+            ContextPair(deny.pid, int(WellKnownContext.DEFAULT)))
+        code = failing_open(domain, workstation, session, "secret.txt")
+        assert code is ReplyCode.NO_PERMISSION
+        root = last_resolve(domain.obs, "OPEN_FILE", "secret.txt")
+        assert root.attrs["reply_code"] == "NO_PERMISSION"
+        hop = domain.obs.spans.find("server:denying",
+                                    trace_id=root.trace_id)[-1]
+        (step,) = hop.attrs["mapping"]
+        assert step["outcome"] == "fault"
+        assert step["fault"] == "NO_PERMISSION"
+
+    def test_no_server_when_no_prefix_server_exists(self):
+        domain, workstation, __ = obs_system()
+        session = workstation.session()
+        session.env.prefix_server = None
+        code = failing_open(domain, workstation, session, "[home]x")
+        assert code is ReplyCode.NO_SERVER
+
+    def test_failures_leave_no_dangling_spans(self):
+        domain, workstation, handle = obs_system()
+        failing_open(domain, workstation, workstation.session(),
+                     "[home]missing.txt")
+        failing_open(domain, workstation, workstation.session(), "[unclosed")
+        failing_open(domain, workstation,
+                     workstation.session(ContextPair(handle.pid, 0x7777)),
+                     "nope")
+        assert domain.obs.spans.unfinished() == []

@@ -1,0 +1,125 @@
+"""Unit tests for spans, span contexts, and trace-tree reconstruction."""
+
+import pytest
+
+from repro.obs.span import Span, SpanContext, TraceCollector, build_tree
+
+
+class TestSpanBasics:
+    def test_root_span_starts_a_new_trace(self):
+        collector = TraceCollector()
+        a = collector.start("resolve:OPEN_FILE", 0.0)
+        b = collector.start("resolve:OPEN_FILE", 1.0)
+        assert a.parent_id is None
+        assert b.parent_id is None
+        assert a.trace_id != b.trace_id
+        assert a.span_id != b.span_id
+
+    def test_child_joins_parent_trace(self):
+        collector = TraceCollector()
+        root = collector.start("resolve:OPEN_FILE", 0.0)
+        child = collector.start("ipc.txn", 0.1, parent=root.context)
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+
+    def test_ids_are_deterministic_across_collectors(self):
+        def run():
+            collector = TraceCollector()
+            root = collector.start("a", 0.0)
+            child = collector.start("b", 0.1, parent=root.context)
+            return (root.trace_id, root.span_id,
+                    child.trace_id, child.span_id, child.parent_id)
+
+        assert run() == run()
+
+    def test_finish_sets_end_and_merges_attrs(self):
+        collector = TraceCollector()
+        span = collector.start("op", 1.0, colour="blue")
+        assert not span.finished
+        assert span.duration == 0.0
+        collector.finish(span, 1.5, reply_code="OK")
+        assert span.finished
+        assert span.duration == 0.5
+        assert span.attrs == {"colour": "blue", "reply_code": "OK"}
+
+    def test_annotate_and_append_attr(self):
+        span = Span("op", SpanContext(1, 1), start=0.0)
+        span.annotate(mode="r")
+        span.append_attr("walk", "bin=context")
+        span.append_attr("walk", "ls=leaf")
+        assert span.attrs["mode"] == "r"
+        assert span.attrs["walk"] == ["bin=context", "ls=leaf"]
+
+    def test_emit_records_completed_span(self):
+        collector = TraceCollector()
+        span = collector.emit("net.wire", 0.2, 0.3, bytes=64)
+        assert span.finished
+        assert span.duration == pytest.approx(0.1)
+        assert span.attrs["bytes"] == 64
+        assert collector.spans == [span]
+
+
+class TestCollectorQueries:
+    def _populate(self):
+        collector = TraceCollector()
+        root = collector.start("resolve:OPEN_FILE", 0.0)
+        hop = collector.start("server:prefix", 0.2, parent=root.context)
+        late = collector.start("server:fileserver", 0.5, parent=hop.context)
+        collector.finish(late, 0.7)
+        collector.finish(hop, 0.8)
+        collector.finish(root, 1.0)
+        other = collector.start("resolve:DELETE_NAME", 2.0)
+        return collector, root, hop, late, other
+
+    def test_trace_returns_spans_in_start_order(self):
+        collector, root, hop, late, __ = self._populate()
+        assert collector.trace(root.trace_id) == [root, hop, late]
+
+    def test_trace_ids_deduplicated_in_first_seen_order(self):
+        collector, root, __, __, other = self._populate()
+        assert collector.trace_ids() == [root.trace_id, other.trace_id]
+
+    def test_unfinished_lists_open_spans(self):
+        collector, __, __, __, other = self._populate()
+        assert collector.unfinished() == [other]
+
+    def test_find_by_prefix_and_trace(self):
+        collector, root, hop, late, other = self._populate()
+        assert collector.find("server:") == [hop, late]
+        assert collector.find("resolve:", trace_id=other.trace_id) == [other]
+        assert len(collector) == 4
+
+
+class TestTreeBuilding:
+    def test_tree_links_parents_and_orders_children_by_start(self):
+        collector = TraceCollector()
+        root = collector.start("root", 0.0)
+        second = collector.start("second", 0.6, parent=root.context)
+        first = collector.start("first", 0.1, parent=root.context)
+        for span in (second, first, root):
+            collector.finish(span, 1.0)
+        roots = collector.tree(root.trace_id)
+        assert len(roots) == 1
+        assert roots[0].span is root
+        assert [node.span for node in roots[0].children] == [first, second]
+
+    def test_orphaned_span_becomes_a_root(self):
+        # A truncated export may lack the parent; the child must still render.
+        orphan = Span("hop", SpanContext(trace_id=7, span_id=3, parent_id=99),
+                      start=0.5, end=0.6)
+        roots = build_tree([orphan])
+        assert len(roots) == 1
+        assert roots[0].span is orphan
+
+    def test_walk_is_depth_first_with_depths(self):
+        collector = TraceCollector()
+        root = collector.start("root", 0.0)
+        mid = collector.start("mid", 0.1, parent=root.context)
+        leaf = collector.start("leaf", 0.2, parent=mid.context)
+        sibling = collector.start("sibling", 0.3, parent=root.context)
+        for span in (leaf, mid, sibling, root):
+            collector.finish(span, 1.0)
+        (tree,) = collector.tree(root.trace_id)
+        visited = [(depth, node.span.name) for depth, node in tree.walk()]
+        assert visited == [(0, "root"), (1, "mid"), (2, "leaf"),
+                           (1, "sibling")]
