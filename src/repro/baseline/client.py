@@ -10,7 +10,11 @@ exchange imports the staleness the paper predicts: "Caching the name in the
 client would introduce inconsistency problems and only benefit the few
 applications that reuse names."  The cache here deliberately has no
 invalidation protocol, because building one is precisely the consistency
-machinery the paper says the centralized model forces on you.
+machinery the paper says the centralized model forces on you.  It is the
+``ttl=None`` configuration of :class:`repro.core.namecache.BindingCache` --
+same substrate as the V-side hint cache, minus every freshness channel that
+module wires up (advice learning, stale-reply fallback, prefix notices,
+registration-removal subscription).
 
 Multi-step operations expose their crash windows explicitly
 (``delete(..., crash_after=...)``) so E8b can inject failures between the
@@ -22,6 +26,7 @@ from __future__ import annotations
 import enum
 from typing import Any, Generator, Optional
 
+from repro.core.namecache import BindingCache
 from repro.core.names import as_name_bytes
 from repro.kernel.ipc import Delay, Send
 from repro.kernel.messages import Message, ReplyCode, RequestCode
@@ -56,13 +61,18 @@ class BaselineClient:
     """Client-side library for the centralized naming model."""
 
     def __init__(self, name_server: Pid, latency: LatencyModel,
-                 cache_enabled: bool = False) -> None:
+                 cache_enabled: bool = False,
+                 cache_max_entries: int = 4096) -> None:
         self.name_server = name_server
         self.latency = latency
         self.cache_enabled = cache_enabled
-        self._cache: dict[bytes, tuple[int, Pid]] = {}
+        # Deliberately-stale configuration: no TTL, no invalidation channel.
+        self._cache = BindingCache(max_entries=cache_max_entries, ttl=None)
         self.name_server_transactions = 0
-        self.cache_hits = 0
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache.hits
 
     # ----------------------------------------------------------------- lookup
 
@@ -72,7 +82,6 @@ class BaselineClient:
         if self.cache_enabled:
             cached = self._cache.get(key)
             if cached is not None:
-                self.cache_hits += 1
                 return cached
         yield Delay(self.latency.stub_pre)
         reply = yield Send(self.name_server, Message.request(
@@ -83,7 +92,7 @@ class BaselineClient:
             raise BaselineError("lookup", reply.reply_code)
         binding = (int(reply["uid"]), Pid(int(reply["server_pid"])))
         if self.cache_enabled:
-            self._cache[key] = binding
+            self._cache.put(key, binding)
         return binding
 
     # ----------------------------------------------------------------- create
@@ -138,7 +147,7 @@ class BaselineClient:
         self.name_server_transactions += 1
         if not reply.ok:
             raise BaselineError("delete.unregister", reply.reply_code)
-        self._cache.pop(key, None)
+        self._cache.invalidate(key)
 
     # ------------------------------------------------------------------- open
 
@@ -162,4 +171,4 @@ class BaselineClient:
         if name is None:
             self._cache.clear()
         else:
-            self._cache.pop(as_name_bytes(name), None)
+            self._cache.invalidate(as_name_bytes(name))

@@ -11,11 +11,14 @@
 - :mod:`repro.core.inverse` -- inverse mappings and their failure modes (Sec. 6).
 - :mod:`repro.core.prefix_server` -- the per-user context prefix server (Sec. 5.8, 6).
 - :mod:`repro.core.resolver` -- the client-side stub routines (Sec. 6).
+- :mod:`repro.core.namecache` -- the client-side binding cache with
+  stale-hint recovery (Sec. 5's direct-binding observation, E12).
 - :mod:`repro.core.group_naming` -- multicast name resolution (Sec. 7).
 """
 
 from repro.core.context import ContextPair, WellKnownContext
 from repro.core.descriptors import DescriptorTag, ObjectDescription
+from repro.core.namecache import BindingCache, NameCache
 from repro.core.names import parse_prefix, split_components
 from repro.core.prefix_server import ContextPrefixServer
 from repro.core.protocol import make_csname_request
@@ -29,4 +32,6 @@ __all__ = [
     "parse_prefix",
     "split_components",
     "ContextPrefixServer",
+    "BindingCache",
+    "NameCache",
 ]

@@ -35,8 +35,10 @@ from repro.core.mapping import (
     map_name,
 )
 from repro.core.protocol import (
+    FIELD_HINT_SERVICE,
     CSNameHeader,
     is_csname_request,
+    make_binding_advice,
     read_csname_header,
     rewrite_for_forward,
 )
@@ -130,6 +132,9 @@ class CSNHServer:
         self.contexts = ContextTable()
         self._csname_ops: dict[int, Any] = {}
         self._request_ops: dict[int, Any] = {}
+        #: Per-transaction binding advice, stashed when the mapping lands on
+        #: this server and attached to the reply by the reply glue below.
+        self._advice: dict[int, dict] = {}
         self._register_standard_ops()
 
     # ------------------------------------------------------------- op tables
@@ -285,6 +290,15 @@ class CSNHServer:
             yield from self.reply_error(delivery, outcome.code,
                                         detail=outcome.detail)
             return
+        # The mapping landed here: remember the binding the client could
+        # have used to skip every upstream hop -- our pid plus the header as
+        # it arrived at this server.  The reply glue attaches it to an OK
+        # reply (repro.core.namecache learns from it); advice fields ride in
+        # the short-message variant part, so this costs nothing on the wire.
+        assert self.pid is not None
+        self._advice[delivery.txn_id] = make_binding_advice(
+            self.pid, header.context_id, header.name_index,
+            hint_service=message.get(FIELD_HINT_SERVICE))
         handler = self._csname_ops.get(message.code)
         if handler is None:
             # We own the name but not the operation: the request reached the
@@ -302,6 +316,8 @@ class CSNHServer:
             rewritten = rewrite_for_forward(delivery.message,
                                             outcome.pair.context_id,
                                             outcome.index)
+            if outcome.extra_fields:
+                rewritten.fields.update(outcome.extra_fields)
             patched = Delivery(message=rewritten, sender=delivery.sender,
                                txn_id=delivery.txn_id,
                                forwarder=delivery.forwarder,
@@ -310,17 +326,23 @@ class CSNHServer:
             return
         rewritten = rewrite_for_forward(delivery.message,
                                         outcome.pair.context_id, outcome.index)
+        if outcome.extra_fields:
+            rewritten.fields.update(outcome.extra_fields)
         yield ForwardEffect(delivery, outcome.pair.server, rewritten)
 
     # ------------------------------------------------------------- reply glue
 
     def reply(self, delivery: Delivery, message: Message) -> Gen:
+        advice = self._advice.pop(delivery.txn_id, None)
+        if advice is not None and message.ok:
+            for key, value in advice.items():
+                message.fields.setdefault(key, value)
         yield Reply(delivery.sender, message)
 
     def reply_ok(self, delivery: Delivery, segment: bytes | None = None,
                  **fields: Any) -> Gen:
-        yield Reply(delivery.sender,
-                    Message.reply(ReplyCode.OK, segment=segment, **fields))
+        yield from self.reply(
+            delivery, Message.reply(ReplyCode.OK, segment=segment, **fields))
 
     def reply_error(self, delivery: Delivery, code: ReplyCode,
                     **fields: Any) -> Gen:
@@ -330,6 +352,7 @@ class CSNHServer:
         with its own name" and non-owners simply discard (Sec. 2.2): exactly
         one member is expected to answer.
         """
+        self._advice.pop(delivery.txn_id, None)
         if delivery.via_group:
             yield from ()
             return

@@ -97,10 +97,18 @@ class ResolvedParent:
 
 @dataclass(frozen=True)
 class ForwardName:
-    """Interpretation must continue at another server (Sec. 5.4 forwarding)."""
+    """Interpretation must continue at another server (Sec. 5.4 forwarding).
+
+    ``extra_fields`` lets the forwarding server stamp variant fields onto
+    the rewritten request (beyond the standard header rewrite) -- the prefix
+    server uses it to mark requests forwarded through a *generic* binding,
+    so the final server's binding advice can tell the client to re-resolve
+    the service pid rather than cache it (see repro.core.namecache).
+    """
 
     pair: ContextPair
     index: int
+    extra_fields: Optional[dict] = None
 
 
 @dataclass(frozen=True)

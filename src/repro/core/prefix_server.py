@@ -43,7 +43,7 @@ from repro.core.mapping import (
     ResolvedParent,
 )
 from repro.core.names import BadName, as_text, parse_prefix, validate_component
-from repro.core.protocol import CSNameHeader
+from repro.core.protocol import FIELD_HINT_SERVICE, CSNameHeader
 from repro.kernel.ipc import Annotate, Delivery, GetPid
 from repro.kernel.messages import ReplyCode, RequestCode
 from repro.kernel.pids import Pid
@@ -87,6 +87,11 @@ class ContextPrefixServer(CSNHServer):
         self.parse_cpu = parse_cpu
         self.user = user
         self.table = _PrefixTable()
+        #: Client-side binding caches to notify when a prefix is deleted or
+        #: rebound (repro.core.namecache).  The prefix server and its client
+        #: caches share the workstation, so a notice is a shared-memory
+        #: write: zero simulated cost, no message.
+        self._caches: list[Any] = []
         self.contexts.register_well_known(WellKnownContext.DEFAULT, self.table)
         self.register_csname_op(RequestCode.ADD_CONTEXT_NAME, self.op_add_prefix)
         self.register_csname_op(RequestCode.DELETE_CONTEXT_NAME, self.op_delete_prefix)
@@ -98,6 +103,8 @@ class ContextPrefixServer(CSNHServer):
     def define_prefix(self, name: str | bytes, pair: ContextPair) -> None:
         """Install a fixed binding."""
         key = validate_component(_as_prefix(name))
+        if key in self.table.bindings:
+            self._notify_invalidate(key)
         self.table.bindings[key] = PrefixBinding(name=key, fixed=pair)
 
     def define_generic_prefix(self, name: str | bytes, service: int,
@@ -105,11 +112,40 @@ class ContextPrefixServer(CSNHServer):
                               ) -> None:
         """Install a generic binding (GetPid at each use)."""
         key = validate_component(_as_prefix(name))
+        if key in self.table.bindings:
+            self._notify_invalidate(key)
         self.table.bindings[key] = PrefixBinding(
             name=key, generic_service=int(service), generic_context=context_id)
 
     def remove_prefix(self, name: str | bytes) -> bool:
-        return self.table.bindings.pop(_as_prefix(name), None) is not None
+        key = _as_prefix(name)
+        removed = self.table.bindings.pop(key, None) is not None
+        if removed:
+            self._notify_invalidate(key)
+        return removed
+
+    # ------------------------------------------------- cache notification
+
+    def attach_cache(self, cache: Any) -> None:
+        """Register a client-side binding cache for invalidation notices.
+
+        ``cache`` needs one method: ``invalidate_prefix(prefix, reason)``.
+        Attached caches hear about every prefix deletion and rebinding, so
+        the common staleness (an administrator repointing ``[proj]``) is
+        handled proactively; the optimistic-send recovery path remains the
+        correctness backstop for everything the notices cannot see (remote
+        server restarts, context garbage collection...).
+        """
+        if cache not in self._caches:
+            self._caches.append(cache)
+
+    def detach_cache(self, cache: Any) -> None:
+        if cache in self._caches:
+            self._caches.remove(cache)
+
+    def _notify_invalidate(self, prefix: bytes) -> None:
+        for cache in self._caches:
+            cache.invalidate_prefix(prefix, reason="prefix-notice")
 
     def binding(self, name: str | bytes) -> Optional[PrefixBinding]:
         return self.table.bindings.get(_as_prefix(name))
@@ -154,8 +190,12 @@ class ContextPrefixServer(CSNHServer):
                 return MappingFault(
                     ReplyCode.NO_SERVER,
                     f"no server for generic prefix [{as_text(prefix)}]")
-            return ForwardName(ContextPair(pid, binding.generic_context),
-                               rest_index)
+            # Mark the forwarded request as generic-bound: the final server
+            # echoes the service id in its binding advice, telling caching
+            # clients to keep re-resolving the pid instead of pinning it.
+            return ForwardName(
+                ContextPair(pid, binding.generic_context), rest_index,
+                extra_fields={FIELD_HINT_SERVICE: int(binding.generic_service)})
         assert binding.fixed is not None
         return ForwardName(binding.fixed, rest_index)
 
@@ -174,6 +214,9 @@ class ContextPrefixServer(CSNHServer):
         if exists and not bool(message.get("replace", False)):
             yield from self.reply_error(delivery, ReplyCode.NAME_EXISTS)
             return
+        if exists:
+            # Rebinding: anything cached under the old binding is now stale.
+            self._notify_invalidate(key)
         service = message.get("service_id")
         if service is not None:
             binding = PrefixBinding(
@@ -198,6 +241,7 @@ class ContextPrefixServer(CSNHServer):
         if self.table.bindings.pop(resolution.component, None) is None:
             yield from self.reply_error(delivery, ReplyCode.NOT_FOUND)
             return
+        self._notify_invalidate(bytes(resolution.component))
         yield from self.reply_ok(delivery)
 
     # --------------------------------------------------- directory & queries

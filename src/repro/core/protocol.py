@@ -18,15 +18,31 @@ fields live under reserved keys every server knows, independent of the op.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
+from repro.core.context import ContextPair
 from repro.core.names import MAX_NAME_BYTES, as_name_bytes
 from repro.kernel.messages import Message, RequestCode
+from repro.kernel.pids import Pid
 
 #: Reserved field names of the standard CSname header.
 FIELD_CONTEXT_ID = "context_id"
 FIELD_NAME_INDEX = "name_index"
 FIELD_NAME_LENGTH = "name_length"
+
+#: Binding-advice field names (Sec. 5 hint caching, see repro.core.namecache).
+#: A CSNH server that answers a CSname request OK attaches the binding the
+#: client could have used to reach it directly: its own pid, the context id
+#: the request carried on arrival, and the name index at which its own
+#: interpretation began.  A prefix server forwarding through a *generic*
+#: binding additionally stamps ``FIELD_HINT_SERVICE`` onto the forwarded
+#: request, and the final server echoes it, so the client learns the prefix
+#: is generic and keeps re-resolving the service pid with GetPid.  All four
+#: fields ride in the short-message variant part: zero extra wire cost.
+FIELD_BOUND_SERVER = "bound_server"
+FIELD_BOUND_CONTEXT = "bound_context"
+FIELD_BOUND_INDEX = "bound_index"
+FIELD_HINT_SERVICE = "hint_service"
 
 #: Request codes defined by the base protocol that carry a CSname.  Servers
 #: register additional ones with :func:`register_csname_request`; "there is
@@ -123,6 +139,37 @@ def read_csname_header(message: Message) -> CSNameHeader:
         name_index=int(message.fields[FIELD_NAME_INDEX]),
         context_id=int(message.fields[FIELD_CONTEXT_ID]),
     )
+
+
+def make_binding_advice(server: Pid, context_id: int, name_index: int,
+                        hint_service: Optional[int] = None) -> dict[str, Any]:
+    """The advice fields a CSNH server attaches to an OK CSname reply."""
+    advice: dict[str, Any] = {
+        FIELD_BOUND_SERVER: int(server.value),
+        FIELD_BOUND_CONTEXT: int(context_id),
+        FIELD_BOUND_INDEX: int(name_index),
+    }
+    if hint_service is not None:
+        advice[FIELD_HINT_SERVICE] = int(hint_service)
+    return advice
+
+
+def read_binding_advice(
+    reply: Message,
+) -> Optional[tuple[ContextPair, int, Optional[int]]]:
+    """Decode a reply's binding advice: ``(pair, name_index, service|None)``.
+
+    Returns None when the reply carries no advice (pre-advice servers, or
+    non-CSname replies); a client must treat advice as strictly optional.
+    """
+    raw_server = reply.get(FIELD_BOUND_SERVER)
+    raw_context = reply.get(FIELD_BOUND_CONTEXT)
+    raw_index = reply.get(FIELD_BOUND_INDEX)
+    if raw_server is None or raw_context is None or raw_index is None:
+        return None
+    service = reply.get(FIELD_HINT_SERVICE)
+    pair = ContextPair(Pid(int(raw_server)), int(raw_context))
+    return pair, int(raw_index), int(service) if service is not None else None
 
 
 def rewrite_for_forward(message: Message, context_id: int,

@@ -58,6 +58,21 @@ class Domain:
         self._next_host_id = 1
         #: (task name, exception) for every process that died with an error.
         self.failures: list[tuple[str, BaseException]] = []
+        #: Domain-wide registration-removal listeners: every host's service
+        #: registry reports removals here (see Host), so a binding cache can
+        #: watch one hub instead of every kernel table.
+        self._pid_removal_listeners: list[Callable[[Pid], None]] = []
+
+    # -------------------------------------------------- registration removal
+
+    def on_pid_removed(self, callback: Callable[[Pid], None]) -> None:
+        """Subscribe to service-registration removals anywhere in the domain."""
+        if callback not in self._pid_removal_listeners:
+            self._pid_removal_listeners.append(callback)
+
+    def _notify_pid_removed(self, pid: Pid) -> None:
+        for callback in list(self._pid_removal_listeners):
+            callback(pid)
 
     # ----------------------------------------------------------------- hosts
 

@@ -71,6 +71,10 @@ class Host:
         self.allocator = PidAllocator(host_id, start=start)
         self.processes: dict[int, Process] = {}
         self.registry = ServiceRegistry()
+        # Surface this kernel's registration removals at the domain hub so
+        # holders of looked-up pids (the client name cache) can subscribe in
+        # one place rather than per host.
+        self.registry.subscribe_removals(domain._notify_pid_removed)
         self.crashed = False
 
         #: Sender-side: txn_id -> Transaction for this host's blocked senders.

@@ -179,6 +179,53 @@ def render_trace(tracefile: TraceFile, trace_id: int) -> str:
     return "\n".join(out)
 
 
+def render_cache_summary(counters: Sequence[dict]) -> str:
+    """The name-cache scoreboard, derived from ``namecache.*`` counters.
+
+    Hits are broken out by binding source (full-name hint, cached prefix
+    binding, generic service pid); fallbacks are hits that turned out stale
+    and were re-resolved, so they are subtracted from the effective rate.
+    """
+    hits_by_source: Dict[str, int] = {}
+    totals = {"hits": 0, "misses": 0, "fallbacks": 0, "invalidations": 0}
+    invalidations_by_reason: Dict[str, int] = {}
+    seen = False
+    for record in counters:
+        name = record.get("name", "")
+        if not name.startswith("namecache."):
+            continue
+        seen = True
+        value = int(record.get("value", 0))
+        tags = record.get("tags") or {}
+        kind = name[len("namecache."):]
+        if kind in totals:
+            totals[kind] += value
+        if kind == "hits" and "source" in tags:
+            source = str(tags["source"])
+            hits_by_source[source] = hits_by_source.get(source, 0) + value
+        if kind == "invalidations" and "reason" in tags:
+            reason = str(tags["reason"])
+            invalidations_by_reason[reason] = (
+                invalidations_by_reason.get(reason, 0) + value)
+    if not seen:
+        return ""
+    lookups = totals["hits"] + totals["misses"]
+    effective = max(0, totals["hits"] - totals["fallbacks"])
+    rate = effective / lookups if lookups else 0.0
+    lines = [f"{'name cache':<28} {'value':>12}"]
+    lines.append(f"{'lookups':<28} {lookups:>12}")
+    for source in sorted(hits_by_source):
+        lines.append(f"{'hits{source=%s}' % source:<28} "
+                     f"{hits_by_source[source]:>12}")
+    lines.append(f"{'misses':<28} {totals['misses']:>12}")
+    lines.append(f"{'fallbacks (stale hits)':<28} {totals['fallbacks']:>12}")
+    for reason in sorted(invalidations_by_reason):
+        lines.append(f"{'invalidations{reason=%s}' % reason:<28} "
+                     f"{invalidations_by_reason[reason]:>12}")
+    lines.append(f"{'effective hit rate':<28} {rate:>11.1%}")
+    return "\n".join(lines)
+
+
 def render_metrics(path: str | Path, top: int = 20) -> str:
     """Summarize a metrics JSONL file (counters + histogram percentiles)."""
     counters: List[dict] = []
@@ -212,6 +259,10 @@ def render_metrics(path: str | Path, top: int = 20) -> str:
                 f"{record['name'] + tag:<36} {record['count']:>7} "
                 f"{record['mean']:>9.6f} {record['p50']:>9.6f} "
                 f"{record['p95']:>9.6f} {record['p99']:>9.6f}")
+    cache_summary = render_cache_summary(counters)
+    if cache_summary:
+        lines.append("")
+        lines.append(cache_summary)
     return "\n".join(lines) if lines else "(no metrics)"
 
 

@@ -33,6 +33,7 @@ from repro.net.latency import LatencyModel
 from repro.vio.client import FileStream
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.namecache import NameCache
     from repro.obs import Observability
 
 Gen = Generator[Any, Any, Any]
@@ -43,10 +44,11 @@ class Session:
 
     def __init__(self, current: ContextPair, prefix_server: Optional[Pid],
                  latency: LatencyModel,
-                 obs: Optional["Observability"] = None) -> None:
+                 obs: Optional["Observability"] = None,
+                 cache: Optional["NameCache"] = None) -> None:
         self.env = NamingEnvironment(current=current,
                                      prefix_server=prefix_server,
-                                     latency=latency, obs=obs)
+                                     latency=latency, obs=obs, cache=cache)
 
     # ------------------------------------------------------------ properties
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.context import ContextPair, WellKnownContext
+from repro.core.namecache import NameCache
 from repro.core.prefix_server import ContextPrefixServer
 from repro.kernel.domain import Domain
 from repro.kernel.host import Host
@@ -36,6 +37,10 @@ class Workstation:
     user: str
     default_context: Optional[ContextPair] = None
     extra_servers: list = field(default_factory=list)
+    #: Shared client-side binding cache for this workstation's sessions,
+    #: or None (the default: uncached, the paper's E4 behaviour).  Enable
+    #: with :meth:`enable_name_cache`.
+    name_cache: Optional[NameCache] = None
 
     @property
     def prefix_server(self) -> ContextPrefixServer:
@@ -56,21 +61,48 @@ class Workstation:
                 "(standard_prefixes does this)")
         return Session(current=context, prefix_server=self.prefix_pid,
                        latency=self.host.latency,
-                       obs=self.host.domain.obs)
+                       obs=self.host.domain.obs,
+                       cache=self.name_cache)
 
     def run_program(self, body_factory, name: str = "program") -> Process:
         """Spawn a user program; ``body_factory(session)`` returns its body."""
         return self.host.spawn(body_factory(self.session()), name=name)
 
+    def enable_name_cache(self, getpid_ttl: float = 5.0, max_hints: int = 512,
+                          watch_registry: bool = True) -> NameCache:
+        """Turn on client-side binding caching for this workstation.
+
+        Every session created afterwards shares one :class:`NameCache`,
+        which is attached to the local prefix server for proactive
+        delete/rebind notices and (when ``watch_registry`` is true) to the
+        domain's registration-removal hub so dead generic bindings drop
+        immediately.  ``watch_registry=False`` leaves staleness to the
+        optimistic-send recovery path -- what the fault benchmarks exercise.
+        """
+        if self.name_cache is None:
+            domain = self.host.domain
+            registry = domain.obs.registry if domain.obs is not None else None
+            self.name_cache = NameCache(getpid_ttl=getpid_ttl,
+                                        max_hints=max_hints,
+                                        registry=registry)
+            self.prefix_server.attach_cache(self.name_cache)
+            if watch_registry:
+                domain.on_pid_removed(self.name_cache.note_pid_removed)
+        return self.name_cache
+
 
 def setup_workstation(domain: Domain, user: str,
-                      name: str | None = None) -> Workstation:
+                      name: str | None = None,
+                      name_cache: bool = False) -> Workstation:
     """Create a diskless workstation running the user's prefix server."""
     host = domain.create_host(name or f"ws-{user}")
     prefix = ContextPrefixServer(parse_cpu=domain.latency.prefix_server_cpu,
                                  user=user)
     handle = start_server(host, prefix, name="prefix-server")
-    return Workstation(host=host, prefix=handle, user=user)
+    workstation = Workstation(host=host, prefix=handle, user=user)
+    if name_cache:
+        workstation.enable_name_cache()
+    return workstation
 
 
 def standard_prefixes(workstation: Workstation,

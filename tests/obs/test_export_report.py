@@ -141,6 +141,24 @@ class TestRenderers:
         text = render_metrics(path)
         assert "ipc.sends" in text
         assert "lat" in text
+        assert "name cache" not in text  # no namecache counters exported
+
+    def test_render_metrics_cache_scoreboard(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("namecache.hits", source="hint").incr(7)
+        registry.counter("namecache.hits", source="prefix").incr(2)
+        registry.counter("namecache.misses").incr(1)
+        registry.counter("namecache.fallbacks").incr(1)
+        registry.counter("namecache.invalidations",
+                         reason="stale-reply").incr(3)
+        path = tmp_path / "metrics.jsonl"
+        write_metrics_jsonl(registry, path)
+        text = render_metrics(path)
+        assert "name cache" in text
+        assert "hits{source=hint}" in text
+        assert "invalidations{reason=stale-reply}" in text
+        # (7 + 2 hits - 1 stale fallback) / 10 lookups = 80%
+        assert "80.0%" in text
 
 
 class TestCli:

@@ -1,0 +1,95 @@
+"""Property: cached resolution is observationally equal to cold resolution.
+
+The binding cache is a pure performance layer -- it may change *where* a
+request is first sent, never *what* the caller observes.  For random
+operation sequences (writes, reads, deletes, queries) interleaved with
+prefix rebindings, the same sequence is run twice on identically-seeded
+systems -- once with the cache enabled, once without -- and every per-op
+outcome (returned data, or the error code raised) must be identical.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import ContextPair, WellKnownContext
+from repro.core.resolver import NameError_
+from repro.kernel.domain import Domain
+from repro.runtime import files
+from repro.runtime.workstation import setup_workstation, standard_prefixes
+from repro.servers import VFileServer, start_server
+from repro.sim.rng import DeterministicRng
+from tests.helpers import run_on
+
+NAMES = ["[home]a.txt", "[home]b.txt", "[home]docs/c.txt",
+         "[other]a.txt", "[other]d.txt"]
+
+
+def make_ops(seed: int, length: int = 18) -> list[tuple]:
+    """A random op sequence, including occasional prefix rebindings."""
+    rng = DeterministicRng(seed)
+    ops = []
+    for step in range(length):
+        kind = rng.choice(f"kind{step}",
+                          ["write", "write", "read", "read", "read",
+                           "query", "remove", "rebind"])
+        if kind == "rebind":
+            ops.append(("rebind", rng.randint(f"target{step}", 0, 1)))
+        elif kind == "write":
+            ops.append(("write", rng.choice(f"name{step}", NAMES),
+                        b"v%d" % step))
+        else:
+            ops.append((kind, rng.choice(f"name{step}", NAMES)))
+    return ops
+
+
+def run_sequence(seed: int, ops: list[tuple], cached: bool) -> list[tuple]:
+    domain = Domain(seed=seed)
+    ws = setup_workstation(domain, "mann")
+    servers = [start_server(domain.create_host(f"vax{i}"),
+                            VFileServer(user="mann")) for i in range(2)]
+    standard_prefixes(ws, servers[0])
+    ws.prefix_server.define_prefix(
+        "other", ContextPair(servers[1].pid, int(WellKnownContext.HOME)))
+    for handle in servers:
+        handle.server.store.make_path("docs", directory=True)
+    cache = ws.enable_name_cache() if cached else None
+
+    def client(session):
+        outcomes = []
+        for op in ops:
+            try:
+                if op[0] == "rebind":
+                    pair = ContextPair(servers[op[1]].pid,
+                                       int(WellKnownContext.HOME))
+                    yield from session.add_prefix("home", pair, replace=True)
+                    outcomes.append(("rebind", "ok"))
+                elif op[0] == "write":
+                    yield from files.write_file(session, op[1], op[2])
+                    outcomes.append(("write", "ok"))
+                elif op[0] == "read":
+                    data = yield from files.read_file(session, op[1])
+                    outcomes.append(("read", data))
+                elif op[0] == "remove":
+                    yield from session.remove(op[1])
+                    outcomes.append(("remove", "ok"))
+                else:
+                    record = yield from session.query(op[1])
+                    outcomes.append(("query", record.TAG.name, record.name))
+            except NameError_ as err:
+                outcomes.append((op[0], f"error:{err.code.name}"))
+        return outcomes
+
+    outcomes = run_on(domain, ws.host, client(ws.session()))
+    if cache is not None:
+        # The cache must actually have been exercised for the comparison
+        # to mean anything.
+        assert cache.stats.lookups > 0
+    return outcomes
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=500))
+def test_cached_equals_cold_resolution(seed):
+    ops = make_ops(seed)
+    cold = run_sequence(seed, ops, cached=False)
+    warm = run_sequence(seed, ops, cached=True)
+    assert warm == cold
