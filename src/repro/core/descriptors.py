@@ -37,6 +37,7 @@ class DescriptorTag(enum.IntEnum):
     PRINT_JOB = 8
     PIPE = 9
     NAME_BINDING = 10    # centralized-baseline registry entry
+    STAT = 11            # a live introspection object ([obs] stat server)
 
 
 class DescriptorError(ValueError):
@@ -355,6 +356,31 @@ class PipeDescription(ObjectDescription):
         ("buffered_bytes", "u32"),
         ("readers", "u16"),
         ("writers", "u16"),
+    )
+    MUTABLE = frozenset()
+
+
+@dataclass
+class StatDescription(ObjectDescription):
+    """A live introspection object served by an [obs] stat server.
+
+    The object is a snapshot *generator*, not stored bytes: ``size_bytes``
+    is the size of the payload built for this query, ``captured`` the
+    simulated time it was built, and ``format`` the payload encoding
+    (``json`` or ``jsonl``).  Everything is read-only.
+    """
+
+    host: str = ""
+    format: str = "json"
+    size_bytes: int = 0
+    captured: float = 0.0
+
+    TAG = DescriptorTag.STAT
+    SPECS = (
+        ("host", "str"),
+        ("format", "str"),
+        ("size_bytes", "u64"),
+        ("captured", "f64"),
     )
     MUTABLE = frozenset()
 

@@ -415,3 +415,45 @@ class NameCache:
             "prefixes": len(self._prefixes),
             "services": len(self._services),
         }
+
+    def snapshot(self) -> dict:
+        """JSON-ready cache contents and counters.
+
+        Served live as ``[obs]/hosts/<host>/namecache``; building it costs
+        zero simulated time (plain memory reads by the stat server).
+        """
+        hints = [
+            {"name": key.decode("utf-8", errors="replace"),
+             "server_pid": pair.server.value,
+             "context_id": pair.context_id,
+             "name_index": index}
+            for key, (pair, index) in self._hints.items()
+        ]
+        prefixes = []
+        for prefix, entry in self._prefixes.items():
+            record = {"prefix": prefix.decode("utf-8", errors="replace")}
+            if isinstance(entry, GenericBinding):
+                record.update(generic=True, service=entry.service,
+                              context_id=entry.context_id)
+            else:
+                record.update(generic=False, server_pid=entry.server.value,
+                              context_id=entry.context_id)
+            prefixes.append(record)
+        services = [
+            {"service": service, "pid": pid.value}
+            for service, pid in self._services.items()
+        ]
+        return {
+            "footprint": self.footprint(),
+            "stats": {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "fallbacks": self.stats.fallbacks,
+                "invalidations": self.stats.invalidations,
+                "hit_rate": self.stats.hit_rate,
+                "hits_by_source": dict(self.stats.hits_by_source),
+            },
+            "hints": hints,
+            "prefixes": prefixes,
+            "services": services,
+        }

@@ -52,10 +52,23 @@ class Domain:
         self.latency = latency
         self.config = config
         self.tracer = tracer
+        if obs is not None and tracer is not None:
+            # Let the span exporter report the event ring buffer's drop
+            # count alongside the spans (see repro.obs.export).
+            obs.tracer = tracer
         self.ethernet = Ethernet(self.engine, latency, self.metrics, obs=obs)
         self.groups = GroupRegistry()
         self.hosts: dict[int, Host] = {}
         self._next_host_id = 1
+        #: The [obs] namespace manager once enable_obs_namespace() ran, else
+        #: None.  Kept here so enabling twice is idempotent.
+        self.obs_namespace = None
+        #: host_id -> client NameCache, registered by the runtime layer so
+        #: the stat server can serve [obs]/hosts/<h>/namecache.
+        self.name_caches: dict[int, object] = {}
+        #: Callbacks fired with each newly created Host (the obs namespace
+        #: uses this to cover late-created machines with stat servers).
+        self._host_created_listeners: list[Callable[[Host], None]] = []
         #: (task name, exception) for every process that died with an error.
         self.failures: list[tuple[str, BaseException]] = []
         #: Domain-wide registration-removal listeners: every host's service
@@ -74,6 +87,11 @@ class Domain:
         for callback in list(self._pid_removal_listeners):
             callback(pid)
 
+    def on_host_created(self, callback: Callable[[Host], None]) -> None:
+        """Subscribe to future :meth:`create_host` calls."""
+        if callback not in self._host_created_listeners:
+            self._host_created_listeners.append(callback)
+
     # ----------------------------------------------------------------- hosts
 
     def create_host(self, name: str | None = None) -> Host:
@@ -82,6 +100,8 @@ class Domain:
         self._next_host_id += 1
         host = Host(self, host_id, name or f"host{host_id}")
         self.hosts[host_id] = host
+        for callback in list(self._host_created_listeners):
+            callback(host)
         return host
 
     def create_hosts(self, count: int, prefix: str = "host") -> list[Host]:

@@ -76,6 +76,11 @@ class Host:
         # one place rather than per host.
         self.registry.subscribe_removals(domain._notify_pid_removed)
         self.crashed = False
+        #: Per-host IPC counters (the domain metrics registry aggregates
+        #: across machines; introspection wants this kernel's share).
+        self.counters: dict[str, int] = {}
+        #: When this kernel came up (simulated seconds); reset by restart().
+        self.started_at = self.engine.now
 
         #: Sender-side: txn_id -> Transaction for this host's blocked senders.
         self._outstanding: dict[int, Transaction] = {}
@@ -160,6 +165,8 @@ class Host:
             return
         self.crashed = False
         self.ethernet.set_link(self.host_id, True)
+        self.counters.clear()
+        self.started_at = self.engine.now
         self._trace("fault", self.name, "host restarted")
 
     # --------------------------------------------------------- process loop
@@ -261,6 +268,7 @@ class Host:
         proc.state = ProcessState.SEND_BLOCKED
         self._outstanding[txn.txn_id] = txn
         self.metrics.incr("ipc.sends")
+        self._count("ipc.sends")
         if self.obs is not None:
             # One span per message transaction, parented under whatever
             # context the sender put on the message (e.g. the client stub's
@@ -325,6 +333,7 @@ class Host:
             return
         sender.pending_txn = None
         self.metrics.incr("ipc.transactions")
+        self._count("ipc.transactions")
         self._advance(sender, value=reply)
 
     # -- Receive ---------------------------------------------------------------
@@ -347,6 +356,7 @@ class Host:
         if not delivery.via_group:
             self._presence[delivery.txn_id] = ("queued", proc.pid)
         self.metrics.incr("ipc.deliveries")
+        self._count("ipc.deliveries")
         if (self.obs is not None and delivery.message.trace is not None
                 and not delivery.via_group):
             # The server-side hop: opens when the request lands at the
@@ -382,6 +392,7 @@ class Host:
         delivery = self._find_unreplied(proc, effect.to)
         self._presence.pop(delivery.txn_id, None)
         self.metrics.incr("ipc.replies")
+        self._count("ipc.replies")
         if self.obs is not None:
             span = self._hop_spans.pop((delivery.txn_id, proc.pid), None)
             if span is not None:
@@ -432,6 +443,7 @@ class Host:
             )
         message = effect.message if effect.message is not None else delivery.message
         self.metrics.incr("ipc.forwards")
+        self._count("ipc.forwards")
         if self.obs is not None:
             span = self._hop_spans.pop((delivery.txn_id, proc.pid), None)
             if span is not None:
@@ -808,6 +820,55 @@ class Host:
             self._transmit(probe, txn.dst.logical_host)
             self.metrics.incr("ipc.probes")
         self._schedule_probe(txn)
+
+    # ----------------------------------------------------------- introspection
+
+    def _count(self, name: str) -> None:
+        """Bump a per-host counter (zero simulated cost; plain dict incr)."""
+        self.counters[name] = self.counters.get(name, 0) + 1
+
+    @property
+    def uptime(self) -> float:
+        """Simulated seconds since boot (or last restart)."""
+        return self.engine.now - self.started_at
+
+    def snapshot(self) -> dict:
+        """JSON-ready kernel state for the ``[obs]`` stat server.
+
+        Capturing this is zero-cost in simulated time; *reading* it goes
+        through the normal V I/O path and is charged like any other traffic.
+        Also refreshes the ``host.uptime_seconds`` gauge in the domain
+        metrics registry so offline metric exports carry it too.
+        """
+        if self.obs is not None:
+            self.obs.registry.gauge(
+                "host.uptime_seconds", host=self.name).set(self.uptime)
+        return {
+            "host": self.name,
+            "host_id": self.host_id,
+            "time": self.engine.now,
+            "crashed": self.crashed,
+            "uptime_seconds": self.uptime,
+            "process_count": len(self.processes),
+            "outstanding_txns": len(self._outstanding),
+            "counters": dict(sorted(self.counters.items())),
+            "registrations": self.registry.snapshot(),
+        }
+
+    def process_snapshot(self) -> list[dict]:
+        """JSON-ready process table (``[obs]/hosts/<host>/processes``)."""
+        records = []
+        for proc in self.processes.values():
+            records.append({
+                "pid": proc.pid.value,
+                "local_id": proc.pid.local_id,
+                "name": proc.name,
+                "state": proc.state.name.lower(),
+                "queued": len(proc.msg_queue),
+                "unreplied": len(proc.unreplied),
+            })
+        records.sort(key=lambda r: r["local_id"])
+        return records
 
     # ----------------------------------------------------------------- trace
 

@@ -55,6 +55,7 @@ class ServiceId(enum.IntEnum):
     MAIL = 9
     NAME_SERVER = 10     # centralized baseline only
     PIPE = 11
+    OBS = 12             # the [obs] introspection name space (root obs server)
 
     @property
     def logical_pid(self) -> Pid:
@@ -152,3 +153,25 @@ class ServiceRegistry:
         for entries in self._entries.values():
             result.extend(entries)
         return result
+
+    def snapshot(self) -> list[dict]:
+        """JSON-ready view of the table, one record per registration.
+
+        Service ids that match a well-known :class:`ServiceId` are labelled
+        with its name; private ids keep the bare number.  This is what the
+        stat server serves as ``[obs]/hosts/<host>/services``.
+        """
+        records = []
+        for entry in self.registrations():
+            try:
+                service_name = ServiceId(entry.service).name.lower()
+            except ValueError:
+                service_name = str(entry.service)
+            records.append({
+                "service": entry.service,
+                "service_name": service_name,
+                "pid": entry.pid.value,
+                "scope": entry.scope.value,
+            })
+        records.sort(key=lambda r: (r["service"], r["scope"]))
+        return records

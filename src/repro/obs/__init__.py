@@ -64,13 +64,26 @@ class Observability:
         self.spans = spans if spans is not None else TraceCollector()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.actors: Dict[int, str] = {}
+        #: The domain's ring-buffer event Tracer, linked by Domain.__init__
+        #: when both are present, so exports can report its drop count.
+        self.tracer: Any = None
 
     def register_actor(self, pid: Any, kind: str) -> None:
         """Label a process (by pid) with its server kind for reports."""
         self.actors[int(getattr(pid, "value", pid))] = kind
 
+    def export_meta(self) -> dict:
+        """Run-level metadata for span exports (tracer drop counts)."""
+        if self.tracer is None:
+            return {}
+        return {
+            "dropped_events": int(getattr(self.tracer, "dropped", 0)),
+            "event_limit": getattr(self.tracer, "limit", None),
+        }
+
     def export_spans(self, path: str | Path) -> int:
-        return write_spans_jsonl(self.spans, path, actors=self.actors)
+        return write_spans_jsonl(self.spans, path, actors=self.actors,
+                                 meta=self.export_meta())
 
     def export_metrics(self, path: str | Path) -> int:
         return write_metrics_jsonl(self.registry, path)

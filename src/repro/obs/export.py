@@ -5,7 +5,10 @@ the file in memory, concatenate across runs, and grep cleanly.  Two record
 shapes share a file format via a ``"kind"`` discriminator:
 
 - ``{"kind": "span", ...}`` -- one finished (or abandoned) span;
-- ``{"kind": "actor", ...}`` -- pid -> server-kind labels for pretty reports.
+- ``{"kind": "actor", ...}`` -- pid -> server-kind labels for pretty reports;
+- ``{"kind": "meta", ...}`` -- one optional leading record of run metadata
+  (notably ``dropped_events`` from the ring-buffer tracer, so a truncated
+  trace does not read as complete).
 
 Metric snapshots use their own file (``write_metrics_jsonl``) with
 ``counter`` / ``gauge`` / ``histogram`` records.
@@ -54,17 +57,24 @@ def write_spans_jsonl(
     source: Union[TraceCollector, Iterable[Span]],
     path: str | Path,
     actors: Optional[Dict[int, str]] = None,
+    meta: Optional[dict] = None,
 ) -> int:
     """Write every span (and optional actor labels) to ``path``.
 
     Returns the number of span records written.  Unfinished spans are
     exported with ``"end": null`` so a report can flag them rather than
-    silently losing work that was in flight when the run stopped.
+    silently losing work that was in flight when the run stopped.  ``meta``
+    (if given and non-empty) becomes a single leading ``"kind": "meta"``
+    record -- the exporter's place for run-level facts such as the event
+    tracer's dropped count.
     """
     spans = source.spans if isinstance(source, TraceCollector) else list(source)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", encoding="utf-8") as handle:
+        if meta:
+            handle.write(json.dumps(
+                {"kind": "meta", **_jsonable(meta)}) + "\n")
         for pid_value, kind in sorted((actors or {}).items()):
             handle.write(json.dumps(
                 {"kind": "actor", "pid": pid_value, "server": kind}) + "\n")
@@ -94,6 +104,12 @@ class TraceFile:
 
     spans: List[Span] = field(default_factory=list)
     actors: Dict[int, str] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def dropped_events(self) -> int:
+        """Events the ring-buffer tracer discarded during the traced run."""
+        return int(self.meta.get("dropped_events", 0) or 0)
 
     def traces(self) -> Dict[int, List[Span]]:
         """trace_id -> spans in start order."""
@@ -132,6 +148,9 @@ def read_spans_jsonl(path: str | Path) -> TraceFile:
             kind = record.get("kind", "span")
             if kind == "actor":
                 result.actors[int(record["pid"])] = str(record["server"])
+            elif kind == "meta":
+                result.meta.update(
+                    {k: v for k, v in record.items() if k != "kind"})
             elif kind == "span":
                 result.spans.append(_span_from_record(record))
     return result

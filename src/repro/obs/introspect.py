@@ -1,0 +1,134 @@
+"""Live introspection payloads for the ``[obs]`` name space.
+
+The stat server (:mod:`repro.servers.statserver`) exposes observability
+state as readable file-like objects.  This module builds the *payloads*:
+each function takes live kernel/observability objects and returns the bytes
+a client reads back through the V I/O protocol.
+
+Two formats, both line-oriented and grep-friendly:
+
+- ``json`` -- one pretty-printed JSON document (per-host snapshots);
+- ``jsonl`` -- one JSON record per line, in exactly the record shapes of
+  :mod:`repro.obs.export`, so ``repro.obs.report --live`` reuses the same
+  renderers on live reads as on exported files.
+
+Building a payload is plain memory reads -- **zero simulated cost**.  The
+simulated price of introspection is paid where it belongs: in the messages
+that carry the request to the stat server and the payload blocks back
+(`reads are real traffic`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.export import span_record
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.domain import Domain
+    from repro.kernel.host import Host
+    from repro.obs.registry import MetricsRegistry
+
+#: Default cap on the spans served by ``spans/recent`` -- the newest N
+#: finished spans, so the payload stays bounded on long runs.
+RECENT_SPANS_LIMIT = 200
+
+
+def _json_bytes(value) -> bytes:
+    return (json.dumps(value, indent=2, sort_keys=True) + "\n").encode()
+
+
+def _jsonl_bytes(records) -> bytes:
+    return "".join(json.dumps(record) + "\n" for record in records).encode()
+
+
+# ---------------------------------------------------------------- per host
+
+
+def host_metrics_payload(host: "Host") -> bytes:
+    """``[obs]/hosts/<host>/metrics``: the kernel's live counters."""
+    return _json_bytes(host.snapshot())
+
+
+def host_services_payload(host: "Host") -> bytes:
+    """``[obs]/hosts/<host>/services``: the SetPid/GetPid table."""
+    return _json_bytes(host.registry.snapshot())
+
+
+def host_processes_payload(host: "Host") -> bytes:
+    """``[obs]/hosts/<host>/processes``: the kernel process table."""
+    return _json_bytes(host.process_snapshot())
+
+
+def host_namecache_payload(host: "Host") -> bytes:
+    """``[obs]/hosts/<host>/namecache``: binding-cache contents + counters.
+
+    A host without a client name cache (servers-only machines) serves an
+    explicit ``enabled: false`` stub rather than an error -- the *name*
+    exists on every host, uniformly.
+    """
+    cache = host.domain.name_caches.get(host.host_id)
+    if cache is None:
+        return _json_bytes({"enabled": False, "host": host.name})
+    snap = cache.snapshot()
+    snap["enabled"] = True
+    snap["host"] = host.name
+    return _json_bytes(snap)
+
+
+def host_spans_payload(host: "Host",
+                       limit: int = RECENT_SPANS_LIMIT) -> bytes:
+    """``[obs]/hosts/<host>/spans/recent``: newest finished spans.
+
+    Spans are attributed to the host whose kernel opened them (the actor
+    label is ``<host>/<process>``).  JSONL in the export record shape.
+    """
+    obs = host.domain.obs
+    if obs is None:
+        return b""
+    needle = f"{host.name}/"
+    picked = [span for span in obs.spans.spans
+              if span.end is not None and span.actor.startswith(needle)]
+    return _jsonl_bytes(span_record(span) for span in picked[-limit:])
+
+
+# ------------------------------------------------------------------- fleet
+
+
+def metrics_records(registry: "MetricsRegistry",
+                    prefix: Optional[str] = None) -> list[dict]:
+    """Registry snapshot as export-shaped records (kind discriminator)."""
+    snap = registry.snapshot(prefix=prefix)
+    records = []
+    for kind in ("counters", "gauges", "histograms"):
+        for record in snap[kind]:
+            records.append({"kind": kind.rstrip("s"), **record})
+    return records
+
+
+def fleet_metrics_payload(domain: "Domain") -> bytes:
+    """``[obs]/fleet/metrics``: the whole registry, export-shaped JSONL."""
+    for host in domain.hosts.values():
+        if not host.crashed:
+            host.snapshot()  # refresh per-host uptime gauges
+    return _jsonl_bytes(metrics_records(domain.metrics.registry))
+
+
+def fleet_hosts_payload(domain: "Domain") -> bytes:
+    """``[obs]/fleet/hosts``: one kernel snapshot per live machine."""
+    records = [host.snapshot() for host in domain.hosts.values()
+               if not host.crashed]
+    records.sort(key=lambda r: r["host_id"])
+    return _json_bytes(records)
+
+
+def fleet_services_payload(domain: "Domain") -> bytes:
+    """``[obs]/fleet/services``: every registration, domain-wide."""
+    records = []
+    for host in sorted(domain.hosts.values(), key=lambda h: h.host_id):
+        if host.crashed:
+            continue
+        for entry in host.registry.snapshot():
+            records.append({"host": host.name, **entry})
+    return _json_bytes(records)

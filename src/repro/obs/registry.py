@@ -257,18 +257,28 @@ class MetricsRegistry:
 
     # --------------------------------------------------------------- export
 
-    def snapshot(self) -> dict:
-        """A JSON-ready view of every instrument."""
+    def snapshot(self, prefix: str | None = None) -> dict:
+        """A JSON-ready view of every instrument.
+
+        With ``prefix`` set, only instruments whose name starts with it are
+        included (the [obs] stat server uses this to serve focused files
+        like the name-cache scoreboard without copying the whole registry).
+        """
+        def wanted(name: str) -> bool:
+            return prefix is None or name.startswith(prefix)
+
         counters = [
             {"name": c.name, "tags": dict(c.tags), "value": c.value}
-            for c in self._counters.values()
+            for c in self._counters.values() if wanted(c.name)
         ]
         gauges = [
             {"name": g.name, "tags": dict(g.tags), "value": g.value}
-            for g in self._gauges.values()
+            for g in self._gauges.values() if wanted(g.name)
         ]
         histograms = []
         for histogram in self._histograms.values():
+            if not wanted(histogram.name):
+                continue
             record: dict[str, Any] = {
                 "name": histogram.name,
                 "tags": dict(histogram.tags),

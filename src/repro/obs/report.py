@@ -228,18 +228,29 @@ def render_cache_summary(counters: Sequence[dict]) -> str:
 
 def render_metrics(path: str | Path, top: int = 20) -> str:
     """Summarize a metrics JSONL file (counters + histogram percentiles)."""
-    counters: List[dict] = []
-    histograms: List[dict] = []
+    records: List[dict] = []
     with Path(path).open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
-            if record.get("kind") == "counter":
-                counters.append(record)
-            elif record.get("kind") == "histogram" and record.get("count"):
-                histograms.append(record)
+            if line:
+                records.append(json.loads(line))
+    return render_metrics_records(records, top)
+
+
+def render_metrics_records(records: Sequence[dict], top: int = 20) -> str:
+    """Summarize export-shaped metric records (from a file or a live read).
+
+    The same record shapes come out of ``write_metrics_jsonl`` files and of
+    a live ``[obs]/fleet/metrics`` read, so ``--live`` and file mode share
+    this renderer.
+    """
+    counters: List[dict] = []
+    histograms: List[dict] = []
+    for record in records:
+        if record.get("kind") == "counter":
+            counters.append(dict(record))
+        elif record.get("kind") == "histogram" and record.get("count"):
+            histograms.append(record)
     lines: List[str] = []
     if counters:
         counters.sort(key=lambda r: r["value"], reverse=True)
@@ -266,12 +277,100 @@ def render_metrics(path: str | Path, top: int = 20) -> str:
     return "\n".join(lines) if lines else "(no metrics)"
 
 
+def render_dropped_warning(tracefile: TraceFile) -> str:
+    """A truncation banner when the event tracer's ring buffer overflowed.
+
+    Without this a truncated trace reads as complete -- the drops happened
+    *before* export, so nothing else in the file betrays them.
+    """
+    dropped = tracefile.dropped_events
+    if not dropped:
+        return ""
+    limit = tracefile.meta.get("event_limit")
+    suffix = f" (ring buffer limit {limit})" if limit else ""
+    return (f"warning: {dropped} trace event(s) dropped before export"
+            f"{suffix} -- this trace is incomplete")
+
+
+def run_live(top: int = 10) -> int:
+    """``--live``: read the ``[obs]`` name space instead of JSONL files.
+
+    Builds a two-host session in-process (workstation + file server, stat
+    servers on both), runs a small file workload to give the counters
+    something to say, then a client program reads ``[obs]`` names through
+    the full simulated protocol -- prefix server -> root obs server ->
+    per-host stat servers -- and the renderers run on what came back.
+    """
+    from repro.kernel.domain import Domain
+    from repro.obs import Observability
+    from repro.obs.export import _span_from_record
+    from repro.runtime import files
+    from repro.runtime.workstation import setup_workstation, standard_prefixes
+    from repro.servers import VFileServer, start_server
+    from repro.servers.statserver import enable_obs_namespace
+
+    obs = Observability()
+    domain = Domain(obs=obs)
+    workstation = setup_workstation(domain, "live", name="ws1",
+                                    name_cache=True)
+    fs_host = domain.create_host("fs1")
+    fileserver = start_server(fs_host, VFileServer(user="live"))
+    standard_prefixes(workstation, fileserver)
+    enable_obs_namespace(domain, root_host=workstation.host)
+
+    box: Dict[str, Dict[str, bytes]] = {}
+
+    def client(session):
+        for index in range(3):
+            name = f"[home]live{index}.txt"
+            yield from files.write_file(session, name, b"x" * 64)
+            yield from files.read_file(session, name)
+        reads: Dict[str, bytes] = {}
+        reads["fleet"] = yield from session.read_file("[obs]/fleet/metrics")
+        for host_name in ("ws1", "fs1"):
+            reads[host_name] = yield from session.read_file(
+                f"[obs]/hosts/{host_name}/metrics")
+        reads["spans"] = yield from session.read_file(
+            "[obs]/hosts/fs1/spans/recent")
+        box["reads"] = reads
+
+    workstation.host.spawn(client(workstation.session()), name="report-live")
+    domain.run()
+    domain.check_healthy()
+    reads = box["reads"]
+
+    print("live [obs] reads over a two-host session (ws1 + fs1):")
+    for host_name in ("ws1", "fs1"):
+        snap = json.loads(reads[host_name])
+        counters = ", ".join(f"{k}={v}" for k, v in
+                             sorted(snap["counters"].items()))
+        print(f"  [obs]/hosts/{host_name}/metrics: "
+              f"uptime {snap['uptime_seconds']:.3f}s, "
+              f"{snap['process_count']} processes, {counters}")
+    print()
+    print("[obs]/fleet/metrics:")
+    records = [json.loads(line) for line in
+               reads["fleet"].decode().splitlines() if line.strip()]
+    print(render_metrics_records(records, top))
+    span_lines = [line for line in reads["spans"].decode().splitlines()
+                  if line.strip()]
+    tracefile = TraceFile(
+        spans=[_span_from_record(json.loads(line)) for line in span_lines],
+        actors=dict(obs.actors))
+    print()
+    print(f"[obs]/hosts/fs1/spans/recent: {len(tracefile.spans)} spans")
+    if tracefile.spans:
+        print(render_slowest_table(tracefile, top))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
         description="Render hop timelines and critical-path breakdowns "
                     "from a span JSONL trace file.")
-    parser.add_argument("trace_file", help="span JSONL file to load")
+    parser.add_argument("trace_file", nargs="?", default=None,
+                        help="span JSONL file to load (omit with --live)")
     parser.add_argument("--top", type=int, default=10,
                         help="rows in the slowest-resolutions table")
     parser.add_argument("--trace", type=int, default=None,
@@ -280,19 +379,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="render every trace in full")
     parser.add_argument("--metrics", default=None,
                         help="also summarize a metrics JSONL file")
+    parser.add_argument("--live", action="store_true",
+                        help="read live [obs] names from a simulated "
+                             "two-host session instead of JSONL files")
     args = parser.parse_args(argv)
+
+    if args.live:
+        return run_live(args.top)
+    if args.trace_file is None:
+        parser.error("a trace file is required unless --live is given")
 
     try:
         tracefile = read_spans_jsonl(args.trace_file)
     except OSError as err:
-        print(f"{args.trace_file}: {err.strerror or err}", file=sys.stderr)
-        return 1
+        print(f"error: cannot read trace file {args.trace_file}: "
+              f"{err.strerror or err}", file=sys.stderr)
+        return 2
     if not tracefile.spans:
-        print(f"{args.trace_file}: no spans")
-        return 1
+        print(f"error: {args.trace_file} contains no spans -- nothing to "
+              "report (was the run traced?)", file=sys.stderr)
+        return 2
 
     print(f"{args.trace_file}: {len(tracefile.spans)} spans, "
           f"{len(tracefile.traces())} traces")
+    warning = render_dropped_warning(tracefile)
+    if warning:
+        print(warning)
     print()
     print(f"slowest resolutions (top {args.top}):")
     print(render_slowest_table(tracefile, args.top))
@@ -315,8 +427,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         try:
             print(render_metrics(args.metrics))
         except OSError as err:
-            print(f"{args.metrics}: {err.strerror or err}", file=sys.stderr)
-            return 1
+            print(f"error: cannot read metrics file {args.metrics}: "
+                  f"{err.strerror or err}", file=sys.stderr)
+            return 2
     return 0
 
 

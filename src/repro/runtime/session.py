@@ -71,6 +71,20 @@ class Session:
                           instance=int(reply["instance"]),
                           block_size=int(reply["block_size"]))
 
+    def read_file(self, name: str | bytes) -> Gen:
+        """Open, read to EOF, and close; returns the object's bytes.
+
+        The one-call read used all over the ``[obs]`` introspection tree
+        (``yield from session.read_file("[obs]/hosts/ws1/metrics")``), but
+        it works on any readable named object.
+        """
+        stream = yield from self.open(name)
+        try:
+            data = yield from stream.read_all()
+        finally:
+            yield from stream.close()
+        return data
+
     def create(self, name: str | bytes) -> Gen:
         reply = yield from send_csname_request(
             self.env, RequestCode.CREATE_FILE, name)

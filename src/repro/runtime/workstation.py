@@ -88,13 +88,22 @@ class Workstation:
             self.prefix_server.attach_cache(self.name_cache)
             if watch_registry:
                 domain.on_pid_removed(self.name_cache.note_pid_removed)
+            # Let the [obs] stat server serve this cache's contents live
+            # as [obs]/hosts/<this-host>/namecache.
+            domain.name_caches[self.host.host_id] = self.name_cache
         return self.name_cache
 
 
 def setup_workstation(domain: Domain, user: str,
                       name: str | None = None,
-                      name_cache: bool = False) -> Workstation:
-    """Create a diskless workstation running the user's prefix server."""
+                      name_cache: bool = False,
+                      obs_namespace: bool = False) -> Workstation:
+    """Create a diskless workstation running the user's prefix server.
+
+    ``obs_namespace=True`` deploys the ``[obs]`` introspection name space
+    over the whole domain (root obs server on this host, one stat server
+    per machine -- idempotent, so only the first workstation's flag wins).
+    """
     host = domain.create_host(name or f"ws-{user}")
     prefix = ContextPrefixServer(parse_cpu=domain.latency.prefix_server_cpu,
                                  user=user)
@@ -102,6 +111,10 @@ def setup_workstation(domain: Domain, user: str,
     workstation = Workstation(host=host, prefix=handle, user=user)
     if name_cache:
         workstation.enable_name_cache()
+    if obs_namespace:
+        from repro.servers.statserver import enable_obs_namespace
+
+        enable_obs_namespace(domain, root_host=host)
     return workstation
 
 
@@ -127,4 +140,7 @@ def standard_prefixes(workstation: Workstation,
     prefix.define_generic_prefix("tcp", ServiceId.INTERNET)
     prefix.define_generic_prefix("team", ServiceId.TEAM)
     prefix.define_generic_prefix("terminal", ServiceId.TERMINAL)
+    # Introspection: harmless NO_SERVER fault until enable_obs_namespace()
+    # has deployed a root obs server somewhere in the domain.
+    prefix.define_generic_prefix("obs", ServiceId.OBS)
     workstation.default_context = ContextPair(fs, int(WellKnownContext.HOME))

@@ -15,6 +15,8 @@ protocol described in the previous section."
   execution as a context.
 - :mod:`repro.servers.timeserver` / :mod:`repro.servers.exceptionserver` --
   simple services.
+- :mod:`repro.servers.statserver` -- the ``[obs]`` introspection name space:
+  live observability state served through the CSNH protocol itself.
 - :mod:`repro.servers.base` -- spawn/wiring helpers.
 """
 
@@ -28,6 +30,12 @@ from repro.servers.mailserver import MailServer
 from repro.servers.teamserver import TeamServer
 from repro.servers.timeserver import TimeServer
 from repro.servers.exceptionserver import ExceptionServer
+from repro.servers.statserver import (
+    ObsNamespace,
+    ObsRootServer,
+    StatServer,
+    enable_obs_namespace,
+)
 
 __all__ = [
     "ServerHandle",
@@ -41,4 +49,8 @@ __all__ = [
     "TeamServer",
     "TimeServer",
     "ExceptionServer",
+    "StatServer",
+    "ObsRootServer",
+    "ObsNamespace",
+    "enable_obs_namespace",
 ]

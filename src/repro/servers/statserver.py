@@ -1,0 +1,327 @@
+"""The ``[obs]`` name space: live introspection served through CSNH itself.
+
+The paper's central claim is that *every server implements the naming of the
+objects it provides* (Sec. 5.1) and that context directories read as plain
+files over the I/O protocol (Sec. 5.6).  This module applies that claim to
+the system's own observability state:
+
+- a :class:`StatServer` per host exposes that kernel's live state as
+  readable file-like objects -- ``metrics``, ``services``, ``namecache``,
+  ``processes``, and ``spans/recent`` -- under a single-context name space;
+- a :class:`ObsRootServer`, registered under the generic ``[obs]`` prefix
+  (service id :data:`~repro.kernel.services.ServiceId.OBS`), implements the
+  top of the tree: ``hosts/<host>`` entries are *remote links* to the owning
+  host's stat server, so ``open("[obs]/hosts/ws2/metrics")`` travels the
+  standard Sec. 5.4 forwarding chain -- prefix server -> root obs server ->
+  host ws2's stat server -- and the resolution trace shows every hop.
+  ``fleet/`` holds domain-wide roll-ups served by the root itself.
+
+Costs are split the V way: *capturing* a snapshot is plain memory reads by
+the serving process (zero simulated time, like every other handler body),
+while the request, forwards, and payload-block reads are ordinary messages
+charged ordinary latency -- introspection is real traffic.
+
+:func:`enable_obs_namespace` wires a whole domain: one root server, one stat
+server per existing host, coverage of late-created hosts via
+``Domain.on_host_created``, idempotent via ``Domain.obs_namespace``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from repro.core.context import ContextPair, WellKnownContext
+from repro.core.csnh import CSNHServer
+from repro.core.descriptors import (
+    ContextDescription,
+    ObjectDescription,
+    PrefixDescription,
+    StatDescription,
+)
+from repro.core.mapping import (
+    Leaf,
+    LookupResult,
+    MappingOutcome,
+    RemoteLink,
+    ResolvedObject,
+    SubContext,
+)
+from repro.core.protocol import CSNameHeader
+from repro.kernel.ipc import Delivery
+from repro.kernel.messages import ReplyCode, RequestCode
+from repro.kernel.pids import Pid
+from repro.kernel.services import ServiceId
+from repro.obs import introspect
+from repro.servers.base import ServerHandle, start_server
+from repro.vio.instance import MemoryInstance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.domain import Domain
+    from repro.kernel.host import Host
+
+Gen = Generator[Any, Any, Any]
+
+
+# ------------------------------------------------------------- name space
+
+
+@dataclass
+class StatLeaf:
+    """One introspection object: a name bound to a snapshot builder."""
+
+    name: str
+    format: str                    # "json" | "jsonl"
+    build: Callable[[], bytes]
+
+
+class StatContext:
+    """A context of introspection objects (and sub-contexts)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.entries: dict[bytes, Any] = {}
+
+    def add(self, node: Any) -> None:
+        self.entries[node.name.encode()] = node
+
+
+@dataclass
+class RemoteHostEntry:
+    """A ``hosts/<host>`` entry: a remote link to that host's stat server."""
+
+    name: str
+    pair: ContextPair
+
+
+class _StatNameSpace:
+    """The generic-mapping view over a StatContext tree."""
+
+    def __init__(self, root: StatContext) -> None:
+        self._root = root
+
+    def root(self, context_id: int) -> Optional[StatContext]:
+        if context_id == int(WellKnownContext.DEFAULT):
+            return self._root
+        return None
+
+    def lookup(self, context_ref: Any, component: bytes) -> LookupResult:
+        if not isinstance(context_ref, StatContext):
+            return None
+        entry = context_ref.entries.get(component)
+        if entry is None:
+            return None
+        if isinstance(entry, StatContext):
+            return SubContext(entry)
+        if isinstance(entry, RemoteHostEntry):
+            return RemoteLink(entry.pair)
+        return Leaf(entry)
+
+
+# ----------------------------------------------------------- server bodies
+
+
+class _IntrospectionServer(CSNHServer):
+    """Shared machinery: OPEN_FILE on leaves, typed records, description.
+
+    Subclasses build a :class:`StatContext` tree and register it as the
+    well-known DEFAULT context; everything protocol-side lives here.
+    """
+
+    def __init__(self, host: "Host") -> None:
+        super().__init__()
+        self.host = host
+        self.root_ctx = StatContext("")
+        self._namespace = _StatNameSpace(self.root_ctx)
+        self.contexts.register_well_known(WellKnownContext.DEFAULT,
+                                          self.root_ctx)
+        self.register_csname_op(RequestCode.OPEN_FILE, self.op_open_file)
+
+    def namespace(self) -> _StatNameSpace:
+        return self._namespace
+
+    # ---------------------------------------------------------------- open
+
+    def op_open_file(self, delivery: Delivery, header: CSNameHeader,
+                     resolution: MappingOutcome) -> Gen:
+        """Open an introspection object for reading.
+
+        The payload is captured *now* (zero cost -- no effects yielded
+        while building) into a read-only memory instance; the client then
+        pulls it block by block over normal, fully-charged READ_INSTANCE
+        traffic.
+        """
+        assert isinstance(resolution, ResolvedObject)
+        if resolution.is_context:
+            yield from self.reply_error(delivery, ReplyCode.MODE_ERROR)
+            return
+        mode = str(delivery.message.get("mode", "r"))
+        if "w" in mode or "a" in mode:
+            yield from self.reply_error(delivery, ReplyCode.MODE_ERROR)
+            return
+        leaf: StatLeaf = resolution.ref
+        payload = leaf.build()
+        instance = MemoryInstance(owner=delivery.sender, data=payload,
+                                  writable=False)
+        instance_id = self.instances.insert(instance)
+        assert self.pid is not None
+        yield from self.reply_ok(delivery, instance=instance_id,
+                                 block_size=instance.block_size,
+                                 size_bytes=len(payload),
+                                 server_pid=self.pid.value)
+
+    # ------------------------------------------------------------- protocol
+
+    def describe(self, resolution: ResolvedObject) -> Optional[ObjectDescription]:
+        if isinstance(resolution.ref, StatContext):
+            return self._context_record(resolution.ref)
+        if isinstance(resolution.ref, StatLeaf):
+            return self._leaf_record(resolution.ref)
+        return None
+
+    def directory_records(self, context_ref: Any) -> list[ObjectDescription]:
+        if not isinstance(context_ref, StatContext):
+            return []
+        records: list[ObjectDescription] = []
+        for key in sorted(context_ref.entries):
+            entry = context_ref.entries[key]
+            if isinstance(entry, StatContext):
+                records.append(self._context_record(entry))
+            elif isinstance(entry, RemoteHostEntry):
+                records.append(PrefixDescription(
+                    name=entry.name, server_pid=entry.pair.server.value,
+                    context_id=entry.pair.context_id))
+            else:
+                records.append(self._leaf_record(entry))
+        return records
+
+    def _context_record(self, ctx: StatContext) -> ContextDescription:
+        return ContextDescription(name=ctx.name,
+                                  entry_count=len(ctx.entries),
+                                  context_id=self.contexts.id_for(ctx))
+
+    def _leaf_record(self, leaf: StatLeaf) -> StatDescription:
+        payload = leaf.build()
+        return StatDescription(name=leaf.name, host=self.host.name,
+                               format=leaf.format, size_bytes=len(payload),
+                               captured=self.host.engine.now)
+
+    def name_of_context(self, context_id: int) -> Optional[bytes]:
+        if context_id == int(WellKnownContext.DEFAULT):
+            return b""
+        return None
+
+
+class StatServer(_IntrospectionServer):
+    """One host's introspection context.
+
+    Unregistered (``service_id=None``): clients reach it only through the
+    root obs server's forwarding, mirroring how the paper's per-server name
+    spaces are entered through links from upstream contexts.
+    """
+
+    server_name = "statserver"
+    service_id = None
+
+    def __init__(self, host: "Host") -> None:
+        super().__init__(host)
+        spans = StatContext("spans")
+        spans.add(StatLeaf("recent", "jsonl",
+                           lambda: introspect.host_spans_payload(host)))
+        for node in (
+            StatLeaf("metrics", "json",
+                     lambda: introspect.host_metrics_payload(host)),
+            StatLeaf("services", "json",
+                     lambda: introspect.host_services_payload(host)),
+            StatLeaf("namecache", "json",
+                     lambda: introspect.host_namecache_payload(host)),
+            StatLeaf("processes", "json",
+                     lambda: introspect.host_processes_payload(host)),
+            spans,
+        ):
+            self.root_ctx.add(node)
+
+
+class ObsRootServer(_IntrospectionServer):
+    """The root of ``[obs]``: host links plus fleet-level roll-ups."""
+
+    server_name = "obsserver"
+    service_id = int(ServiceId.OBS)
+
+    def __init__(self, host: "Host") -> None:
+        super().__init__(host)
+        domain = host.domain
+        self.hosts_ctx = StatContext("hosts")
+        fleet = StatContext("fleet")
+        fleet.add(StatLeaf("metrics", "jsonl",
+                           lambda: introspect.fleet_metrics_payload(domain)))
+        fleet.add(StatLeaf("hosts", "json",
+                           lambda: introspect.fleet_hosts_payload(domain)))
+        fleet.add(StatLeaf("services", "json",
+                           lambda: introspect.fleet_services_payload(domain)))
+        self.root_ctx.add(self.hosts_ctx)
+        self.root_ctx.add(fleet)
+
+    def register_host(self, name: str, stat_pid: Pid) -> None:
+        """Bind ``hosts/<name>`` to that host's stat server (re-bindable)."""
+        pair = ContextPair(stat_pid, int(WellKnownContext.DEFAULT))
+        self.hosts_ctx.entries[name.encode()] = RemoteHostEntry(name, pair)
+
+
+# ------------------------------------------------------------------ wiring
+
+
+class ObsNamespace:
+    """The running ``[obs]`` deployment over one domain."""
+
+    def __init__(self, domain: "Domain", root_host: "Host") -> None:
+        self.domain = domain
+        self.root_host = root_host
+        self.root_handle: ServerHandle = start_server(
+            root_host, ObsRootServer(root_host))
+        self.stat_handles: dict[int, ServerHandle] = {}
+        for host in list(domain.hosts.values()):
+            self._cover(host)
+        domain.on_host_created(self._cover)
+
+    @property
+    def root(self) -> ObsRootServer:
+        return self.root_handle.server  # type: ignore[return-value]
+
+    def _cover(self, host: "Host") -> None:
+        if host.host_id in self.stat_handles or host.crashed:
+            return
+        handle = start_server(host, StatServer(host))
+        self.stat_handles[host.host_id] = handle
+        self.root.register_host(host.name, handle.pid)
+
+    def stat_pid(self, host: "Host | str") -> Optional[Pid]:
+        """The stat-server pid covering ``host`` (by object or name)."""
+        if isinstance(host, str):
+            for handle in self.stat_handles.values():
+                if handle.host.name == host:
+                    return handle.pid
+            return None
+        handle = self.stat_handles.get(host.host_id)
+        return handle.pid if handle is not None else None
+
+
+def enable_obs_namespace(domain: "Domain",
+                         root_host: "Host | None" = None) -> ObsNamespace:
+    """Deploy the ``[obs]`` name space over ``domain`` (idempotent).
+
+    The root obs server runs on ``root_host`` (default: the first host);
+    every host -- current and future -- gets a stat server.  Names only
+    resolve once a ``[obs]`` prefix binding exists, which
+    :func:`repro.runtime.workstation.standard_prefixes` installs as a
+    generic binding on every workstation unconditionally (it faults with
+    NO_SERVER, harmlessly, when this function was never called).
+    """
+    if domain.obs_namespace is not None:
+        return domain.obs_namespace
+    if root_host is None:
+        if not domain.hosts:
+            raise ValueError("enable_obs_namespace needs at least one host")
+        root_host = next(iter(domain.hosts.values()))
+    domain.obs_namespace = ObsNamespace(domain, root_host)
+    return domain.obs_namespace

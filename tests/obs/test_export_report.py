@@ -188,5 +188,5 @@ class TestCli:
     def test_main_reports_empty_file(self, tmp_path, capsys):
         path = tmp_path / "empty.jsonl"
         path.write_text("")
-        assert main([str(path)]) == 1
-        assert "no spans" in capsys.readouterr().out
+        assert main([str(path)]) == 2
+        assert "no spans" in capsys.readouterr().err

@@ -1,0 +1,318 @@
+"""The ``[obs]`` name space: stat servers, root forwarding, fleet roll-ups.
+
+The acceptance scenario: a client on host A opens
+``[obs]/hosts/<B>/metrics`` and gets host B's live kernel counters back
+through the full simulated protocol, with the resolution trace showing the
+prefix-server -> root obs server -> host-B stat server forwarding chain.
+"""
+
+import json
+
+import pytest
+
+from repro.core.descriptors import (
+    ContextDescription,
+    PrefixDescription,
+    StatDescription,
+)
+from repro.core.resolver import NameError_
+from repro.kernel.domain import Domain
+from repro.kernel.messages import ReplyCode
+from repro.obs import Observability
+from repro.runtime import files
+from repro.runtime.workstation import setup_workstation, standard_prefixes
+from repro.servers import VFileServer, enable_obs_namespace, start_server
+from tests.helpers import run_on, standard_system
+
+
+def obs_system(name_cache: bool = False):
+    """ws1 + vax1 file server, traced, with the ``[obs]`` space deployed."""
+    domain = Domain(obs=Observability())
+    workstation = setup_workstation(domain, "mann", name="ws1",
+                                    name_cache=name_cache)
+    handle = start_server(domain.create_host("vax1"), VFileServer(user="mann"))
+    standard_prefixes(workstation, handle)
+    namespace = enable_obs_namespace(domain, root_host=workstation.host)
+    return domain, workstation, handle, namespace
+
+
+def read_name(domain, workstation, name: str) -> bytes:
+    def client(session):
+        return (yield from session.read_file(name))
+
+    return run_on(domain, workstation.host, client(workstation.session()))
+
+
+class TestCrossHostRead:
+    def test_remote_host_metrics_read_end_to_end(self):
+        domain, workstation, __, __ = obs_system()
+        payload = read_name(domain, workstation, "[obs]/hosts/vax1/metrics")
+        snap = json.loads(payload)
+        assert snap["host"] == "vax1"
+        assert snap["crashed"] is False
+        assert snap["uptime_seconds"] >= 0.0
+        # vax1 delivered at least the forwarded OPEN_FILE and the reads.
+        assert snap["counters"]["ipc.deliveries"] >= 1
+        assert any(entry["service_name"] == "storage"
+                   for entry in snap["registrations"])
+
+    def test_forwarding_chain_in_the_resolution_trace(self):
+        domain, workstation, __, namespace = obs_system()
+        read_name(domain, workstation, "[obs]/hosts/vax1/metrics")
+        obs = domain.obs
+
+        roots = [span for span in obs.spans.find("resolve:OPEN_FILE")
+                 if span.attrs.get("csname") == "[obs]/hosts/vax1/metrics"]
+        assert roots, "no resolve span for the [obs] open"
+        root = roots[-1]
+        spans = obs.spans.trace(root.trace_id)
+        by_name = {span.name: span for span in spans}
+
+        # The three-hop chain, each hop the child of the hop that
+        # forwarded to it, each on the right machine.
+        prefix_hop = by_name["server:prefix-server"]
+        root_hop = by_name["server:obsserver"]
+        stat_hop = by_name["server:statserver"]
+        assert prefix_hop.actor == "ws1/prefix-server"
+        assert root_hop.actor == "ws1/obsserver"
+        assert stat_hop.actor == "vax1/statserver"
+        assert root_hop.parent_id == prefix_hop.span_id
+        assert stat_hop.parent_id == root_hop.span_id
+
+        # The generic [obs] prefix forwarded to the root obs server...
+        assert prefix_hop.attrs["prefix"] == "obs"
+        assert prefix_hop.attrs["binding"] == "generic"
+        assert prefix_hop.attrs["forwarded_to"] == str(
+            namespace.root_handle.pid)
+        # ...which consumed "hosts/vax1" and forwarded on the remote link...
+        (root_step,) = root_hop.attrs["mapping"]
+        assert root_step["outcome"] == "forward"
+        assert root_step["consumed"] == len("/hosts/vax1")
+        assert root_hop.attrs["forwarded_to"] == str(
+            namespace.stat_pid("vax1"))
+        # ...and vax1's stat server finished the walk.
+        (stat_step,) = stat_hop.attrs["mapping"]
+        assert stat_step["outcome"] == "resolved"
+        assert stat_hop.attrs["reply_code"] == "OK"
+        assert all(span.finished for span in spans)
+
+    def test_introspection_reads_are_charged_normal_latency(self):
+        domain, workstation, __, __ = obs_system()
+
+        def client(session):
+            from repro.kernel.ipc import Now
+
+            t0 = yield Now()
+            yield from session.read_file("[obs]/hosts/vax1/metrics")
+            t1 = yield Now()
+            return t1 - t0
+
+        elapsed = run_on(domain, workstation.host,
+                         client(workstation.session()))
+        # Prefix hop + two forwards + cross-wire reads: well over the
+        # 3.70 ms direct remote open, nowhere near free.
+        assert elapsed * 1e3 > 3.70
+
+
+class TestDirectoryListing:
+    def test_host_context_lists_typed_records(self):
+        domain, workstation, __, __ = obs_system()
+
+        def client(session):
+            return (yield from session.list_directory("[obs]/hosts/vax1/"))
+
+        records = run_on(domain, workstation.host,
+                         client(workstation.session()))
+        by_name = {record.name: record for record in records}
+        assert set(by_name) == {"metrics", "services", "namecache",
+                                "processes", "spans"}
+        for leaf in ("metrics", "services", "namecache", "processes"):
+            record = by_name[leaf]
+            assert isinstance(record, StatDescription)
+            assert record.host == "vax1"
+            assert record.format == "json"
+            assert record.size_bytes > 0
+        spans = by_name["spans"]
+        assert isinstance(spans, ContextDescription)
+        assert spans.entry_count == 1
+
+    def test_hosts_context_lists_remote_links(self):
+        domain, workstation, __, namespace = obs_system()
+
+        def client(session):
+            return (yield from session.list_directory("[obs]/hosts/"))
+
+        records = run_on(domain, workstation.host,
+                         client(workstation.session()))
+        by_name = {record.name: record for record in records}
+        assert set(by_name) == {"ws1", "vax1"}
+        for host_name, record in by_name.items():
+            assert isinstance(record, PrefixDescription)
+            assert record.server_pid == namespace.stat_pid(host_name).value
+
+    def test_obs_root_lists_hosts_and_fleet(self):
+        domain, workstation, __, __ = obs_system()
+
+        def client(session):
+            return (yield from session.list_directory("[obs]/"))
+
+        records = run_on(domain, workstation.host,
+                         client(workstation.session()))
+        assert {record.name for record in records} == {"hosts", "fleet"}
+        assert all(isinstance(record, ContextDescription)
+                   for record in records)
+
+    def test_query_returns_a_stat_description(self):
+        domain, workstation, __, __ = obs_system()
+
+        def client(session):
+            return (yield from session.query("[obs]/hosts/vax1/spans/recent"))
+
+        record = run_on(domain, workstation.host,
+                        client(workstation.session()))
+        assert isinstance(record, StatDescription)
+        assert record.host == "vax1"
+        assert record.format == "jsonl"
+
+
+class TestPerHostLeaves:
+    def test_namecache_enabled_and_disabled_views(self):
+        domain, workstation, __, __ = obs_system(name_cache=True)
+        # Warm the cache with a normal file workload first.
+
+        def warm(session):
+            yield from files.write_file(session, "[home]warm.txt", b"x" * 16)
+            yield from files.read_file(session, "[home]warm.txt")
+
+        run_on(domain, workstation.host, warm(workstation.session()),
+               name="warm")
+        ws_view = json.loads(read_name(domain, workstation,
+                                       "[obs]/hosts/ws1/namecache"))
+        assert ws_view["enabled"] is True
+        assert ws_view["stats"]["hits"] >= 1
+        assert any(entry["prefix"] == "home"
+                   for entry in ws_view["prefixes"])
+        # vax1 runs no client cache: the name still resolves, uniformly.
+        fs_view = json.loads(read_name(domain, workstation,
+                                       "[obs]/hosts/vax1/namecache"))
+        assert fs_view == {"enabled": False, "host": "vax1"}
+
+    def test_processes_lists_the_server_processes(self):
+        domain, workstation, __, __ = obs_system()
+        table = json.loads(read_name(domain, workstation,
+                                     "[obs]/hosts/vax1/processes"))
+        names = {entry["name"] for entry in table}
+        assert {"fileserver", "statserver"} <= names
+        # Server processes idle in receive; every record carries its state.
+        by_name = {entry["name"]: entry for entry in table}
+        assert by_name["fileserver"]["state"] == "recv_blocked"
+        assert all(entry["state"] and entry["queued"] >= 0
+                   for entry in table)
+
+    def test_recent_spans_belong_to_the_owning_host(self):
+        domain, workstation, __, __ = obs_system()
+
+        def warm(session):
+            yield from files.write_file(session, "[home]s.txt", b"x")
+
+        run_on(domain, workstation.host, warm(workstation.session()),
+               name="warm")
+        payload = read_name(domain, workstation,
+                            "[obs]/hosts/vax1/spans/recent")
+        records = [json.loads(line) for line in
+                   payload.decode().splitlines() if line]
+        assert records
+        actors = {record["actor"] for record in records}
+        assert actors
+        assert all(actor.startswith("vax1/") for actor in actors)
+
+
+class TestFleet:
+    def test_fleet_metrics_is_export_shaped_jsonl(self):
+        domain, workstation, __, __ = obs_system()
+        payload = read_name(domain, workstation, "[obs]/fleet/metrics")
+        records = [json.loads(line) for line in
+                   payload.decode().splitlines() if line]
+        kinds = {record["kind"] for record in records}
+        assert kinds <= {"counter", "gauge", "histogram"}
+        names = {record["name"] for record in records}
+        assert "ipc.sends" in names
+        assert "host.uptime_seconds" in names  # refreshed at capture time
+
+    def test_fleet_hosts_and_services_cover_the_domain(self):
+        domain, workstation, __, __ = obs_system()
+        hosts = json.loads(read_name(domain, workstation, "[obs]/fleet/hosts"))
+        assert [record["host"] for record in hosts] == ["ws1", "vax1"]
+        services = json.loads(read_name(domain, workstation,
+                                        "[obs]/fleet/services"))
+        assert {"host": services[0]["host"]}  # non-empty, host-tagged
+        assert any(entry["host"] == "vax1"
+                   and entry["service_name"] == "storage"
+                   for entry in services)
+        assert any(entry["service_name"] == "obs" for entry in services)
+
+
+class TestWiring:
+    def test_enable_is_idempotent(self):
+        domain, workstation, __, namespace = obs_system()
+        assert enable_obs_namespace(domain) is namespace
+        assert domain.obs_namespace is namespace
+
+    def test_late_created_hosts_are_covered(self):
+        domain, workstation, __, namespace = obs_system()
+        late = domain.create_host("late1")
+        assert namespace.stat_pid(late) is not None
+        snap = json.loads(read_name(domain, workstation,
+                                    "[obs]/hosts/late1/metrics"))
+        assert snap["host"] == "late1"
+
+    def test_obs_prefix_without_deployment_faults_no_server(self):
+        fixture = standard_system()  # standard prefixes, no enable call
+
+        def client(session):
+            try:
+                yield from session.open("[obs]/fleet/metrics", "r")
+            except NameError_ as err:
+                return err.code
+            return None
+
+        code = fixture.run_client(client(fixture.session()))
+        assert code is ReplyCode.NO_SERVER
+
+    def test_setup_workstation_flag_deploys_the_namespace(self):
+        domain = Domain(obs=Observability())
+        workstation = setup_workstation(domain, "mann", name="ws1",
+                                        obs_namespace=True)
+        assert domain.obs_namespace is not None
+        assert domain.obs_namespace.root_host is workstation.host
+        assert domain.obs_namespace.stat_pid("ws1") is not None
+
+
+class TestReadOnly:
+    def test_write_mode_is_refused(self):
+        domain, workstation, __, __ = obs_system()
+
+        def client(session):
+            try:
+                yield from session.open("[obs]/hosts/vax1/metrics", "w")
+            except NameError_ as err:
+                return err.code
+            return None
+
+        code = run_on(domain, workstation.host,
+                      client(workstation.session()))
+        assert code is ReplyCode.MODE_ERROR
+
+    def test_opening_a_context_as_a_file_is_refused(self):
+        domain, workstation, __, __ = obs_system()
+
+        def client(session):
+            try:
+                yield from session.open("[obs]/fleet", "r")
+            except NameError_ as err:
+                return err.code
+            return None
+
+        code = run_on(domain, workstation.host,
+                      client(workstation.session()))
+        assert code is ReplyCode.MODE_ERROR
