@@ -125,8 +125,14 @@ class BindingCache:
     def __contains__(self, key: Any) -> bool:
         return key in self._entries
 
-    def get(self, key: Any, now: float = 0.0) -> Any:
-        """The cached value, or None (expired entries are dropped)."""
+    def get(self, key: Any, now: Optional[float] = None) -> Any:
+        """The cached value, or None (expired entries are dropped).
+
+        TTL-bearing caches require the caller's clock: a defaulted ``now``
+        would silently make every entry look fresh forever, which is how a
+        TTL cache degenerates into the deliberately-stale one.
+        """
+        now = self._require_clock(now)
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
@@ -143,7 +149,17 @@ class BindingCache:
         self.hits += 1
         return value
 
-    def put(self, key: Any, value: Any, now: float = 0.0) -> None:
+    def _require_clock(self, now: Optional[float]) -> float:
+        if now is None:
+            if self.ttl is not None:
+                raise ValueError(
+                    "this BindingCache has a TTL; pass the current simulated "
+                    "time explicitly (now=...) so expiry can work")
+            return 0.0
+        return now
+
+    def put(self, key: Any, value: Any, now: Optional[float] = None) -> None:
+        now = self._require_clock(now)
         if key in self._entries:
             del self._entries[key]
         elif len(self._entries) >= self.max_entries:
@@ -309,8 +325,13 @@ class NameCache:
 
     # -------------------------------------------------------------- learning
 
-    def learn(self, data: bytes, reply: Message, now: float = 0.0) -> None:
-        """Absorb the binding advice of a full resolution's OK reply."""
+    def learn(self, data: bytes, reply: Message,
+              now: Optional[float] = None) -> None:
+        """Absorb the binding advice of a full resolution's OK reply.
+
+        ``now`` (simulated seconds) is required when the advice carries a
+        generic service binding, because the service-pid table is TTL-bound.
+        """
         if not reply.ok:
             return
         advice = read_binding_advice(reply)
@@ -406,7 +427,8 @@ class NameCache:
         entry = self._hints._entries.get(raw)
         return entry[0] if entry is not None else None
 
-    def service_pid(self, service: int, now: float = 0.0) -> Optional[Pid]:
+    def service_pid(self, service: int,
+                    now: Optional[float] = None) -> Optional[Pid]:
         return self._services.get(service, now)
 
     def footprint(self) -> dict:

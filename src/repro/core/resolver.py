@@ -34,6 +34,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 Gen = Generator[Any, Any, Any]
 
+#: Reply codes that indicate the *resolution path* failed -- the addressed
+#: process vanished, the transaction timed out on a lossy/partitioned wire,
+#: no server answered GetPid, or the server explicitly asked for a retry.
+#: These justify re-resolving and re-sending within the environment's retry
+#: budget.  Authoritative answers about the *name* (NOT_FOUND, BAD_NAME,
+#: NO_PERMISSION...) are never retried: asking again cannot change them.
+RETRYABLE_REPLY_CODES = frozenset({
+    ReplyCode.TIMEOUT,
+    ReplyCode.NONEXISTENT_PROCESS,
+    ReplyCode.NO_SERVER,
+    ReplyCode.RETRY,
+})
+
+_RETRYABLE_CODE_INTS = frozenset(int(code) for code in RETRYABLE_REPLY_CODES)
+
 
 class NameError_(RuntimeError):
     """A naming operation failed with the given reply code."""
@@ -66,6 +81,12 @@ class NamingEnvironment:
     #: server, with optimistic-send/fallback recovery on stale hints.  The
     #: default None preserves the paper's uncached E4 behaviour.
     cache: Optional["NameCache"] = None
+    #: How many *additional* resolution attempts one CSname request may make
+    #: after its first reply, shared between stale-hint fallback and
+    #: retryable-failure re-resolution.  0 restores the fail-fast stub; the
+    #: default tolerates one stale hint plus one transient path failure (or
+    #: two of either) before surfacing the error.
+    retry_budget: int = 2
 
     def route(self, name: bytes) -> tuple[Pid, int]:
         """The single common '['-check: where does this CSname request go?"""
@@ -107,26 +128,38 @@ def send_csname_request(env: NamingEnvironment, code: int, name: str | bytes,
             via_prefix=has_prefix(data),
             cache="off" if cache is None else
                   (route.source if route is not None else "miss"))
-    yield Delay(env.latency.stub_pre)
-    message = make_csname_request(code, data, context_id,
-                                  name_index=name_index, **variant_fields)
-    if span is not None:
-        message.trace = span.context
-    reply = yield Send(dst, message)
     fell_back = False
-    if route is not None and cache.is_stale_reply(reply):
-        # Stale-hint recovery: the cached binding let us down (dead pid,
-        # invalidated context, name moved away...).  Drop it and resend via
-        # full prefix-server resolution -- the caller never sees the stale
-        # error, only the authoritative outcome.
-        cache.invalidate_route(data, route, reply.code)
-        fell_back = True
-        dst, context_id = env.route(data)
+    retries = 0
+    while True:
         yield Delay(env.latency.stub_pre)
-        message = make_csname_request(code, data, context_id, **variant_fields)
+        message = make_csname_request(code, data, context_id,
+                                      name_index=name_index, **variant_fields)
         if span is not None:
             message.trace = span.context
         reply = yield Send(dst, message)
+        if retries >= env.retry_budget:
+            break
+        if route is not None and cache.is_stale_reply(reply):
+            # Stale-hint recovery: the cached binding let us down (dead pid,
+            # invalidated context, name moved away...).  Drop it and resend
+            # via full prefix-server resolution -- the caller never sees the
+            # stale error, only the authoritative outcome.
+            cache.invalidate_route(data, route, reply.code)
+            fell_back = True
+            route = None
+        elif int(reply.code) not in _RETRYABLE_CODE_INTS or route is not None:
+            # Either a final answer, or a direct-route reply that is not
+            # stale-coded: done.  (Authoritative name errors are never
+            # retried; see RETRYABLE_REPLY_CODES.)
+            break
+        # Re-resolve from the top: the prefix server is the authority on
+        # where the name lives now, and transient path failures (lossy
+        # wire, crash/restart window) deserve a bounded second look.
+        retries += 1
+        if span is not None:
+            span.append_attr("re_resolve", code_name(reply.code))
+        dst, context_id = env.route(data)
+        name_index = 0
     yield Delay(env.latency.stub_post)
     if (cache is not None and (route is None or fell_back)
             and cache.should_route(data, code)):
@@ -135,7 +168,8 @@ def send_csname_request(env: NamingEnvironment, code: int, name: str | bytes,
     if span is not None:
         end = yield Now()
         env.obs.spans.finish(span, end, reply_code=code_name(reply.code),
-                             ok=reply.ok, cache_fallback=fell_back)
+                             ok=reply.ok, cache_fallback=fell_back,
+                             retries=retries)
         env.obs.registry.histogram(
             "csname.resolve_seconds",
             op=code_name(code)).observe(end - span.start)

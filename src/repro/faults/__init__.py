@@ -4,8 +4,18 @@
   schedule (E8b, E8c).
 - :mod:`repro.faults.partition` -- network partitions via Ethernet drop
   rules.
+- :mod:`repro.faults.chaos` -- composed loss/crash/partition schedules
+  with invariant checks and a seeded CLI harness (E14).
 """
 
+from repro.faults.chaos import (
+    ChaosReport,
+    ChaosSchedule,
+    InvariantViolation,
+    assert_retransmission_exercised,
+    check_invariants,
+    run_chaos,
+)
 from repro.faults.crash import crash_at, restart_at, CrashSchedule
 from repro.faults.partition import partition_between, heal_partition
 
@@ -15,4 +25,10 @@ __all__ = [
     "CrashSchedule",
     "partition_between",
     "heal_partition",
+    "ChaosReport",
+    "ChaosSchedule",
+    "InvariantViolation",
+    "assert_retransmission_exercised",
+    "check_invariants",
+    "run_chaos",
 ]

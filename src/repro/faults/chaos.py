@@ -1,0 +1,368 @@
+"""Composable chaos schedules and invariant checks (E14 harness).
+
+A :class:`ChaosSchedule` arranges *when* faults happen: probabilistic wire
+loss phases (:class:`~repro.net.latency.WireFaultModel` installed and
+removed at scheduled times), fail-stop crash/restart windows
+(:mod:`repro.faults.crash`), and network partitions
+(:mod:`repro.faults.partition`) compose on one simulated timeline.  Because
+every fault source draws from the domain's seeded rng streams, a chaos run
+is a pure function of its seed: a failing schedule replays exactly.
+
+The invariant checks are the point.  Retransmission machinery is easy to
+get *almost* right; these assertions pin the ways it tends to be wrong:
+
+- **timer leaks** -- no live scheduled event may reference a dead process
+  (a cancelled-but-forgotten probe or retransmission timer keeps kernel
+  state reachable and can resurrect a transaction);
+- **stuck transactions** -- once the event queue drains, no kernel may
+  still hold an outstanding send transaction (every Send either completed
+  or failed within its probe/retry budget);
+- **explained timeouts** -- a send may only time out if the run actually
+  injected loss, cut a link, or crashed a host; a TIMEOUT on a healthy
+  quiet wire means the protocol dropped a reply on the floor itself;
+- **cache accounting** -- every stale-hint fallback must have invalidated
+  at least one cached binding (a fallback that leaves the bad binding in
+  place loops forever on it).
+
+``python -m repro.faults.chaos --seed 7 --duration 5 --drop 0.1`` runs a
+short seeded workload (a workstation client reading through the prefix
+server and its name cache while the wire loses frames and the file server
+crashes and comes back) and exits nonzero if any invariant fails --
+``--require-retransmits`` additionally fails the run if the retransmission
+path was never exercised, which is the CI gate against silently disabling
+the machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.faults.crash import CrashSchedule
+from repro.faults.partition import heal_partition, partition_between
+from repro.kernel.domain import Domain
+from repro.kernel.host import Host
+from repro.kernel.process import Process
+from repro.net.latency import WireFaultModel
+from repro.sim.engine import ScheduledEvent
+
+
+class InvariantViolation(AssertionError):
+    """One or more chaos invariants failed; the message lists them all."""
+
+    def __init__(self, problems: list[str]) -> None:
+        super().__init__("chaos invariants violated:\n- " +
+                         "\n- ".join(problems))
+        self.problems = problems
+
+
+# --------------------------------------------------------------- scheduling
+
+
+@dataclass
+class ChaosSchedule:
+    """Faults composed on one timeline: loss phases, crashes, partitions."""
+
+    domain: Domain
+    events: list[ScheduledEvent] = field(default_factory=list)
+    crashes: list[CrashSchedule] = field(default_factory=list)
+
+    def loss_between(self, start: float, end: float,
+                     faults: WireFaultModel) -> "ChaosSchedule":
+        """Install ``faults`` on the wire at ``start``, remove at ``end``."""
+        if end <= start:
+            raise ValueError("loss phase must end after it starts")
+        self.events.append(self.domain.engine.schedule_at(
+            start, self.domain.set_wire_faults, faults))
+        self.events.append(self.domain.engine.schedule_at(
+            end, self.domain.set_wire_faults, None))
+        return self
+
+    def crash_between(self, host: Host, start: float, end: float,
+                      respawn=None) -> "ChaosSchedule":
+        """Fail-stop ``host`` for [start, end); ``respawn(host)`` on restart."""
+        self.crashes.append(CrashSchedule(self.domain, host).down_between(
+            start, end, respawn))
+        return self
+
+    def partition_between(self, start: float, end: float,
+                          group_a: Iterable[int],
+                          group_b: Iterable[int]) -> "ChaosSchedule":
+        """Cut the wire between two host-id sets for [start, end)."""
+        side_a, side_b = list(group_a), list(group_b)
+        self.events.append(self.domain.engine.schedule_at(
+            start, partition_between, self.domain, side_a, side_b))
+        self.events.append(self.domain.engine.schedule_at(
+            end, heal_partition, self.domain))
+        return self
+
+    def cancel(self) -> None:
+        for event in self.events:
+            event.cancel()
+        self.events.clear()
+        for plan in self.crashes:
+            plan.cancel()
+        self.crashes.clear()
+
+
+# --------------------------------------------------------------- invariants
+
+
+def check_no_timer_leaks(domain: Domain) -> list[str]:
+    """No live scheduled event may reference a dead process.
+
+    Kernel timers (probe, retransmission, delay wakeups) hold their subject
+    in the event's args; terminating a process must cancel them.  A leaked
+    timer is latent corruption: it can step a closed generator or revive a
+    transaction the kernel already forgot.
+    """
+    problems = []
+    for event in domain.engine._queue:
+        if event.cancelled:
+            continue
+        for arg in event.args:
+            if isinstance(arg, Process) and not arg.alive:
+                problems.append(
+                    f"event {event.callback.__qualname__} at "
+                    f"t={event.time:.4f} references dead process "
+                    f"{arg.name!r} ({arg.pid!r})")
+    return problems
+
+
+def check_no_stuck_transactions(domain: Domain) -> list[str]:
+    """After the queue drains, no kernel may still hold an outstanding Send.
+
+    Every transaction must complete (reply, NACK) or fail (TIMEOUT within
+    the probe budget); an entry left in ``_outstanding`` is a sender
+    blocked forever.
+    """
+    problems = []
+    for host in domain.hosts.values():
+        if host._outstanding:
+            txns = ", ".join(f"txn {t.txn_id} -> {t.dst!r}"
+                             for t in host._outstanding.values())
+            problems.append(f"host {host.name!r} still holds outstanding "
+                            f"transactions after quiescence: {txns}")
+    return problems
+
+
+def check_timeouts_explained(domain: Domain) -> list[str]:
+    """A send timeout requires metered loss, a cut link, or a crash."""
+    metrics = domain.metrics
+    timeouts = metrics.count("ipc.send_timeouts")
+    if timeouts == 0:
+        return []
+    injected = (metrics.count("net.drops")
+                + metrics.count("net.frames_lost")
+                + metrics.count("net.frames_dropped"))
+    crashes = metrics.count("kernel.crashes")
+    if injected == 0 and crashes == 0:
+        return [f"{timeouts} send timeout(s) on a healthy wire: no frame "
+                "was dropped, no link was down, no host crashed -- the "
+                "protocol lost a reply by itself"]
+    return []
+
+
+def check_cache_accounting(cache) -> list[str]:
+    """Every stale-hint fallback must have invalidated a cached binding."""
+    stats = cache.stats
+    if stats.invalidations < stats.fallbacks:
+        return [f"name cache fell back {stats.fallbacks} time(s) but only "
+                f"invalidated {stats.invalidations} binding(s): a stale "
+                "binding survived its own fallback"]
+    return []
+
+
+def check_invariants(domain: Domain, cache=None) -> None:
+    """Run every applicable check; raise :class:`InvariantViolation`."""
+    problems = (check_no_timer_leaks(domain)
+                + check_no_stuck_transactions(domain)
+                + check_timeouts_explained(domain))
+    if cache is not None:
+        problems += check_cache_accounting(cache)
+    if problems:
+        raise InvariantViolation(problems)
+
+
+def assert_retransmission_exercised(domain: Domain) -> None:
+    """CI gate: under injected loss the retransmission path must fire."""
+    retransmits = domain.metrics.count("ipc.retransmits")
+    if retransmits == 0:
+        raise InvariantViolation(
+            ["loss was injected but ipc.retransmits == 0: the "
+             "retransmission machinery never ran (disabled, or the fault "
+             "model is not reaching the wire)"])
+
+
+# ------------------------------------------------------------ the harness
+
+
+@dataclass
+class ChaosReport:
+    """What one seeded chaos run did and observed."""
+
+    seed: int
+    duration: float
+    drop_rate: float
+    reads_ok: int = 0
+    reads_failed: int = 0
+    reads_wrong: int = 0
+    metrics: dict = field(default_factory=dict)
+    cache_stats: dict = field(default_factory=dict)
+
+    @property
+    def reads(self) -> int:
+        return self.reads_ok + self.reads_failed + self.reads_wrong
+
+    @property
+    def success_rate(self) -> float:
+        return self.reads_ok / self.reads if self.reads else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "duration": self.duration,
+            "drop_rate": self.drop_rate,
+            "reads": self.reads,
+            "reads_ok": self.reads_ok,
+            "reads_failed": self.reads_failed,
+            "reads_wrong": self.reads_wrong,
+            "success_rate": round(self.success_rate, 4),
+            "metrics": self.metrics,
+            "cache": self.cache_stats,
+        }
+
+
+_PAYLOAD = b"chaos-payload"
+
+_METRIC_KEYS = (
+    "ipc.retransmits", "ipc.dup_suppressed", "ipc.reply_resends",
+    "ipc.send_timeouts", "ipc.probes", "net.drops", "net.dups",
+    "net.delayed_frames", "net.frames_lost", "net.frames_dropped",
+    "kernel.crashes", "services.getpid_retries", "services.getpid_timeouts",
+)
+
+
+def run_chaos(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
+              dup: float = 0.02, delay_rate: float = 0.05,
+              crash: bool = True) -> ChaosReport:
+    """One seeded chaos run; returns the report after checking invariants.
+
+    A workstation client reads two names -- one through a fixed ``[root]``
+    prefix binding, one through the generic ``[storage]`` binding -- in a
+    tight loop while the wire drops/duplicates/delays frames for most of
+    the run and (optionally) the file server crashes and respawns in the
+    middle of it.  The wire is clean for the first and last stretch so the
+    cache warms up honestly and the run can quiesce.
+    """
+    from repro.core.resolver import NameError_
+    from repro.runtime import files
+    from repro.vio.client import IoError
+    from repro.runtime.workstation import setup_workstation, standard_prefixes
+    from repro.servers.base import start_server
+    from repro.servers.fileserver.server import VFileServer
+
+    def populated_server() -> VFileServer:
+        server = VFileServer(user="mann")
+        node = server.store.make_path("data/f0.dat", directory=False)
+        node.data[:] = _PAYLOAD
+        return server
+
+    domain = Domain(seed=seed)
+    workstation = setup_workstation(domain, "mann")
+    fs_host = domain.create_host("vax1")
+    handle = start_server(fs_host, populated_server())
+    standard_prefixes(workstation, handle)
+    cache = workstation.enable_name_cache()
+
+    faults = WireFaultModel(drop_rate=drop, dup_rate=dup,
+                            delay_rate=delay_rate)
+    schedule = ChaosSchedule(domain)
+    schedule.loss_between(0.1 * duration, 0.9 * duration, faults)
+    if crash:
+        def respawn(host):
+            # The respawned server has a new pid: re-register its services
+            # (the generic [storage] binding re-resolves via GetPid on its
+            # own) and rebind the fixed prefixes, as the workstation's boot
+            # script would.  The prefix server notifies attached caches of
+            # each rebinding.
+            new_handle = start_server(host, populated_server())
+            standard_prefixes(workstation, new_handle)
+
+        schedule.crash_between(fs_host, 0.4 * duration, 0.5 * duration,
+                               respawn=respawn)
+
+    report = ChaosReport(seed=seed, duration=duration, drop_rate=drop)
+
+    def client(session):
+        from repro.kernel.ipc import Delay, Now
+
+        while True:
+            now = yield Now()
+            if now >= duration:
+                break
+            for name in ("[root]data/f0.dat", "[storage]data/f0.dat"):
+                try:
+                    data = yield from files.read_file(session, name)
+                except (NameError_, IoError):
+                    report.reads_failed += 1
+                else:
+                    if data == _PAYLOAD:
+                        report.reads_ok += 1
+                    else:
+                        report.reads_wrong += 1
+            yield Delay(0.02)
+
+    workstation.host.spawn(client(workstation.session()), name="chaos-client")
+    domain.run()
+    domain.check_healthy()
+
+    report.metrics = {key: domain.metrics.count(key) for key in _METRIC_KEYS}
+    report.cache_stats = {
+        "hits": cache.stats.hits,
+        "misses": cache.stats.misses,
+        "fallbacks": cache.stats.fallbacks,
+        "invalidations": cache.stats.invalidations,
+    }
+    check_invariants(domain, cache=cache)
+    return report
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.chaos",
+        description="Run a seeded chaos schedule and check invariants.")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="simulated seconds (default 5)")
+    parser.add_argument("--drop", type=float, default=0.10,
+                        help="frame drop rate during the loss phase")
+    parser.add_argument("--dup", type=float, default=0.02)
+    parser.add_argument("--delay-rate", type=float, default=0.05)
+    parser.add_argument("--no-crash", action="store_true",
+                        help="skip the mid-run file-server crash")
+    parser.add_argument("--require-retransmits", action="store_true",
+                        help="fail unless ipc.retransmits > 0 (CI gate)")
+    args = parser.parse_args(argv)
+
+    try:
+        report = run_chaos(seed=args.seed, duration=args.duration,
+                           drop=args.drop, dup=args.dup,
+                           delay_rate=args.delay_rate,
+                           crash=not args.no_crash)
+    except InvariantViolation as violation:
+        print(violation, file=sys.stderr)
+        return 1
+    print(json.dumps(report.to_dict(), indent=2))
+    if args.require_retransmits and report.metrics["ipc.retransmits"] == 0:
+        print("FAIL: injected loss but ipc.retransmits == 0",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

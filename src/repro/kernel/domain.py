@@ -20,7 +20,7 @@ from repro.kernel.host import Host
 from repro.kernel.pids import Pid
 from repro.kernel.process import Process, Transaction
 from repro.net.ethernet import Ethernet
-from repro.net.latency import STANDARD_3MBIT, LatencyModel
+from repro.net.latency import STANDARD_3MBIT, LatencyModel, WireFaultModel
 from repro.sim.engine import Engine
 from repro.sim.metrics import Metrics
 from repro.sim.rng import DeterministicRng
@@ -75,6 +75,17 @@ class Domain:
         #: registry reports removals here (see Host), so a binding cache can
         #: watch one hub instead of every kernel table.
         self._pid_removal_listeners: list[Callable[[Pid], None]] = []
+
+    # ------------------------------------------------------------ wire faults
+
+    def set_wire_faults(self, faults: Optional[WireFaultModel]) -> None:
+        """Install (or clear) probabilistic frame faults on the Ethernet.
+
+        The fault draws come from this domain's seeded rng (its own
+        ``net.faults`` sub-stream), so two runs with the same seed see the
+        same frames dropped, duplicated, and delayed.
+        """
+        self.ethernet.set_fault_model(faults, self.rng.stream("net.faults"))
 
     # -------------------------------------------------- registration removal
 

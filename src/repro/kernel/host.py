@@ -26,6 +26,7 @@ the probe protocol gives up (see :mod:`repro.kernel.config`).
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.kernel import ipc
@@ -86,8 +87,13 @@ class Host:
         self._outstanding: dict[int, Transaction] = {}
         #: Receiver-side: txn_id -> ("queued"|"received", pid) or ("forwarded", new_dst)
         self._presence: dict[int, tuple[str, Pid]] = {}
-        #: GetPid broadcast waiters: waiter_id -> (process, timeout_event)
-        self._getpid_waiters: dict[int, tuple[Process, Any]] = {}
+        #: Receiver-side: the last replies pushed to remote senders, kept so
+        #: a retransmitted request (or a probe) whose original reply frame
+        #: was lost can be answered by replay instead of a spurious NACK.
+        self._reply_cache: OrderedDict[int, Packet] = OrderedDict()
+        #: GetPid broadcast waiters:
+        #: waiter_id -> (process, timeout_event, service, attempts)
+        self._getpid_waiters: dict[int, tuple[Process, Any, int, int]] = {}
         #: Group-send timeout events: txn_id -> event
         self._group_timeouts: dict[int, Any] = {}
         #: Observability: txn_id -> transaction span (this host's senders).
@@ -133,16 +139,22 @@ class Host:
         if self.crashed:
             return
         self.crashed = True
-        self.ethernet.set_link(self.host_id, False)
+        # A host that was permanently detach()ed has no link to cut; a crash
+        # plan composed with permanent removal must kill the host, not the
+        # engine.
+        if self.ethernet.is_attached(self.host_id):
+            self.ethernet.set_link(self.host_id, False)
         for proc in list(self.processes.values()):
             proc.state = ProcessState.DEAD
             proc.task.close()
         self.processes.clear()
         for txn in self._outstanding.values():
             txn.cancel_probe()
+            txn.cancel_retransmit()
         self._outstanding.clear()
         self._presence.clear()
-        for __, event in self._getpid_waiters.values():
+        self._reply_cache.clear()
+        for __, event, __, __ in self._getpid_waiters.values():
             event.cancel()
         self._getpid_waiters.clear()
         for event in self._group_timeouts.values():
@@ -164,7 +176,8 @@ class Host:
         if not self.crashed:
             return
         self.crashed = False
-        self.ethernet.set_link(self.host_id, True)
+        if self.ethernet.is_attached(self.host_id):
+            self.ethernet.set_link(self.host_id, True)
         self.counters.clear()
         self.started_at = self.engine.now
         self._trace("fault", self.name, "host restarted")
@@ -231,6 +244,7 @@ class Host:
             )
         if proc.pending_txn is not None:
             proc.pending_txn.cancel_probe()
+            proc.pending_txn.cancel_retransmit()
             self._outstanding.pop(proc.pending_txn.txn_id, None)
             proc.pending_txn = None
         self.registry.remove_pid(proc.pid)
@@ -292,6 +306,12 @@ class Host:
                             message=effect.message)
             self._transmit(packet, effect.dst.logical_host)
         self._schedule_probe(txn)
+        # Local requests are delivered by a reliable in-kernel hop, but the
+        # timer is armed for them too: a Forward may push the transaction
+        # onto the (lossy) wire later, and then it is this timer that
+        # re-sends the request.
+        if self.config.retransmit_enabled:
+            self._schedule_retransmit(txn, self.config.retransmit_initial)
         return _BLOCKED
 
     def _deliver_local_request(self, txn: Transaction,
@@ -319,6 +339,7 @@ class Host:
             self.metrics.incr("ipc.duplicate_replies")
             return
         current.cancel_probe()
+        current.cancel_retransmit()
         self._group_timeouts.pop(current.txn_id, None)
         span = self._txn_spans.pop(current.txn_id, None)
         if span is not None:
@@ -424,6 +445,8 @@ class Host:
             return None
         packet = Packet(PacketKind.REPLY, src_pid=from_pid, dst_pid=sender_pid,
                         txn_id=delivery.txn_id, message=message)
+        if self.config.retransmit_enabled:
+            self._cache_reply(delivery.txn_id, packet)
         if busy and replier is not None:
             replier.state = ProcessState.WAITING
             self._transmit(packet, sender_pid.logical_host,
@@ -571,7 +594,8 @@ class Host:
         waiter_id = next(_waiter_counter)
         timeout = self.engine.schedule(self.config.getpid_timeout,
                                        self._getpid_timeout, waiter_id)
-        self._getpid_waiters[waiter_id] = (proc, timeout)
+        self._getpid_waiters[waiter_id] = (proc, timeout,
+                                           int(effect.service), 0)
         proc.state = ProcessState.WAITING
         packet = Packet(PacketKind.GETPID_QUERY, src_pid=proc.pid, dst_pid=None,
                         txn_id=0,
@@ -581,10 +605,27 @@ class Host:
         return _BLOCKED
 
     def _getpid_timeout(self, waiter_id: int) -> None:
-        entry = self._getpid_waiters.pop(waiter_id, None)
+        entry = self._getpid_waiters.get(waiter_id)
         if entry is None:
             return
-        proc, __ = entry
+        proc, __, service, attempts = entry
+        if attempts < self.config.getpid_retries:
+            # The query (or every response) may have been a lost frame; a
+            # service that exists must not look absent because of one drop.
+            # Re-broadcast under the same waiter id: a late response to an
+            # earlier round still satisfies us.
+            timeout = self.engine.schedule(self.config.getpid_timeout,
+                                           self._getpid_timeout, waiter_id)
+            self._getpid_waiters[waiter_id] = (proc, timeout, service,
+                                               attempts + 1)
+            packet = Packet(PacketKind.GETPID_QUERY, src_pid=proc.pid,
+                            dst_pid=None, txn_id=0,
+                            info={"service": service, "waiter": waiter_id})
+            self.metrics.incr("services.getpid_retries")
+            self._count("services.getpid_retries")
+            self._transmit(packet, BROADCAST)
+            return
+        self._getpid_waiters.pop(waiter_id, None)
         self.metrics.incr("services.getpid_timeouts")
         self._advance(proc, value=None)
 
@@ -709,6 +750,27 @@ class Host:
 
     def _on_request_packet(self, packet: Packet, src_host: int) -> None:
         assert packet.dst_pid is not None and packet.message is not None
+        presence = self._presence.get(packet.txn_id)
+        if presence is not None:
+            # A copy of a request we already hold (retransmission or wire
+            # duplicate).  The transaction is idempotent-at-most-once from
+            # the receiver's perspective: drop the copy, keep the original.
+            self.metrics.incr("ipc.dup_suppressed")
+            self._count("ipc.dup_suppressed")
+            if self.obs is not None:
+                span = self._hop_spans.get((packet.txn_id, presence[1]))
+                if span is not None:
+                    span.append_attr("dup_suppressed", self.engine.now)
+            return
+        cached = self._reply_cache.get(packet.txn_id)
+        if cached is not None and self.config.retransmit_enabled:
+            # We already answered this transaction; the reply frame must
+            # have been lost.  Replay it instead of re-executing anything.
+            self.metrics.incr("ipc.dup_suppressed")
+            self.metrics.incr("ipc.reply_resends")
+            self._count("ipc.reply_resends")
+            self._transmit(cached, packet.src_pid.logical_host)
+            return
         dst_proc = self.find_process(packet.dst_pid)
         if dst_proc is None:
             nack = Packet(PacketKind.NACK, src_pid=packet.dst_pid,
@@ -732,11 +794,28 @@ class Host:
     def _on_probe_packet(self, packet: Packet, src_host: int) -> None:
         presence = self._presence.get(packet.txn_id)
         if presence is None:
-            kind, info = PacketKind.NACK, {}
-            response = Packet(kind, src_pid=packet.dst_pid or Pid(0),
+            cached = self._reply_cache.get(packet.txn_id)
+            if cached is not None and self.config.retransmit_enabled:
+                # Transaction done; its reply frame was lost.  Replay.
+                self.metrics.incr("ipc.reply_resends")
+                self._count("ipc.reply_resends")
+                self._transmit(cached, packet.src_pid.logical_host)
+                return
+            if (packet.dst_pid is not None
+                    and self.find_process(packet.dst_pid) is not None):
+                # The destination process is alive but we have no trace of
+                # the transaction: the request frame itself was lost.  Tell
+                # the sender so it can retransmit instead of (wrongly)
+                # concluding the process is gone.
+                response = Packet(PacketKind.PROBE_MISSING,
+                                  src_pid=packet.dst_pid,
+                                  dst_pid=packet.src_pid,
+                                  txn_id=packet.txn_id)
+                self._transmit(response, packet.src_pid.logical_host)
+                return
+            response = Packet(PacketKind.NACK, src_pid=packet.dst_pid or Pid(0),
                               dst_pid=packet.src_pid, txn_id=packet.txn_id,
-                              message=Message.reply(ReplyCode.NONEXISTENT_PROCESS),
-                              info=info)
+                              message=Message.reply(ReplyCode.NONEXISTENT_PROCESS))
         elif presence[0] == "forwarded":
             response = Packet(PacketKind.PROBE_FORWARDED,
                               src_pid=packet.dst_pid or Pid(0),
@@ -752,12 +831,31 @@ class Host:
         txn = self._outstanding.get(packet.txn_id)
         if txn is not None:
             txn.probes_unanswered = 0
+            # The responder holds the request: stop retransmitting it.  The
+            # probe protocol takes over liveness from here.
+            txn.acked = True
 
     def _on_probe_forwarded_packet(self, packet: Packet, src_host: int) -> None:
         txn = self._outstanding.get(packet.txn_id)
         if txn is not None:
             txn.dst = packet.info["new_dst"]
             txn.probes_unanswered = 0
+            txn.acked = True
+
+    def _on_probe_missing_packet(self, packet: Packet, src_host: int) -> None:
+        txn = self._outstanding.get(packet.txn_id)
+        if txn is None:
+            return
+        if self.config.retransmit_enabled:
+            # The request never arrived; push a fresh copy now rather than
+            # waiting out the backoff, and give the probe counter a fresh
+            # start -- the peer did answer, so it is alive.
+            txn.probes_unanswered = 0
+            self._retransmit_now(txn)
+        else:
+            # Without retransmission the transaction cannot be salvaged.
+            self.metrics.incr("ipc.send_timeouts")
+            self._complete_local_txn(txn, Message.reply(ReplyCode.TIMEOUT))
 
     def _on_getpid_query_packet(self, packet: Packet, src_host: int) -> None:
         service = packet.info["service"]
@@ -777,7 +875,7 @@ class Host:
         if entry is None:
             self.metrics.incr("services.getpid_late_responses")
             return
-        proc, timeout = entry
+        proc, timeout, __, __ = entry
         timeout.cancel()
         self._advance(proc, value=packet.info["pid"])
 
@@ -820,6 +918,48 @@ class Host:
             self._transmit(probe, txn.dst.logical_host)
             self.metrics.incr("ipc.probes")
         self._schedule_probe(txn)
+
+    # --------------------------------------------------------- retransmission
+
+    def _schedule_retransmit(self, txn: Transaction, interval: float) -> None:
+        txn.retransmit_event = self.engine.schedule(
+            interval, self._retransmit_fire, txn, interval)
+
+    def _retransmit_fire(self, txn: Transaction, interval: float) -> None:
+        if txn.txn_id not in self._outstanding or txn.acked:
+            return
+        next_interval = min(interval * self.config.retransmit_backoff,
+                            self.config.retransmit_cap)
+        if txn.dst.is_local_to(self.host_id):
+            # Local delivery is reliable; keep the timer parked at the cap
+            # in case a Forward moves the transaction onto the wire.
+            self._schedule_retransmit(txn, self.config.retransmit_cap)
+            return
+        self._retransmit_now(txn)
+        self._schedule_retransmit(txn, next_interval)
+
+    def _retransmit_now(self, txn: Transaction) -> None:
+        """Push one fresh copy of an outstanding request onto the wire."""
+        packet = Packet(PacketKind.REQUEST, src_pid=txn.sender,
+                        dst_pid=txn.dst, txn_id=txn.txn_id,
+                        message=txn.message)
+        txn.retransmits += 1
+        self.metrics.incr("ipc.retransmits")
+        self._count("ipc.retransmits")
+        if self.obs is not None:
+            span = self._txn_spans.get(txn.txn_id)
+            if span is not None:
+                span.append_attr("retransmit", self.engine.now)
+        self._trace("ipc", f"txn{txn.txn_id}",
+                    f"retransmit #{txn.retransmits} -> {txn.dst!r}")
+        self._transmit(packet, txn.dst.logical_host)
+
+    def _cache_reply(self, txn_id: int, packet: Packet) -> None:
+        """Remember the reply sent to a remote sender, for loss replay."""
+        self._reply_cache[txn_id] = packet
+        self._reply_cache.move_to_end(txn_id)
+        while len(self._reply_cache) > self.config.reply_cache_entries:
+            self._reply_cache.popitem(last=False)
 
     # ----------------------------------------------------------- introspection
 
@@ -905,6 +1045,7 @@ _PACKET_HANDLERS = {
     PacketKind.PROBE: Host._on_probe_packet,
     PacketKind.PROBE_OK: Host._on_probe_ok_packet,
     PacketKind.PROBE_FORWARDED: Host._on_probe_forwarded_packet,
+    PacketKind.PROBE_MISSING: Host._on_probe_missing_packet,
     PacketKind.GETPID_QUERY: Host._on_getpid_query_packet,
     PacketKind.GETPID_RESPONSE: Host._on_getpid_response_packet,
     PacketKind.GROUP_REQUEST: Host._on_group_request_packet,

@@ -212,6 +212,7 @@ class PacketKind(enum.Enum):
     PROBE = "probe"                # sender kernel checking on a transaction
     PROBE_OK = "probe_ok"          # transaction alive at the destination
     PROBE_FORWARDED = "probe_fwd"  # transaction was forwarded; re-aim probes
+    PROBE_MISSING = "probe_missing"  # dst process alive but request never arrived
     GETPID_QUERY = "getpid_query"        # broadcast service lookup
     GETPID_RESPONSE = "getpid_response"  # unicast answer to a query
     GROUP_REQUEST = "group_request"      # multicast Send to a process group

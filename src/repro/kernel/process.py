@@ -44,11 +44,23 @@ class Transaction:
     expose: Optional[Segment] = None
     probes_unanswered: int = 0
     probe_event: Optional["ScheduledEvent"] = None
+    #: Retransmission state (see KernelConfig): the pending timer, how many
+    #: request copies have been re-sent, and whether the request is known to
+    #: have reached the responder (a probe answer acks it; the reply both
+    #: acks and completes).
+    retransmit_event: Optional["ScheduledEvent"] = None
+    retransmits: int = 0
+    acked: bool = False
 
     def cancel_probe(self) -> None:
         if self.probe_event is not None:
             self.probe_event.cancel()
             self.probe_event = None
+
+    def cancel_retransmit(self) -> None:
+        if self.retransmit_event is not None:
+            self.retransmit_event.cancel()
+            self.retransmit_event = None
 
 
 class Process:

@@ -11,15 +11,20 @@ host; multicast reaches exactly the members of the destination group.  The
 distinction matters for E10: broadcast name lookup interrupts every host on
 the wire, multicast only the interested ones.
 
-Fault injection hooks: links can be taken down per host, and an arbitrary
-drop predicate supports network partitions.
+Fault injection hooks: links can be taken down per host, an arbitrary
+drop predicate supports network partitions, and a seeded
+:class:`~repro.net.latency.WireFaultModel` injects probabilistic per-frame
+drop/duplicate/delay faults (``set_fault_model``) -- the substrate the
+kernel's retransmission protocol and the E14 loss sweep are measured
+against.
 """
 
 from __future__ import annotations
 
+import random
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.net.latency import LatencyModel
+from repro.net.latency import LatencyModel, WireFaultModel
 from repro.net.packet import BROADCAST, Frame, GroupAddress
 from repro.obs.registry import DEFAULT_BYTES_BUCKETS
 from repro.sim.engine import Engine
@@ -54,6 +59,8 @@ class Ethernet:
         self._groups: dict[int, set[int]] = {}
         self._busy_until = 0.0
         self._drop_predicate: Optional[Callable[[Frame, int], bool]] = None
+        self._faults: Optional[WireFaultModel] = None
+        self._fault_rng: Optional[random.Random] = None
 
     # ------------------------------------------------------------------ hosts
 
@@ -74,6 +81,9 @@ class Ethernet:
     def attached_hosts(self) -> list[int]:
         return sorted(self._interfaces)
 
+    def is_attached(self, host_id: int) -> bool:
+        return host_id in self._interfaces
+
     def set_link(self, host_id: int, up: bool) -> None:
         """Take a host's link down/up without forgetting its attachment."""
         if host_id not in self._interfaces:
@@ -88,6 +98,25 @@ class Ethernet:
     ) -> None:
         """Install a partition rule: drop frame if ``predicate(frame, dst_host)``."""
         self._drop_predicate = predicate
+
+    def set_fault_model(self, faults: Optional[WireFaultModel],
+                        rng: Optional[random.Random] = None) -> None:
+        """Install (or clear, with None) probabilistic per-frame faults.
+
+        ``rng`` must be a seeded stream (normally
+        ``domain.rng.stream("net.faults")``) so runs stay deterministic; it
+        is required whenever ``faults`` can actually fire.
+        """
+        if faults is not None and not faults.is_null and rng is None:
+            raise NetworkError("a fault model with nonzero rates needs a "
+                               "seeded rng stream")
+        self._faults = faults
+        if rng is not None:
+            self._fault_rng = rng
+
+    @property
+    def fault_model(self) -> Optional[WireFaultModel]:
+        return self._faults
 
     # ----------------------------------------------------------------- groups
 
@@ -152,6 +181,8 @@ class Ethernet:
         return arrival
 
     def _deliver(self, frame: Frame) -> None:
+        faults = self._faults
+        inject = faults is not None and not faults.is_null
         for host_id in self._destinations(frame):
             if not self._link_up.get(host_id, False):
                 self.metrics.incr("net.frames_lost")
@@ -161,12 +192,46 @@ class Ethernet:
             ):
                 self.metrics.incr("net.frames_dropped")
                 continue
-            deliver = self._interfaces.get(host_id)
-            if deliver is None:
-                self.metrics.incr("net.frames_lost")
+            if not inject:
+                self._deliver_one(frame, host_id)
                 continue
-            self.metrics.incr(f"net.delivered_to.{host_id}")
-            deliver(frame)
+            # Probabilistic faults, one independent draw set per
+            # destination.  Destinations iterate in sorted order and the rng
+            # stream is seeded, so the loss pattern is a pure function of
+            # the seed and the traffic -- runs stay reproducible.
+            rng = self._fault_rng
+            if rng.random() < faults.drop_rate:
+                self.metrics.incr("net.drops")
+                continue
+            self._deliver_faulted(frame, host_id, faults, rng)
+            if rng.random() < faults.dup_rate:
+                self.metrics.incr("net.dups")
+                self._deliver_faulted(frame, host_id, faults, rng)
+
+    def _deliver_faulted(self, frame: Frame, host_id: int,
+                         faults: WireFaultModel, rng: random.Random) -> None:
+        """Deliver one (possibly duplicated) copy, maybe with extra delay."""
+        if faults.delay_rate > 0.0 and rng.random() < faults.delay_rate:
+            extra = rng.uniform(faults.delay_min, faults.delay_max)
+            self.metrics.incr("net.delayed_frames")
+            if self.obs is not None:
+                self.obs.registry.histogram(
+                    "net.injected_delay_seconds").observe(extra)
+            self.engine.schedule(extra, self._deliver_one, frame, host_id)
+        else:
+            self._deliver_one(frame, host_id)
+
+    def _deliver_one(self, frame: Frame, host_id: int) -> None:
+        """Hand one frame copy to one destination host, if still possible."""
+        if not self._link_up.get(host_id, False):
+            self.metrics.incr("net.frames_lost")
+            return
+        deliver = self._interfaces.get(host_id)
+        if deliver is None:
+            self.metrics.incr("net.frames_lost")
+            return
+        self.metrics.incr(f"net.delivered_to.{host_id}")
+        deliver(frame)
 
     def _destinations(self, frame: Frame) -> list[int]:
         if frame.is_broadcast:

@@ -161,6 +161,56 @@ class LatencyModel:
         )
 
 
+@dataclass(frozen=True)
+class WireFaultModel:
+    """Per-frame probabilistic faults for the simulated Ethernet.
+
+    The paper's kernel promises a *reliable* Send transaction over an
+    *unreliable* Ethernet; this model is the unreliable part.  Each frame
+    delivery (per destination host) independently draws from a seeded RNG
+    stream (:meth:`repro.kernel.domain.Domain.set_wire_faults` wires the
+    domain's :class:`~repro.sim.rng.DeterministicRng`), so a given seed
+    reproduces the exact same loss pattern on every run:
+
+    - with probability ``drop_rate`` the frame is silently discarded
+      (metered as ``net.drops`` -- distinct from partition/link-down losses);
+    - otherwise, with probability ``delay_rate`` its delivery is deferred by
+      an extra uniform(``delay_min``, ``delay_max``) seconds (observed in the
+      ``net.injected_delay_seconds`` histogram when obs is attached);
+    - and with probability ``dup_rate`` a second copy is delivered, with its
+      own independent delay draw (metered as ``net.dups``).
+
+    Rates apply per (frame, destination): a broadcast can reach some hosts
+    and miss others, exactly like a real cable.
+    """
+
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_min: float = 0.0
+    delay_max: float = 2e-3
+
+    def __post_init__(self) -> None:
+        for field_name in ("drop_rate", "dup_rate", "delay_rate"):
+            rate = getattr(self, field_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1]: {rate}")
+        if self.delay_min < 0 or self.delay_max < self.delay_min:
+            raise ValueError(
+                f"need 0 <= delay_min <= delay_max "
+                f"(got {self.delay_min}, {self.delay_max})")
+
+    @property
+    def is_null(self) -> bool:
+        """True when no fault can ever fire (the lossless wire)."""
+        return (self.drop_rate == 0.0 and self.dup_rate == 0.0
+                and self.delay_rate == 0.0)
+
+
+#: The fault-free wire every experiment before E14 runs on.
+LOSSLESS_WIRE = WireFaultModel()
+
+
 #: The paper's measurement configuration: 3 Mbit experimental Ethernet.
 STANDARD_3MBIT = LatencyModel(bandwidth_bps=3_000_000.0)
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 
 class SimulationError(RuntimeError):
@@ -32,10 +32,18 @@ class ScheduledEvent:
     callback: Callable[..., None] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    #: Set by the owning engine so it can keep an exact count of cancelled
+    #: entries still sitting in the heap (and compact when they dominate).
+    on_cancel: Optional[Callable[[], None]] = field(compare=False, default=None,
+                                                    repr=False)
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel()
 
 
 class Engine:
@@ -49,12 +57,18 @@ class Engine:
         assert engine.now == 0.5
     """
 
+    #: Compaction never runs below this queue size: rebuilding a tiny heap
+    #: costs more bookkeeping than the dead entries do.
+    COMPACT_MIN_QUEUE = 64
+
     def __init__(self) -> None:
         self._queue: list[ScheduledEvent] = []
         self._seq = 0
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        self._cancelled_in_queue = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -68,8 +82,30 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events still in the queue.  O(1)."""
+        return len(self._queue) - self._cancelled_in_queue
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been compacted (introspection)."""
+        return self._compactions
+
+    def _note_cancelled(self) -> None:
+        """An event in the heap was cancelled; compact when they dominate.
+
+        Long fault-injection runs cancel large numbers of retransmission and
+        probe timers; without compaction those dead entries sit in the heap
+        until their (possibly far-future) fire time, bloating every push and
+        pop.  Rebuilding the heap is O(live); amortized it is free because a
+        rebuild is only triggered after at least as many cancellations.
+        """
+        self._cancelled_in_queue += 1
+        if (len(self._queue) >= self.COMPACT_MIN_QUEUE
+                and self._cancelled_in_queue * 2 > len(self._queue)):
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_in_queue = 0
+            self._compactions += 1
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -87,7 +123,8 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at {time} which is before now ({self._now})"
             )
-        event = ScheduledEvent(time=time, seq=self._seq, callback=callback, args=args)
+        event = ScheduledEvent(time=time, seq=self._seq, callback=callback,
+                               args=args, on_cancel=self._note_cancelled)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -96,7 +133,9 @@ class Engine:
         """Fire the single next event.  Returns False if the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event.on_cancel = None
             if event.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
             self._now = event.time
             self._events_processed += 1
@@ -119,7 +158,8 @@ class Engine:
             while self._queue:
                 head = self._queue[0]
                 if head.cancelled:
-                    heapq.heappop(self._queue)
+                    heapq.heappop(self._queue).on_cancel = None
+                    self._cancelled_in_queue -= 1
                     continue
                 if until is not None and head.time > until:
                     self._now = until

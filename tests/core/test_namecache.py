@@ -179,7 +179,8 @@ class TestNameCacheMechanics:
         cache = NameCache(getpid_ttl=5.0)
         pid = Pid.make(2, 5)
         cache.learn(b"[storage]f", _ok_reply(pid, 0, 9,
-                                             service=int(ServiceId.STORAGE)))
+                                             service=int(ServiceId.STORAGE)),
+                    now=0.0)
         assert cache.prefix_entry("storage") == GenericBinding(
             int(ServiceId.STORAGE), 0)
         # Within TTL: cached pid, no GetPid effect.
@@ -228,7 +229,8 @@ class TestNameCacheMechanics:
         cache = NameCache()
         pid = Pid.make(2, 5)
         cache.learn(b"[storage]f", _ok_reply(pid, 0, 9,
-                                             service=int(ServiceId.STORAGE)))
+                                             service=int(ServiceId.STORAGE)),
+                    now=0.0)
         route = _drive(cache.route(b"[storage]f"))
         assert route.source == "hint"
         # Second access of a *different* name goes through the generic
@@ -238,7 +240,7 @@ class TestNameCacheMechanics:
         cache.invalidate_route(b"[storage]g", route,
                                int(ReplyCode.NONEXISTENT_PROCESS))
         assert cache.prefix_entry("storage") is not None
-        assert cache.service_pid(int(ServiceId.STORAGE)) is None
+        assert cache.service_pid(int(ServiceId.STORAGE), now=0.0) is None
 
     def test_invalidate_prefix_notice(self):
         cache = NameCache()
@@ -254,11 +256,12 @@ class TestNameCacheMechanics:
         pid = Pid.make(2, 5)
         cache.learn(b"[home]a.txt", _ok_reply(pid, 0xFFF1, 6))
         cache.learn(b"[storage]f", _ok_reply(pid, 0, 9,
-                                             service=int(ServiceId.STORAGE)))
+                                             service=int(ServiceId.STORAGE)),
+                    now=0.0)
         cache.note_pid_removed(pid)
         # The satellite-2 scope: dead *generic* bindings drop immediately;
         # fixed hints stay optimistic (recovery handles them).
-        assert cache.service_pid(int(ServiceId.STORAGE)) is None
+        assert cache.service_pid(int(ServiceId.STORAGE), now=0.0) is None
         assert cache.hint_for(b"[home]a.txt") is not None
 
     def test_registry_counters(self):

@@ -178,3 +178,116 @@ class TestDistributedNamingUnderFaults:
         survived, lost = run_on(domain, ws.host, client(ws.session()))
         assert survived == b"b"
         assert lost is ReplyCode.TIMEOUT
+
+
+class TestCrashAfterDetach:
+    def test_crash_tolerates_detached_host(self):
+        # Regression: a host whose NIC was already detach()ed from the wire
+        # used to blow up in crash() trying to set_link() on an unknown host.
+        system = standard_system()
+        host = system.fileserver.host
+        system.domain.ethernet.detach(host.host_id)
+        host.crash()  # must not raise
+        assert host.crashed
+
+    def test_restart_tolerates_detached_host(self):
+        system = standard_system()
+        host = system.fileserver.host
+        system.domain.ethernet.detach(host.host_id)
+        host.crash()
+        host.restart()  # must not raise either
+        assert not host.crashed
+
+
+class TestChaosSchedule:
+    def test_loss_phase_installs_and_removes_faults(self):
+        from repro.faults import ChaosSchedule
+        from repro.net.latency import WireFaultModel
+
+        system = standard_system()
+        schedule = ChaosSchedule(system.domain)
+        schedule.loss_between(0.1, 0.2, WireFaultModel(drop_rate=0.5))
+        engine = system.domain.engine
+        assert system.domain.ethernet.fault_model is None
+        engine.run(until=0.15)
+        assert system.domain.ethernet.fault_model.drop_rate == 0.5
+        engine.run(until=0.25)
+        assert system.domain.ethernet.fault_model is None
+
+    def test_bad_loss_phase_rejected(self):
+        from repro.faults import ChaosSchedule
+        from repro.net.latency import WireFaultModel
+
+        system = standard_system()
+        with pytest.raises(ValueError):
+            ChaosSchedule(system.domain).loss_between(
+                0.2, 0.1, WireFaultModel(drop_rate=0.5))
+
+    def test_cancel_undoes_everything(self):
+        from repro.faults import ChaosSchedule
+        from repro.net.latency import WireFaultModel
+
+        system = standard_system()
+        schedule = ChaosSchedule(system.domain)
+        schedule.loss_between(0.1, 0.2, WireFaultModel(drop_rate=1.0))
+        schedule.crash_between(system.fileserver.host, 0.1, 0.2)
+        schedule.cancel()
+        system.domain.engine.run(until=0.3)
+        assert system.domain.ethernet.fault_model is None
+        assert not system.fileserver.host.crashed
+
+
+class TestChaosHarness:
+    def test_short_run_meets_invariants_and_succeeds(self):
+        from repro.faults import run_chaos
+
+        report = run_chaos(seed=7, duration=2.0, drop=0.10, crash=True)
+        assert report.reads > 0
+        assert report.reads_wrong == 0
+        assert report.success_rate >= 0.9
+        assert report.metrics["ipc.retransmits"] > 0
+        assert report.metrics["net.drops"] > 0
+
+    def test_same_seed_reproduces_exactly(self):
+        from repro.faults import run_chaos
+
+        first = run_chaos(seed=11, duration=1.0, crash=False)
+        second = run_chaos(seed=11, duration=1.0, crash=False)
+        assert first.to_dict() == second.to_dict()
+
+    def test_invariant_checks_flag_seeded_violations(self):
+        from repro.faults import InvariantViolation, check_invariants
+        from repro.faults.chaos import (
+            check_cache_accounting,
+            check_no_stuck_transactions,
+            check_timeouts_explained,
+        )
+
+        system = standard_system()
+        # Fabricate an unexplained timeout: metered, but no loss or crash.
+        system.domain.metrics.incr("ipc.send_timeouts")
+        assert check_timeouts_explained(system.domain)
+        with pytest.raises(InvariantViolation):
+            check_invariants(system.domain)
+        assert check_no_stuck_transactions(system.domain) == []
+
+        class FakeStats:
+            fallbacks = 3
+            invalidations = 1
+
+        class FakeCache:
+            stats = FakeStats()
+
+        assert check_cache_accounting(FakeCache())
+
+    def test_cli_runs_and_reports_json(self, capsys):
+        import json as json_module
+
+        from repro.faults.chaos import main
+
+        code = main(["--seed", "7", "--duration", "1.5",
+                     "--drop", "0.1", "--require-retransmits"])
+        assert code == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["seed"] == 7
+        assert payload["metrics"]["ipc.retransmits"] > 0

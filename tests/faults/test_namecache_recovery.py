@@ -75,7 +75,9 @@ class TestCrashRecovery:
 
         def client(session):
             yield from files.read_file(session, name)
-            assert cache.service_pid(int(ServiceId.STORAGE)) is not None
+            now = yield Now()
+            assert cache.service_pid(int(ServiceId.STORAGE),
+                                     now=now) is not None
             yield Delay(0.3)
             # The crash cleared the server's registrations; the subscribed
             # cache heard about it and dropped the generic pid already.

@@ -1,0 +1,160 @@
+"""Kernel Send retransmission: recovery, dedup, reply replay, GetPid retry.
+
+These tests use the Ethernet's drop *predicate* (not the probabilistic
+fault model) to lose exactly the frames under study, so each scenario is
+deterministic without any rng.
+"""
+
+import pytest
+
+from repro.kernel.config import DEFAULT_CONFIG, KernelConfig
+from repro.kernel.domain import Domain
+from repro.kernel.ipc import Delay, GetPid, Receive, Reply, Send, SetPid
+from repro.kernel.messages import Message, PacketKind, ReplyCode
+from repro.kernel.services import Scope
+from tests.helpers import run_on
+
+
+def _echo_server():
+    yield SetPid(1, Scope.BOTH)
+    while True:
+        delivery = yield Receive()
+        yield Reply(delivery.sender, Message.reply(ReplyCode.OK))
+
+
+def _slow_server(work: float):
+    yield SetPid(1, Scope.BOTH)
+    while True:
+        delivery = yield Receive()
+        yield Delay(work)
+        yield Reply(delivery.sender, Message.reply(ReplyCode.OK))
+
+
+def _two_host_domain(server, config=DEFAULT_CONFIG):
+    domain = Domain(config=config)
+    ws = domain.create_host("ws")
+    far = domain.create_host("far")
+    far.spawn(server, "server")
+    return domain, ws
+
+
+def _drop_first(ethernet, kind: PacketKind):
+    """Drop the first frame carrying ``kind``, deliver everything after."""
+    state = {"dropped": False}
+
+    def predicate(frame, dst):
+        packet = frame.payload
+        if not state["dropped"] and getattr(packet, "kind", None) is kind:
+            state["dropped"] = True
+            return True
+        return False
+
+    ethernet.set_drop_predicate(predicate)
+    return state
+
+
+def _client(result):
+    yield Delay(0.01)
+    pid = yield GetPid(1, Scope.ANY)
+    reply = yield Send(pid, Message.request(0x0101))
+    result["reply"] = reply
+
+
+def test_lost_request_recovered_by_retransmit():
+    domain, ws = _two_host_domain(_echo_server())
+    state = _drop_first(domain.ethernet, PacketKind.REQUEST)
+    result = {}
+    run_on(domain, ws, _client(result))
+    assert state["dropped"]
+    assert result["reply"].ok
+    assert domain.metrics.count("ipc.retransmits") >= 1
+    assert domain.metrics.count("ipc.send_timeouts") == 0
+
+
+def test_lost_reply_replayed_from_cache():
+    domain, ws = _two_host_domain(_echo_server())
+    _drop_first(domain.ethernet, PacketKind.REPLY)
+    result = {}
+    run_on(domain, ws, _client(result))
+    assert result["reply"].ok
+    # The retransmitted REQUEST hit the receiver's reply cache: the reply
+    # was replayed verbatim, not recomputed, and the dup was suppressed.
+    assert domain.metrics.count("ipc.reply_resends") >= 1
+    assert domain.metrics.count("ipc.dup_suppressed") >= 1
+
+
+def test_duplicate_request_suppressed_while_server_holds_it():
+    # Server is slower than one retransmission interval, so the kernel
+    # retransmits while the original request is still being served; the
+    # receiver must swallow the duplicate rather than re-queue it.
+    work = DEFAULT_CONFIG.retransmit_initial * 1.5
+    domain, ws = _two_host_domain(_slow_server(work))
+    result = {}
+    run_on(domain, ws, _client(result))
+    assert result["reply"].ok
+    assert domain.metrics.count("ipc.retransmits") >= 1
+    assert domain.metrics.count("ipc.dup_suppressed") >= 1
+    # Exactly one reply reached the client -- no double-execution.
+    assert domain.metrics.count("ipc.replies") == 1
+
+
+def test_ack_by_probe_parks_retransmission():
+    # A server slower than several backoff steps: probes answer PROBE_OK,
+    # which acks the transaction, so retransmission stops growing.
+    work = DEFAULT_CONFIG.probe_interval * 1.5
+    domain, ws = _two_host_domain(_slow_server(work))
+    result = {}
+    run_on(domain, ws, _client(result))
+    assert result["reply"].ok
+    # Once the first probe round-trips, the txn is acked; the retransmit
+    # count stays bounded by the pre-ack window rather than the full wait.
+    assert domain.metrics.count("ipc.retransmits") <= 4
+
+
+def test_retransmission_off_surfaces_timeout():
+    config = KernelConfig(retransmit_enabled=False)
+    domain, ws = _two_host_domain(_echo_server(), config=config)
+    _drop_first(domain.ethernet, PacketKind.REQUEST)
+    result = {}
+    run_on(domain, ws, _client(result))
+    assert int(result["reply"].code) == int(ReplyCode.TIMEOUT)
+    assert domain.metrics.count("ipc.retransmits") == 0
+    assert domain.metrics.count("ipc.send_timeouts") == 1
+
+
+def test_lost_getpid_broadcast_retried():
+    domain, ws = _two_host_domain(_echo_server())
+    _drop_first(domain.ethernet, PacketKind.GETPID_QUERY)
+    result = {}
+    run_on(domain, ws, _client(result))
+    assert result["reply"].ok
+    assert domain.metrics.count("services.getpid_retries") >= 1
+    assert domain.metrics.count("services.getpid_timeouts") == 0
+
+
+def test_getpid_retries_exhausted_returns_none():
+    domain, ws = _two_host_domain(_echo_server())
+    domain.ethernet.set_drop_predicate(
+        lambda frame, dst:
+        getattr(frame.payload, "kind", None) is PacketKind.GETPID_QUERY)
+    result = {}
+
+    def client():
+        yield Delay(0.01)
+        result["pid"] = yield GetPid(1, Scope.ANY)
+
+    run_on(domain, ws, client())
+    assert result["pid"] is None
+    rounds = 1 + domain.config.getpid_retries
+    assert domain.metrics.count("services.getpid_retries") == rounds - 1
+    assert domain.metrics.count("services.getpid_timeouts") == 1
+
+
+def test_loss_free_run_never_retransmits():
+    domain, ws = _two_host_domain(_echo_server())
+    result = {}
+    run_on(domain, ws, _client(result))
+    assert result["reply"].ok
+    assert domain.metrics.count("ipc.retransmits") == 0
+    assert domain.metrics.count("ipc.dup_suppressed") == 0
+    assert domain.metrics.count("ipc.reply_resends") == 0

@@ -1,0 +1,132 @@
+"""Property tests: fault interleavings never leak timers or serve stale routes.
+
+Hypothesis drives the *schedule* -- when the wire starts losing frames, how
+lossy it gets, when the file server crashes and for how long -- while the
+seeded rng keeps each individual run deterministic.  Two invariants from the
+retransmission/re-resolution work are checked after every interleaving:
+
+1. **No timer leak**: once the run quiesces, no live scheduled event may
+   reference a dead process, and no kernel may still hold an outstanding
+   send transaction.
+2. **No stale survivor**: ``send_csname_request`` must never hand a caller a
+   stale-coded reply obtained through a cached route -- operationally, every
+   stale-hint fallback invalidated the binding that produced it, a read that
+   returns at all returns the right bytes, and once the faults heal a read
+   through the (possibly poisoned) cache succeeds against the *new* server.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.resolver import NameError_
+from repro.faults import ChaosSchedule, check_invariants
+from repro.faults.chaos import (
+    check_no_stuck_transactions,
+    check_no_timer_leaks,
+)
+from repro.kernel.domain import Domain
+from repro.kernel.ipc import Delay, Now
+from repro.net.latency import WireFaultModel
+from repro.runtime import files
+from repro.runtime.workstation import setup_workstation, standard_prefixes
+from repro.servers import VFileServer, start_server
+from repro.vio.client import IoError
+
+_PAYLOAD = b"property-payload"
+_DURATION = 1.2
+
+
+def _populated_server() -> VFileServer:
+    server = VFileServer(user="mann")
+    node = server.store.make_path("data/f0.dat", directory=False)
+    node.data[:] = _PAYLOAD
+    return server
+
+
+def _run_interleaving(seed, drop_rate, loss_start, loss_len,
+                      crash, crash_start, crash_len):
+    """Build the system, apply the schedule, run to quiescence."""
+    domain = Domain(seed=seed)
+    workstation = setup_workstation(domain, "mann")
+    fs_host = domain.create_host("vax1")
+    handle = start_server(fs_host, _populated_server())
+    standard_prefixes(workstation, handle)
+    cache = workstation.enable_name_cache()
+
+    schedule = ChaosSchedule(domain)
+    schedule.loss_between(loss_start, min(loss_start + loss_len, 0.9),
+                          WireFaultModel(drop_rate=drop_rate))
+    new_pid = {}
+    if crash:
+        def respawn(host):
+            new_handle = start_server(host, _populated_server())
+            standard_prefixes(workstation, new_handle)
+            new_pid["pid"] = new_handle.pid
+
+        schedule.crash_between(fs_host, crash_start,
+                               min(crash_start + crash_len, 0.85),
+                               respawn=respawn)
+
+    outcomes = {"ok": 0, "failed": 0, "wrong": 0, "healed_ok": False}
+
+    def client(session):
+        while True:
+            now = yield Now()
+            if now >= _DURATION:
+                break
+            for name in ("[root]data/f0.dat", "[storage]data/f0.dat"):
+                try:
+                    data = yield from files.read_file(session, name)
+                except (NameError_, IoError):
+                    outcomes["failed"] += 1
+                else:
+                    outcomes["wrong" if data != _PAYLOAD else "ok"] += 1
+            yield Delay(0.03)
+        # The post-heal read: wire clean, server (re)running.  Whatever the
+        # cache accumulated during the faults, this must succeed.
+        data = yield from files.read_file(session, "[root]data/f0.dat")
+        outcomes["healed_ok"] = data == _PAYLOAD
+
+    workstation.host.spawn(client(workstation.session()), name="prop-client")
+    domain.run()
+    domain.check_healthy()
+    return domain, cache, outcomes, handle, new_pid
+
+
+schedules = st.fixed_dictionaries({
+    "seed": st.integers(min_value=0, max_value=2**16),
+    "drop_rate": st.floats(min_value=0.05, max_value=0.30),
+    "loss_start": st.floats(min_value=0.05, max_value=0.40),
+    "loss_len": st.floats(min_value=0.10, max_value=0.50),
+    "crash": st.booleans(),
+    "crash_start": st.floats(min_value=0.10, max_value=0.50),
+    "crash_len": st.floats(min_value=0.05, max_value=0.25),
+})
+
+
+@settings(max_examples=10, deadline=None)
+@given(schedules)
+def test_no_interleaving_leaks_timers(params):
+    domain, cache, outcomes, __, __new = _run_interleaving(**params)
+    assert check_no_timer_leaks(domain) == []
+    assert check_no_stuck_transactions(domain) == []
+    # The composite check (includes timeout attribution + cache accounting).
+    check_invariants(domain, cache=cache)
+
+
+@settings(max_examples=10, deadline=None)
+@given(schedules)
+def test_no_interleaving_serves_stale_replies(params):
+    domain, cache, outcomes, handle, new_pid = _run_interleaving(**params)
+    # A read either fails cleanly or returns the true bytes -- a stale route
+    # must never produce wrong data.
+    assert outcomes["wrong"] == 0
+    assert outcomes["ok"] > 0
+    # Every stale-coded reply obtained through a cached route invalidated
+    # the binding that produced it before anything was surfaced.
+    assert cache.stats.invalidations >= cache.stats.fallbacks
+    # And the caller is never wedged on the stale state: with the wire clean
+    # and the server back, resolution through the same cache succeeds.
+    assert outcomes["healed_ok"]
+    if params["crash"]:
+        assert new_pid.get("pid") not in (None, handle.pid)

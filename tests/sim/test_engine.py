@@ -145,3 +145,67 @@ def test_reentrant_run_rejected():
     engine.schedule(0.0, nested)
     with pytest.raises(SimulationError, match="re-entrant"):
         engine.run()
+
+
+class TestHeapCompaction:
+    def test_compaction_triggers_when_cancelled_dominate(self):
+        engine = Engine()
+        events = [engine.schedule(1.0 + i * 0.001, lambda: None)
+                  for i in range(Engine.COMPACT_MIN_QUEUE)]
+        # Cancelling just over half the queue must trip one compaction.
+        for event in events[: Engine.COMPACT_MIN_QUEUE // 2 + 1]:
+            event.cancel()
+        assert engine.compactions == 1
+        assert engine.pending == Engine.COMPACT_MIN_QUEUE // 2 - 1
+        engine.run()
+        assert engine.events_processed == Engine.COMPACT_MIN_QUEUE // 2 - 1
+
+    def test_small_queues_never_compact(self):
+        engine = Engine()
+        events = [engine.schedule(1.0, lambda: None) for __ in range(10)]
+        for event in events:
+            event.cancel()
+        assert engine.compactions == 0
+        engine.run()
+        assert engine.events_processed == 0
+
+    def test_pending_is_exact_across_compaction_and_run(self):
+        engine = Engine()
+        fired = []
+        live, dead = [], []
+        for i in range(200):
+            event = engine.schedule(1.0 + i * 0.01, fired.append, i)
+            (dead if i % 3 else live).append(event)
+        for event in dead:
+            event.cancel()
+        assert engine.pending == len(live)
+        assert engine.compactions >= 1
+        engine.run()
+        assert engine.pending == 0
+        assert len(fired) == len(live)
+        assert fired == sorted(fired)
+
+    def test_cancel_after_fire_is_harmless(self):
+        # A callback may hold a reference to an already-popped event (e.g. a
+        # retransmission timer cancelled by the reply it provoked) -- the
+        # engine must not count that cancel against the queue.
+        engine = Engine()
+        events = [engine.schedule(1.0 + i * 0.001, lambda: None)
+                  for i in range(Engine.COMPACT_MIN_QUEUE * 2)]
+        engine.run()
+        for event in events:
+            event.cancel()
+        assert engine.pending == 0
+        assert engine.compactions == 0
+
+    def test_compaction_preserves_firing_order(self):
+        engine = Engine()
+        fired = []
+        events = [engine.schedule(1.0 + i * 0.001, fired.append, i)
+                  for i in range(100)]
+        for event in events[1::2]:
+            event.cancel()
+        events[0].cancel()  # 51st cancel: strictly more than half -> compact
+        assert engine.compactions >= 1
+        engine.run()
+        assert fired == [i for i in range(2, 100) if i % 2 == 0]
