@@ -200,3 +200,22 @@ def test_a4_prefix_cpu_sensitivity(benchmark):
     assert delta_free == pytest.approx(0.385, rel=0.05)
     assert delta_fast == pytest.approx(paper_cpu / 10 * 1e3 + 0.385,
                                        rel=0.05)
+
+
+def trajectory_metrics(quick: bool = False) -> dict:
+    """Metrics tracked by the continuous benchmark (repro.obs.bench)."""
+    readahead_ms = measure_stream(True)
+    metrics = {
+        "readahead_ms": readahead_ms,
+        "prefix_delta_ms": measure_prefix_delta(
+            STANDARD_3MBIT.prefix_server_cpu),
+    }
+    if not quick:
+        metrics["no_readahead_ms"] = measure_stream(False)
+        full_ms, full_bytes = measure_listing(128, None)
+        filtered_ms, filtered_bytes = measure_listing(128, "*.err")
+        metrics["full_listing_ms"] = full_ms
+        metrics["filtered_listing_ms"] = filtered_ms
+        metrics["full_listing_bytes"] = full_bytes
+        metrics["filtered_listing_bytes"] = filtered_bytes
+    return metrics

@@ -150,3 +150,15 @@ def test_e10_group_resolution_returns_a_usable_context(benchmark):
         return run_on(domain, workstation.host, client())
 
     assert benchmark(run) == b"1"
+
+
+def trajectory_metrics(quick: bool = False) -> dict:
+    """Metrics tracked by the continuous benchmark (repro.obs.bench)."""
+    multicast_ms, multicast_discards = measure_multicast()
+    broadcast_ms, broadcast_discards = measure_broadcast_getpid()
+    return {
+        "multicast_lookup_ms": multicast_ms,
+        "broadcast_lookup_ms": broadcast_ms,
+        "multicast_discards": multicast_discards,
+        "broadcast_discards": broadcast_discards,
+    }

@@ -127,3 +127,15 @@ def test_e11_throughput_scales_with_disk(benchmark):
 
     slow, fast = benchmark(run)
     assert fast < slow * 0.65
+
+
+def trajectory_metrics(quick: bool = False) -> dict:
+    """Metrics tracked by the continuous benchmark (repro.obs.bench)."""
+    achieved, disk_bound = measure_file_throughput()
+    metrics = {
+        "file_read_kbs": achieved,
+        "disk_utilization_rate": achieved / disk_bound,
+    }
+    if not quick:
+        metrics["pipe_kbs"] = measure_pipe_throughput()
+    return metrics

@@ -273,3 +273,21 @@ def test_e12_stale_hint_recovery(benchmark):
     # succeeds; the very next open is warm again at direct cost.
     assert results["recovered"] > results["warm"]
     assert results["rewarmed"] == pytest.approx(3.70, rel=0.05)
+
+
+def trajectory_metrics(quick: bool = False) -> dict:
+    """Metrics tracked by the continuous benchmark (repro.obs.bench).
+
+    The Zipf trace length is pinned: hit rate and mean depend on it.
+    """
+    warm_cold = measure_warm_cold()
+    metrics = {
+        "remote_cold_ms": warm_cold["remote via prefix (cold)"],
+        "remote_warm_ms": warm_cold["remote via prefix (warm)"],
+        "local_warm_ms": warm_cold["local via prefix (warm)"],
+    }
+    if not quick:
+        zipf = measure_zipf_hit_rate()
+        metrics["zipf_mean_open_ms"] = zipf["mean_open_ms"]
+        metrics["zipf_hit_rate"] = zipf["stats"].hit_rate
+    return metrics

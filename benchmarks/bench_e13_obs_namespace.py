@@ -259,3 +259,17 @@ def test_e13_e12_warm_open_unperturbed(benchmark):
     # The cache still collapses warm opens to the direct-open cost.
     assert results["warm"] == pytest.approx(E4_PAPER["remote direct"],
                                             rel=0.05)
+
+
+def trajectory_metrics(quick: bool = False) -> dict:
+    """Metrics tracked by the continuous benchmark (repro.obs.bench)."""
+    latency = measure_read_latency()
+    metrics = {
+        "local_metrics_read_ms": latency["local host metrics"]["ms"],
+        "remote_metrics_read_ms": latency["remote host metrics"]["ms"],
+        "fleet_metrics_read_ms": latency["fleet metrics"]["ms"],
+    }
+    if not quick:
+        warm = measure_e12_warm_with_obs()
+        metrics["warm_open_with_obs_ms"] = warm["warm"]
+    return metrics

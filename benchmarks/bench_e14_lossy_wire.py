@@ -249,3 +249,24 @@ def test_e14_zero_loss_is_bit_identical():
     # bench_e4/bench_e12 own the tight reproductions.
     assert e4_plain == pytest.approx(PAPER_E4_REMOTE_PREFIX_MS, rel=0.02)
     assert e12_plain == pytest.approx(PAPER_E12_WARM_MS, rel=0.02)
+
+
+def trajectory_metrics(quick: bool = False) -> dict:
+    """Metrics tracked by the continuous benchmark (repro.obs.bench).
+
+    Rounds are pinned at 100 in both modes: success rate and percentiles
+    are round-count-dependent, so quick mode instead skips the clean-wire
+    control point.
+    """
+    lossy = measure_loss_point(0.10, DEFAULT_CONFIG)
+    metrics = {
+        "loss10_success_rate": lossy["success_rate"],
+        "loss10_p50_ms": lossy["p50_ms"],
+        "loss10_p99_ms": lossy["p99_ms"],
+        "loss10_retransmits": lossy["retransmits"],
+    }
+    if not quick:
+        clean = measure_loss_point(0.0, DEFAULT_CONFIG)
+        metrics["clean_p50_ms"] = clean["p50_ms"]
+        metrics["clean_retransmits"] = clean["retransmits"]
+    return metrics

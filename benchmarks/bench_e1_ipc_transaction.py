@@ -107,3 +107,19 @@ def test_e1_message_size_sweep(benchmark):
     wire_per_byte_ms = 8 / STANDARD_3MBIT.bandwidth_bps * 1e3
     expected_slope = (times[-1] - times[0]) / 1024
     assert expected_slope == pytest.approx(wire_per_byte_ms, rel=0.05)
+
+
+def trajectory_metrics(quick: bool = False) -> dict:
+    """Metrics tracked by the continuous benchmark (repro.obs.bench).
+
+    The mean is over identical steady-state transactions, so fewer rounds
+    in quick mode yield the *same* simulated value -- quick and full
+    snapshots stay comparable.
+    """
+    rounds = 10 if quick else ROUNDS
+    return {
+        "remote_3mbit_ms": measure_transactions(STANDARD_3MBIT, True, rounds),
+        "local_ms": measure_transactions(STANDARD_3MBIT, False, rounds),
+        "remote_10mbit_ms": measure_transactions(STANDARD_10MBIT, True,
+                                                 rounds),
+    }

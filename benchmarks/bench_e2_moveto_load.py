@@ -80,3 +80,11 @@ def test_e2_load_scales_linearly(benchmark):
     # shrinks relative to the move).
     assert t32 / t16 == pytest.approx(2.0, rel=0.15)
     assert t64 / t32 == pytest.approx(2.0, rel=0.10)
+
+
+def trajectory_metrics(quick: bool = False) -> dict:
+    """Metrics tracked by the continuous benchmark (repro.obs.bench)."""
+    metrics = {"load_64k_ms": measure_load(64 * 1024)}
+    if not quick:
+        metrics["load_16k_ms"] = measure_load(16 * 1024)
+    return metrics

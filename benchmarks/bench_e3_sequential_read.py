@@ -111,3 +111,15 @@ def test_e3_faster_disk_shifts_the_bottleneck(benchmark):
         headers=("operation", "measured ms"),
     )
     assert protocol_ms < 5.0
+
+
+def trajectory_metrics(quick: bool = False) -> dict:
+    """Metrics tracked by the continuous benchmark (repro.obs.bench).
+
+    The sequential per-page period is a steady-state mean, so a shorter
+    quick-mode file yields the same value.
+    """
+    return {
+        "sequential_ms": measure_sequential(16 if quick else PAGES),
+        "random_ms": measure_random(16),
+    }

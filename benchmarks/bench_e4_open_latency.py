@@ -130,3 +130,18 @@ def test_e4_other_csname_ops_share_the_shape(benchmark):
         headers=("case", "measured ms"),
     )
     assert prefix_ms - direct_ms == pytest.approx(3.94, rel=0.05)
+
+
+def trajectory_metrics(quick: bool = False) -> dict:
+    """Metrics tracked by the continuous benchmark (repro.obs.bench)."""
+    results = measure_all()
+    return {
+        "local_direct_ms": results["local direct"],
+        "remote_direct_ms": results["remote direct"],
+        "local_via_prefix_ms": results["local via prefix"],
+        "remote_via_prefix_ms": results["remote via prefix"],
+        "prefix_delta_local_ms": (results["local via prefix"]
+                                  - results["local direct"]),
+        "prefix_delta_remote_ms": (results["remote via prefix"]
+                                   - results["remote direct"]),
+    }

@@ -75,3 +75,15 @@ def test_e5_data_grows_linearly(benchmark):
     deltas = [b - a for a, b in zip(sizes, sizes[1:])]
     # Within dict-resize noise, growth is linear.
     assert max(deltas) < 3 * max(1, min(d for d in deltas if d > 0))
+
+
+def trajectory_metrics(quick: bool = False) -> dict:
+    """Metrics tracked by the continuous benchmark (repro.obs.bench).
+
+    Footprints drift legitimately when the module or interpreter changes;
+    repro.obs.regress gives e5 metrics a loose tolerance override.
+    """
+    return {
+        "code_bytes": bytecode_size(),
+        "table_bytes_12_prefixes": table_size(TYPICAL_PREFIXES),
+    }

@@ -61,42 +61,44 @@ def test_e6_allocation_is_collision_free_across_hosts(benchmark):
     assert unique == 16 * 64  # no coordination, no collisions
 
 
+def measure_routing() -> tuple[float, float]:
+    """(Send-by-pid ms, GetPid+Send ms) for one remote transaction."""
+    domain = Domain()
+    ws = domain.create_host("ws")
+    far = domain.create_host("far")
+
+    def server():
+        yield SetPid(1, Scope.BOTH)
+        while True:
+            delivery = yield Receive()
+            yield Reply(delivery.sender, Message.reply(ReplyCode.OK))
+
+    far.spawn(server(), "server")
+
+    def client():
+        yield Delay(0.01)
+        pid = yield GetPid(1, Scope.ANY)
+        # direct: structure routes the message
+        t0 = yield Now()
+        yield Send(pid, Message.request(1))
+        t1 = yield Now()
+        # with a per-use lookup (what port/mailbox schemes pay):
+        t2 = yield Now()
+        again = yield GetPid(1, Scope.ANY)
+        yield Send(again, Message.request(1))
+        t3 = yield Now()
+        return (t1 - t0) * 1e3, (t3 - t2) * 1e3
+
+    from _common import run_on
+
+    return run_on(domain, ws, client())
+
+
 def test_e6_structure_routes_without_a_lookup(benchmark):
     """Sending to a pid needs no registry transaction; compare one Send
     against GetPid-then-Send, the cost the structure avoids."""
 
-    def run():
-        domain = Domain()
-        ws = domain.create_host("ws")
-        far = domain.create_host("far")
-
-        def server():
-            yield SetPid(1, Scope.BOTH)
-            while True:
-                delivery = yield Receive()
-                yield Reply(delivery.sender, Message.reply(ReplyCode.OK))
-
-        far.spawn(server(), "server")
-
-        def client():
-            yield Delay(0.01)
-            pid = yield GetPid(1, Scope.ANY)
-            # direct: structure routes the message
-            t0 = yield Now()
-            yield Send(pid, Message.request(1))
-            t1 = yield Now()
-            # with a per-use lookup (what port/mailbox schemes pay):
-            t2 = yield Now()
-            again = yield GetPid(1, Scope.ANY)
-            yield Send(again, Message.request(1))
-            t3 = yield Now()
-            return (t1 - t0) * 1e3, (t3 - t2) * 1e3
-
-        from _common import run_on
-
-        return run_on(domain, ws, client())
-
-    direct_ms, with_lookup_ms = benchmark(run)
+    direct_ms, with_lookup_ms = benchmark(measure_routing)
     report_table(
         "E6b  Routing by pid structure vs per-use service lookup",
         [("Send by pid", direct_ms),
@@ -105,3 +107,16 @@ def test_e6_structure_routes_without_a_lookup(benchmark):
         headers=("path", "measured ms"),
     )
     assert with_lookup_ms > direct_ms * 1.3
+
+
+def trajectory_metrics(quick: bool = False) -> dict:
+    """Metrics tracked by the continuous benchmark (repro.obs.bench).
+
+    Only the simulated comparison is tracked -- the wall-clock
+    microbenchmarks above are machine-dependent and not gateable.
+    """
+    direct_ms, with_lookup_ms = measure_routing()
+    return {
+        "send_by_pid_ms": direct_ms,
+        "getpid_then_send_ms": with_lookup_ms,
+    }

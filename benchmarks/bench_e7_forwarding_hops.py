@@ -111,3 +111,25 @@ def test_e7_forwarding_beats_proxying(benchmark):
         headers=("design", "ms/hop"),
     )
     assert forward_slope < proxy_slope * 0.7
+
+
+def trajectory_metrics(quick: bool = False) -> dict:
+    """Metrics tracked by the continuous benchmark (repro.obs.bench).
+
+    Besides the open latencies, the attribution profiler contributes the
+    message/byte traffic of the pinned 4-hop scenario -- rounds are pinned
+    (not reduced in quick mode) because totals are round-dependent.
+    """
+    from repro.obs.profile import forwarding_profile
+
+    rounds = 3 if quick else 10  # steady-state mean: round-invariant
+    hops0_ms = measure_hops(0, rounds)
+    hops4_ms = measure_hops(MAX_HOPS, rounds)
+    prof, __, __ = forwarding_profile(hops=MAX_HOPS, rounds=10, seed=0)
+    return {
+        "hops0_open_ms": hops0_ms,
+        "hops4_open_ms": hops4_ms,
+        "per_hop_slope_ms": (hops4_ms - hops0_ms) / MAX_HOPS,
+        "hops4_messages": prof.total_messages,
+        "hops4_wire_bytes": prof.total_bytes,
+    }

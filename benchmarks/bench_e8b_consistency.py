@@ -179,3 +179,15 @@ def test_e8b_stale_binding_breaks_later_clients(benchmark):
         headers=("operation", "result"),
     )
     assert outcome == "INCONSISTENT"
+
+
+def trajectory_metrics(quick: bool = False) -> dict:
+    """Metrics tracked by the continuous benchmark (repro.obs.bench)."""
+    central_bad, central_done = centralized_inconsistencies(0.3)
+    dist_bad, dist_done = distributed_inconsistencies(0.3)
+    return {
+        "central_inconsistencies_30pct": central_bad,
+        "central_completed_30pct": central_done,
+        "distributed_inconsistencies_30pct": dist_bad,
+        "distributed_completed_30pct": dist_done,
+    }

@@ -131,3 +131,14 @@ def test_e8c_availability(benchmark):
     # ...but losing the name server loses EVERYTHING, although every object
     # still physically exists -- the central failure point.
     assert central_ns_down == 0.0
+
+
+def trajectory_metrics(quick: bool = False) -> dict:
+    """Metrics tracked by the continuous benchmark (repro.obs.bench)."""
+    return {
+        "central_ns_down_reachable_rate": centralized_availability(
+            "nameserver"),
+        "central_obj_down_reachable_rate": centralized_availability(
+            "object0"),
+        "distributed_one_down_reachable_rate": distributed_availability(0),
+    }

@@ -113,3 +113,18 @@ def test_e9_directory_read_is_block_granular(benchmark):
     )
     # 8 small records still fit a couple of blocks: far from 4x the cost.
     assert bigger_ms < small_ms * 2.0
+
+
+def trajectory_metrics(quick: bool = False) -> dict:
+    """Metrics tracked by the continuous benchmark (repro.obs.bench).
+
+    The context size is pinned (64) in both modes: per-object costs depend
+    on it, so reducing it would change the metric, not just the runtime.
+    """
+    dir_ms, __ = measure_directory_read(64)
+    enum_ms = measure_enumerate_and_query(64)
+    return {
+        "directory64_ms": dir_ms,
+        "enumerate64_ms": enum_ms,
+        "advantage64_ratio": enum_ms / dir_ms,
+    }

@@ -48,6 +48,8 @@ from repro.kernel.ipc import (
     Delivery,
     JoinGroup,
     MyPid,
+    ProfileEnter,
+    ProfileExit,
     Receive,
     Reply,
     SetPid,
@@ -125,6 +127,11 @@ class CSNHServer:
     #: Kernel service id to register under (None = unregistered).
     service_id: Optional[int] = None
     service_scope: Scope = Scope.BOTH
+    #: Attribution-frame label for the per-request CPU charge (profiling,
+    #: see repro.obs.profile).  The prefix server sets "prefix_lookup" so
+    #: its parse/lookup cost shows as its own CSNH phase; None leaves the
+    #: charge on the process/service frames.
+    profile_phase: Optional[str] = None
 
     def __init__(self) -> None:
         self.pid: Optional[Pid] = None
@@ -225,7 +232,12 @@ class CSNHServer:
         message = delivery.message
         cost = self.per_request_delay()
         if cost > 0:
-            yield Delay(cost)
+            if self.profile_phase is not None:
+                yield ProfileEnter(self.profile_phase)
+                yield Delay(cost)
+                yield ProfileExit()
+            else:
+                yield Delay(cost)
         if is_csname_request(message):
             yield from self.handle_csname(delivery)
             return

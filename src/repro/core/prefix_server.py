@@ -81,6 +81,8 @@ class ContextPrefixServer(CSNHServer):
     server_name = "prefix"
     service_id = int(ServiceId.CONTEXT_PREFIX)
     service_scope = Scope.LOCAL
+    #: The parse/lookup CPU is the prefix-lookup CSNH phase in profiles.
+    profile_phase = "prefix_lookup"
 
     def __init__(self, parse_cpu: float = 0.0, user: str = "user") -> None:
         super().__init__()

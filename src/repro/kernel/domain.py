@@ -28,6 +28,7 @@ from repro.sim.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
+    from repro.obs.profile import Profiler
 
 
 class Domain:
@@ -56,6 +57,15 @@ class Domain:
             # Let the span exporter report the event ring buffer's drop
             # count alongside the spans (see repro.obs.export).
             obs.tracer = tracer
+        if obs is not None:
+            # Run-level comparability facts for JSONL meta records: the rng
+            # seed and (via the engine link) the event count at export time.
+            # A bundle shared across domains reports its newest domain.
+            obs.run_seed = seed
+            obs.engine = self.engine
+        #: Domain-lifetime attribution profiler (see enable_profiler), or
+        #: None.  Scoped profiles via profile() work regardless.
+        self.profiler: Optional["Profiler"] = None
         self.ethernet = Ethernet(self.engine, latency, self.metrics, obs=obs)
         self.groups = GroupRegistry()
         self.hosts: dict[int, Host] = {}
@@ -135,6 +145,33 @@ class Domain:
         if host is None:
             return None
         return host._outstanding.get(txn_id)
+
+    # ------------------------------------------------------------- profiling
+
+    def profile(self) -> "Profiler":
+        """A scoped attribution profiler: ``with domain.profile() as prof:``.
+
+        Attaches on enter, detaches on exit; zero simulated cost (see
+        :mod:`repro.obs.profile`).  Multiple scoped profilers (and the
+        domain-lifetime one) can be active at once.
+        """
+        from repro.obs.profile import Profiler
+
+        return Profiler(engine=self.engine)
+
+    def enable_profiler(self) -> "Profiler":
+        """Attach a domain-lifetime profiler (idempotent).
+
+        The ``[obs]`` name space serves its totals live as
+        ``hosts/<host>/profile``; :func:`repro.servers.statserver.
+        enable_obs_namespace` calls this so those names are never empty.
+        """
+        if self.profiler is None:
+            from repro.obs.profile import Profiler
+
+            self.profiler = Profiler(engine=self.engine)
+            self.engine.attach_profiler(self.profiler)
+        return self.profiler
 
     # ------------------------------------------------------------------ time
 

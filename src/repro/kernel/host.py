@@ -186,7 +186,24 @@ class Host:
 
     def _advance(self, proc: Process, value: Any = None,
                  exc: BaseException | None = None, first: bool = False) -> None:
-        """Step a process, dispatching immediate effects inline."""
+        """Step a process, dispatching immediate effects inline.
+
+        Under profiling, everything this step schedules is attributed to
+        ``host -> process (-> service) (-> open phase frames)``; the scope
+        *replaces* the engine's current stack (saved and restored around the
+        step) so interleaved processes never inherit each other's frames.
+        """
+        profiling = self.engine.profiling
+        if profiling:
+            saved_scope = self.engine.profile_scope(self._profile_frames(proc))
+        try:
+            self._advance_inner(proc, value, exc, first)
+        finally:
+            if profiling:
+                self.engine.profile_restore(saved_scope)
+
+    def _advance_inner(self, proc: Process, value: Any,
+                       exc: BaseException | None, first: bool) -> None:
         while True:
             if not proc.alive:
                 return
@@ -262,7 +279,38 @@ class Host:
             raise IllegalEffect(
                 f"process {proc.name!r} yielded {effect!r}, which is not a kernel effect"
             )
+        if self.engine.profiling:
+            # CSNH phase frame for the duration of the handler: everything
+            # it schedules (delivery hops, frames, timers) inherits it.
+            label = _EFFECT_PHASES.get(type(effect))
+            if label is not None:
+                self.engine.profile_push(label)
+                try:
+                    return handler(self, proc, effect)
+                finally:
+                    self.engine.profile_pop(label)
         return handler(self, proc, effect)
+
+    def _profile_frames(self, proc: Process) -> tuple:
+        """The attribution scope for stepping ``proc``: host -> process
+        (-> service kind when it differs from the process name) plus any
+        frames the process opened with ProfileEnter."""
+        frames = ("host:" + self.name, "proc:" + proc.name)
+        if self.obs is not None:
+            kind = self.obs.actors.get(proc.pid.value)
+            if kind is not None and kind != proc.name:
+                frames += ("svc:" + kind,)
+        return frames + proc.profile_frames
+
+    def profile(self):
+        """A scoped profiler reporting only this host's frames.
+
+        Accounting is engine-wide (time is global); the returned profiler
+        filters its report to stacks rooted at ``host:<name>``.
+        """
+        from repro.obs.profile import Profiler
+
+        return Profiler(engine=self.engine, root="host:" + self.name)
 
     # -- Send ----------------------------------------------------------------
 
@@ -572,6 +620,8 @@ class Host:
         packet = Packet(PacketKind.MOVE_DATA, src_pid=Pid(0), dst_pid=None,
                         txn_id=0, info={"data_bytes": chunk})
         frame = Frame(src_host, dst_host, packet, packet.payload_bytes)
+        if self.engine.profiling:
+            self.engine.profile_count_message(packet.payload_bytes)
         self.ethernet.transmit(frame)
 
     # -- services -----------------------------------------------------------------
@@ -701,6 +751,21 @@ class Host:
                     span.attrs.update(effect.attrs)
         return None
 
+    def _do_profile_enter(self, proc: Process, effect: ipc.ProfileEnter) -> Any:
+        """Zero-cost: open a per-process attribution frame (see ipc)."""
+        if self.engine.profiling:
+            label = "phase:" + effect.label
+            proc.profile_frames += (label,)
+            self.engine.profile_push(label)
+        return None
+
+    def _do_profile_exit(self, proc: Process, effect: ipc.ProfileExit) -> Any:
+        if self.engine.profiling and proc.profile_frames:
+            label = proc.profile_frames[-1]
+            proc.profile_frames = proc.profile_frames[:-1]
+            self.engine.profile_pop(label)
+        return None
+
     def _do_now(self, proc: Process, effect: ipc.Now) -> Any:
         return self.engine.now
 
@@ -725,7 +790,18 @@ class Host:
             if self.crashed:
                 return
             frame = Frame(self.host_id, dst, packet, packet.payload_bytes)
-            arrival = self.ethernet.transmit(frame)
+            if self.engine.profiling:
+                # One message out: bump the current stack's message/byte
+                # totals, and charge the propagation (the arrival event the
+                # ethernet schedules) to a wire frame under this phase.
+                self.engine.profile_count_message(packet.payload_bytes)
+                self.engine.profile_push("phase:wire")
+                try:
+                    arrival = self.ethernet.transmit(frame)
+                finally:
+                    self.engine.profile_pop("phase:wire")
+            else:
+                arrival = self.ethernet.transmit(frame)
             if on_sent is not None:
                 self.engine.schedule_at(arrival, on_sent)
 
@@ -893,6 +969,14 @@ class Host:
     # ---------------------------------------------------------------- probes
 
     def _schedule_probe(self, txn: Transaction) -> None:
+        if self.engine.profiling:
+            self.engine.profile_push("phase:probe")
+            try:
+                txn.probe_event = self.engine.schedule(
+                    self.config.probe_interval, self._probe_fire, txn)
+            finally:
+                self.engine.profile_pop("phase:probe")
+            return
         txn.probe_event = self.engine.schedule(self.config.probe_interval,
                                                self._probe_fire, txn)
 
@@ -922,6 +1006,16 @@ class Host:
     # --------------------------------------------------------- retransmission
 
     def _schedule_retransmit(self, txn: Transaction, interval: float) -> None:
+        if self.engine.profiling:
+            # The backoff wait and everything the timer causes (the re-sent
+            # frames) are attributed to the retransmission phase.
+            self.engine.profile_push("phase:retransmit")
+            try:
+                txn.retransmit_event = self.engine.schedule(
+                    interval, self._retransmit_fire, txn, interval)
+            finally:
+                self.engine.profile_pop("phase:retransmit")
+            return
         txn.retransmit_event = self.engine.schedule(
             interval, self._retransmit_fire, txn, interval)
 
@@ -952,6 +1046,15 @@ class Host:
                 span.append_attr("retransmit", self.engine.now)
         self._trace("ipc", f"txn{txn.txn_id}",
                     f"retransmit #{txn.retransmits} -> {txn.dst!r}")
+        if self.engine.profiling:
+            # Also reached outside the timer (PROBE_MISSING): make sure the
+            # fresh copy is charged to the retransmission phase regardless.
+            self.engine.profile_push("phase:retransmit")
+            try:
+                self._transmit(packet, txn.dst.logical_host)
+            finally:
+                self.engine.profile_pop("phase:retransmit")
+            return
         self._transmit(packet, txn.dst.logical_host)
 
     def _cache_reply(self, txn_id: int, packet: Packet) -> None:
@@ -1032,10 +1135,27 @@ _EFFECT_HANDLERS = {
     ipc.GroupSend: Host._do_group_send,
     ipc.Delay: Host._do_delay,
     ipc.Annotate: Host._do_annotate,
+    ipc.ProfileEnter: Host._do_profile_enter,
+    ipc.ProfileExit: Host._do_profile_exit,
     ipc.Now: Host._do_now,
     ipc.MyPid: Host._do_my_pid,
     ipc.Spawn: Host._do_spawn,
     ipc.Exit: Host._do_exit,
+}
+
+#: CSNH phase labels for the profiler: the frame pushed while the effect's
+#: handler runs (and inherited by everything it schedules).  Delay has no
+#: phase on purpose -- it models the *process's own* CPU (a prefix parse, a
+#: server handler), which belongs to the process/service frames, not to a
+#: kernel protocol phase.
+_EFFECT_PHASES = {
+    ipc.Send: "phase:send",
+    ipc.Reply: "phase:reply",
+    ipc.Forward: "phase:forward_hop",
+    ipc.MoveTo: "phase:move_to",
+    ipc.MoveFrom: "phase:move_from",
+    ipc.GetPid: "phase:getpid",
+    ipc.GroupSend: "phase:group_send",
 }
 
 _PACKET_HANDLERS = {

@@ -225,6 +225,29 @@ class Annotate:
 
 
 @dataclass
+class ProfileEnter:
+    """Open an attribution frame ``phase:<label>`` for the current process.
+
+    Server code brackets a protocol phase (the prefix server wraps its
+    parse/lookup CPU in ``prefix_lookup``) so the attribution profiler
+    (:mod:`repro.obs.profile`) charges the simulated time spent inside to
+    that phase.  The frame is per-process state: it survives the generator's
+    suspensions without leaking into interleaved processes.  Costs **zero
+    simulated time** and is a no-op unless a profiler is attached, so
+    instrumented servers behave identically either way.  Close with
+    :class:`ProfileExit`; frames left open are dropped when the process
+    exits.
+    """
+
+    label: str
+
+
+@dataclass
+class ProfileExit:
+    """Close the innermost :class:`ProfileEnter` frame (zero cost)."""
+
+
+@dataclass
 class Now:
     """Resumes with the current simulated time (seconds)."""
 

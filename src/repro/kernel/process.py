@@ -80,6 +80,11 @@ class Process:
         self.pending_txn: Optional[Transaction] = None
         #: txn_id -> Delivery for requests received but not yet replied to.
         self.unreplied: dict[int, Delivery] = {}
+        #: Attribution frames this process opened with ProfileEnter and has
+        #: not yet closed.  Kept per process (not on the engine) so frames
+        #: survive generator suspension without leaking into the stacks of
+        #: interleaved processes.
+        self.profile_frames: tuple = ()
 
     @property
     def alive(self) -> bool:

@@ -209,6 +209,10 @@ class AsyncHost:
             # Span annotations are simulation-side observability; the socket
             # transport carries no trace contexts, so this is a no-op.
             return None
+        if isinstance(effect, (ipc.ProfileEnter, ipc.ProfileExit)):
+            # Attribution frames profile the discrete-event clock; there is
+            # no simulated time to charge here, so they are no-ops too.
+            return None
         if isinstance(effect, ipc.Exit):
             raise asyncio.CancelledError
         raise IllegalEffect(f"{effect!r} is not a kernel effect")

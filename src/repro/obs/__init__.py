@@ -51,6 +51,7 @@ from repro.obs.registry import (
     MetricsRegistry,
     NoSamplesError,
 )
+from repro.obs.profile import FrameStats, Profiler
 from repro.obs.span import Span, SpanContext, SpanNode, TraceCollector, build_tree
 
 
@@ -67,19 +68,32 @@ class Observability:
         #: The domain's ring-buffer event Tracer, linked by Domain.__init__
         #: when both are present, so exports can report its drop count.
         self.tracer: Any = None
+        #: Run comparability facts, linked by Domain.__init__: the rng seed
+        #: and the engine (for its event count at export time).  Two trace
+        #: files are only comparable if these match.
+        self.run_seed: Any = None
+        self.engine: Any = None
 
     def register_actor(self, pid: Any, kind: str) -> None:
         """Label a process (by pid) with its server kind for reports."""
         self.actors[int(getattr(pid, "value", pid))] = kind
 
     def export_meta(self) -> dict:
-        """Run-level metadata for span exports (tracer drop counts)."""
-        if self.tracer is None:
-            return {}
-        return {
-            "dropped_events": int(getattr(self.tracer, "dropped", 0)),
-            "event_limit": getattr(self.tracer, "limit", None),
-        }
+        """Run-level metadata for span exports.
+
+        Carries everything needed to judge whether two trace files are
+        comparable: the rng seed, the engine's event count at export time,
+        and (when a ring-buffer tracer is attached) its drop count.
+        """
+        meta: dict = {}
+        if self.run_seed is not None:
+            meta["seed"] = self.run_seed
+        if self.engine is not None:
+            meta["events_processed"] = int(self.engine.events_processed)
+        if self.tracer is not None:
+            meta["dropped_events"] = int(getattr(self.tracer, "dropped", 0))
+            meta["event_limit"] = getattr(self.tracer, "limit", None)
+        return meta
 
     def export_spans(self, path: str | Path) -> int:
         return write_spans_jsonl(self.spans, path, actors=self.actors,
@@ -91,6 +105,8 @@ class Observability:
 
 __all__ = [
     "Observability",
+    "Profiler",
+    "FrameStats",
     "Span",
     "SpanContext",
     "SpanNode",

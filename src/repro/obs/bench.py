@@ -1,0 +1,206 @@
+"""Continuous-benchmark runner: the E1-E14 suite as a trajectory.
+
+``python -m repro.obs.bench`` executes every benchmark module's
+``trajectory_metrics(quick)`` entry point -- the deterministic, pinned-seed
+subset of each experiment -- and writes one schema-versioned snapshot
+``BENCH_<n>.json`` at the repo root (next free index).  Two runs of the same
+tree produce byte-identical metric values: every number is *simulated* time
+or a deterministic count, never wall clock, so the snapshots form a
+trajectory of the implementation across commits that
+:mod:`repro.obs.regress` can gate on.
+
+Quick mode (``--quick``, what CI's bench-trajectory job runs) shrinks the
+suite two ways that keep snapshots comparable with full runs:
+
+- fewer repetitions *only* where the metric is a steady-state mean and
+  therefore round-invariant (E1, E3, E7 latencies);
+- skipping secondary metrics entirely (they are simply absent from the
+  snapshot; regress compares the intersection).
+
+Round-count-sensitive metrics (E14's percentiles, E12's Zipf hit rate)
+keep their pinned parameters in both modes.
+
+Snapshot schema (``schema`` = :data:`BENCH_SCHEMA`)::
+
+    {
+      "schema": 1,
+      "kind": "bench-trajectory",
+      "git_sha": "<hex or null>",
+      "seed": 0,
+      "quick": false,
+      "experiments": {
+        "e1": {"metrics": {"remote_3mbit_ms": 2.56, ...}},
+        ...
+      }
+    }
+
+No timestamps: snapshots of identical trees diff clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Optional
+
+#: Bump when the snapshot layout changes incompatibly.
+BENCH_SCHEMA = 1
+
+#: The default simulation seed (individual experiments pin their own
+#: scenario seeds in benchmarks/bench_e*.py; this records the policy).
+SUITE_SEED = 0
+
+#: Experiment key -> benchmark module (order is run order).
+EXPERIMENTS: tuple[tuple[str, str], ...] = (
+    ("e1", "bench_e1_ipc_transaction"),
+    ("e2", "bench_e2_moveto_load"),
+    ("e3", "bench_e3_sequential_read"),
+    ("e4", "bench_e4_open_latency"),
+    ("e5", "bench_e5_prefix_footprint"),
+    ("e6", "bench_e6_pid_operations"),
+    ("e7", "bench_e7_forwarding_hops"),
+    ("e8a", "bench_e8a_vs_centralized_latency"),
+    ("e8b", "bench_e8b_consistency"),
+    ("e8c", "bench_e8c_availability"),
+    ("e9", "bench_e9_context_directory"),
+    ("e10", "bench_e10_multicast_naming"),
+    ("e11", "bench_e11_stream_throughput"),
+    ("e12", "bench_e12_cached_open"),
+    ("e13", "bench_e13_obs_namespace"),
+    ("e14", "bench_e14_lossy_wire"),
+    ("ablations", "bench_ablations"),
+)
+
+_SNAPSHOT_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def repo_root(start: Optional[Path] = None) -> Path:
+    """The enclosing directory that holds benchmarks/ (default: cwd)."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "benchmarks").is_dir():
+            return candidate
+    raise FileNotFoundError(
+        f"no benchmarks/ directory at or above {here}")
+
+
+def load_bench_module(name: str, benchmarks_dir: Path):
+    """Import one benchmark module from the benchmarks/ directory.
+
+    The modules import ``conftest``/``_common`` as top-level names, so the
+    directory goes onto sys.path for the duration of the import.
+    """
+    path = benchmarks_dir / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    sys.path.insert(0, str(benchmarks_dir))
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.path.remove(str(benchmarks_dir))
+    return module
+
+
+def git_sha(root: Path) -> Optional[str]:
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"], cwd=root,
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def run_suite(quick: bool = False,
+              only: Optional[list[str]] = None,
+              root: Optional[Path] = None,
+              verbose: bool = False) -> dict:
+    """Run the suite and return the snapshot document (not yet written)."""
+    root = repo_root(root)
+    benchmarks_dir = root / "benchmarks"
+    # Tracing mode would attach Observability bundles to every system the
+    # benches build; payload sizes (and so [obs] read latencies) differ.
+    # The trajectory is always measured untraced.
+    os.environ.pop("REPRO_TRACE_DIR", None)
+    experiments: dict[str, dict] = {}
+    for key, module_name in EXPERIMENTS:
+        if only and key not in only:
+            continue
+        if verbose:
+            print(f"  {key}: {module_name} ...", file=sys.stderr, flush=True)
+        module = load_bench_module(module_name, benchmarks_dir)
+        metrics = module.trajectory_metrics(quick=quick)
+        if not metrics:
+            continue
+        experiments[key] = {"metrics": metrics}
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": "bench-trajectory",
+        "git_sha": git_sha(root),
+        "seed": SUITE_SEED,
+        "quick": quick,
+        "experiments": experiments,
+    }
+
+
+def snapshot_paths(root: Path) -> list[tuple[int, Path]]:
+    """All BENCH_<n>.json files at ``root``, sorted by index."""
+    found = []
+    for entry in root.iterdir():
+        match = _SNAPSHOT_RE.match(entry.name)
+        if match:
+            found.append((int(match.group(1)), entry))
+    return sorted(found)
+
+
+def next_snapshot_path(root: Path) -> Path:
+    taken = [index for index, __ in snapshot_paths(root)]
+    return root / f"BENCH_{max(taken) + 1 if taken else 0}.json"
+
+
+def write_snapshot(snapshot: dict, path: Path) -> Path:
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="Run the E1-E14 trajectory suite and write BENCH_<n>.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced suite (CI mode); values stay "
+                             "comparable with full runs")
+    parser.add_argument("--only", action="append", metavar="EXP",
+                        help="run only this experiment key (repeatable), "
+                             "e.g. --only e7")
+    parser.add_argument("--out", metavar="PATH",
+                        help="snapshot path (default: next free "
+                             "BENCH_<n>.json at the repo root)")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment keys and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key, module_name in EXPERIMENTS:
+            print(f"{key:10s} {module_name}")
+        return 0
+
+    root = repo_root()
+    snapshot = run_suite(quick=args.quick, only=args.only, verbose=True)
+    out = Path(args.out) if args.out else next_snapshot_path(root)
+    write_snapshot(snapshot, out)
+    count = sum(len(exp["metrics"])
+                for exp in snapshot["experiments"].values())
+    print(f"wrote {out} ({len(snapshot['experiments'])} experiments, "
+          f"{count} metrics, quick={snapshot['quick']})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

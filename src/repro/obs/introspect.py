@@ -77,6 +77,30 @@ def host_namecache_payload(host: "Host") -> bytes:
     return _json_bytes(snap)
 
 
+def host_profile_payload(host: "Host") -> bytes:
+    """``[obs]/hosts/<host>/profile``: live attribution-profiler totals.
+
+    Served from the domain-lifetime profiler (attached by
+    ``enable_obs_namespace`` via ``Domain.enable_profiler``), filtered to
+    stacks rooted at this host.  A domain without one serves an explicit
+    ``enabled: false`` stub -- the *name* exists on every host, uniformly.
+    """
+    prof = host.domain.profiler
+    if prof is None:
+        return _json_bytes({"enabled": False, "host": host.name})
+    document = prof.profile()
+    frames = [frame for frame in document["frames"]
+              if frame["stack"] and frame["stack"][0] == "host:" + host.name]
+    document["frames"] = frames
+    document["root"] = "host:" + host.name
+    document["total_seconds"] = sum(f["seconds"] for f in frames)
+    document["total_messages"] = sum(f["messages"] for f in frames)
+    document["total_bytes"] = sum(f["bytes"] for f in frames)
+    document["enabled"] = True
+    document["host"] = host.name
+    return _json_bytes(document)
+
+
 def host_spans_payload(host: "Host",
                        limit: int = RECENT_SPANS_LIMIT) -> bytes:
     """``[obs]/hosts/<host>/spans/recent``: newest finished spans.

@@ -1,0 +1,206 @@
+"""Regression gate over BENCH_<n>.json trajectory snapshots.
+
+``python -m repro.obs.regress`` diffs the newest snapshot against a
+committed baseline (by default ``BENCH_0.json`` vs the highest-numbered
+snapshot at the repo root) and exits nonzero when any metric regressed
+beyond its tolerance, naming the metric.
+
+Tolerances are assigned by metric-name suffix; the simulation is
+deterministic, so most drift *is* a behavior change:
+
+==============================  ============================================
+``*_ms``, ``*_s``               lower is better; fail above +2% relative
+``*_kbs``                       higher is better; fail below -2% relative
+``*_rate``, ``*_fraction``      higher is better; fail below -0.005 absolute
+``*_ratio``                     two-sided, 2% relative (shape metrics)
+everything else                 two-sided, exact (counts, bytes, txns)
+==============================  ============================================
+
+:data:`OVERRIDES` loosens specific metrics whose drift is legitimate
+(e.g. E5's code-size footprint moves whenever the module is edited).
+
+Only the intersection of experiments/metrics present in both snapshots is
+compared -- quick-mode snapshots simply omit the secondary metrics -- but
+an experiment present in the baseline and absent from a *non-quick*
+candidate is itself a failure (a silently dropped experiment must not pass
+the gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.bench import BENCH_SCHEMA, repo_root, snapshot_paths
+
+#: (direction, kind, tolerance) by metric-name suffix, first match wins.
+#: direction: "lower" = lower is better, "higher" = higher is better,
+#: "both" = any drift counts.  kind: "rel" or "abs".
+SUFFIX_RULES: tuple[tuple[str, tuple[str, str, float]], ...] = (
+    ("_ms", ("lower", "rel", 0.02)),
+    ("_s", ("lower", "rel", 0.02)),
+    ("_kbs", ("higher", "rel", 0.02)),
+    ("_rate", ("higher", "abs", 0.005)),
+    ("_fraction", ("higher", "abs", 0.005)),
+    ("_ratio", ("both", "rel", 0.02)),
+)
+
+#: Per-metric overrides ("<experiment>.<metric>") for legitimate drift.
+OVERRIDES: dict[str, tuple[str, str, float]] = {
+    # Footprints move with any edit to the measured module or interpreter
+    # internals; gate only on order-of-magnitude growth.
+    "e5.code_bytes": ("both", "rel", 0.50),
+    "e5.table_bytes_12_prefixes": ("both", "rel", 0.50),
+}
+
+DEFAULT_RULE = ("both", "abs", 0.0)  # counts: exact
+
+
+def rule_for(experiment: str, metric: str) -> tuple[str, str, float]:
+    override = OVERRIDES.get(f"{experiment}.{metric}")
+    if override is not None:
+        return override
+    for suffix, rule in SUFFIX_RULES:
+        if metric.endswith(suffix):
+            return rule
+    return DEFAULT_RULE
+
+
+@dataclass
+class Finding:
+    """One metric's verdict."""
+
+    experiment: str
+    metric: str
+    baseline: float
+    candidate: float
+    allowed: float
+    verdict: str  # "regressed" | "improved" | "missing"
+
+    @property
+    def name(self) -> str:
+        return f"{self.experiment}.{self.metric}"
+
+    def describe(self) -> str:
+        if self.verdict == "missing":
+            return (f"{self.name}: present in baseline, missing from "
+                    f"candidate")
+        delta = self.candidate - self.baseline
+        rel = (delta / self.baseline * 100) if self.baseline else float("inf")
+        return (f"{self.name}: {self.baseline:g} -> {self.candidate:g} "
+                f"({rel:+.2f}%, allowed ±{self.allowed:g})")
+
+
+def compare(baseline: dict, candidate: dict) -> list[Finding]:
+    """Pure comparison: findings for every out-of-tolerance metric.
+
+    ``verdict == "regressed"`` findings are what the gate fails on;
+    "improved" findings are reported but pass.
+    """
+    for name, snapshot in (("baseline", baseline), ("candidate", candidate)):
+        if snapshot.get("schema") != BENCH_SCHEMA:
+            raise ValueError(
+                f"{name} snapshot has schema {snapshot.get('schema')!r}, "
+                f"this tool understands {BENCH_SCHEMA}")
+    findings: list[Finding] = []
+    base_experiments = baseline.get("experiments", {})
+    cand_experiments = candidate.get("experiments", {})
+    candidate_quick = bool(candidate.get("quick"))
+    for experiment, base_entry in sorted(base_experiments.items()):
+        cand_entry = cand_experiments.get(experiment)
+        if cand_entry is None:
+            if not candidate_quick:
+                findings.append(Finding(experiment, "(all)", 0.0, 0.0, 0.0,
+                                        "missing"))
+            continue
+        cand_metrics = cand_entry.get("metrics", {})
+        for metric, base_value in sorted(base_entry["metrics"].items()):
+            if metric not in cand_metrics:
+                # Quick candidates legitimately omit secondary metrics.
+                if not candidate_quick:
+                    findings.append(Finding(experiment, metric,
+                                            float(base_value), float("nan"),
+                                            0.0, "missing"))
+                continue
+            cand_value = float(cand_metrics[metric])
+            base_value = float(base_value)
+            direction, kind, tolerance = rule_for(experiment, metric)
+            if kind == "rel":
+                allowed = abs(base_value) * tolerance
+            else:
+                allowed = tolerance
+            delta = cand_value - base_value
+            if abs(delta) <= allowed:
+                continue
+            worse = {"lower": delta > 0, "higher": delta < 0,
+                     "both": True}[direction]
+            findings.append(Finding(experiment, metric, base_value,
+                                    cand_value, allowed,
+                                    "regressed" if worse else "improved"))
+    return findings
+
+
+def load_snapshot(path: Path) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def default_pair(root: Path) -> tuple[Path, Path]:
+    """(baseline, candidate) = (lowest, highest) BENCH_<n>.json index."""
+    snapshots = snapshot_paths(root)
+    if len(snapshots) < 2:
+        raise FileNotFoundError(
+            f"need two BENCH_<n>.json snapshots at {root}, "
+            f"found {len(snapshots)}")
+    return snapshots[0][1], snapshots[-1][1]
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="Gate the newest BENCH_<n>.json against a baseline")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="baseline snapshot (default: lowest index)")
+    parser.add_argument("--candidate", metavar="PATH",
+                        help="candidate snapshot (default: highest index)")
+    args = parser.parse_args(argv)
+
+    if args.baseline and args.candidate:
+        baseline_path = Path(args.baseline)
+        candidate_path = Path(args.candidate)
+    else:
+        root = repo_root()
+        default_base, default_cand = default_pair(root)
+        baseline_path = Path(args.baseline) if args.baseline else default_base
+        candidate_path = (Path(args.candidate) if args.candidate
+                          else default_cand)
+    baseline = load_snapshot(baseline_path)
+    candidate = load_snapshot(candidate_path)
+    findings = compare(baseline, candidate)
+
+    print(f"baseline:  {baseline_path} (sha {baseline.get('git_sha')}, "
+          f"quick={bool(baseline.get('quick'))})")
+    print(f"candidate: {candidate_path} (sha {candidate.get('git_sha')}, "
+          f"quick={bool(candidate.get('quick'))})")
+    regressions = [f for f in findings if f.verdict != "improved"]
+    improvements = [f for f in findings if f.verdict == "improved"]
+    for finding in improvements:
+        print(f"improved:  {finding.describe()}")
+    for finding in regressions:
+        print(f"REGRESSED: {finding.describe()}")
+    if regressions:
+        names = ", ".join(f.name for f in regressions)
+        print(f"FAIL: {len(regressions)} metric(s) regressed: {names}")
+        return 1
+    compared = sum(len(e.get("metrics", {}))
+                   for e in baseline.get("experiments", {}).values())
+    print(f"OK: no regressions ({compared} baseline metrics, "
+          f"{len(improvements)} improved)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -28,6 +28,9 @@ from repro.obs.span import Span, SpanNode, build_tree
 
 BAR_WIDTH = 28
 
+#: Version of the ``--json`` report document.
+REPORT_SCHEMA = 1
+
 
 def _ms(seconds: float) -> str:
     return f"{seconds * 1e3:.3f}"
@@ -226,15 +229,20 @@ def render_cache_summary(counters: Sequence[dict]) -> str:
     return "\n".join(lines)
 
 
-def render_metrics(path: str | Path, top: int = 20) -> str:
-    """Summarize a metrics JSONL file (counters + histogram percentiles)."""
+def load_metrics_records(path: str | Path) -> List[dict]:
+    """Load export-shaped metric records from a metrics JSONL file."""
     records: List[dict] = []
     with Path(path).open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if line:
                 records.append(json.loads(line))
-    return render_metrics_records(records, top)
+    return records
+
+
+def render_metrics(path: str | Path, top: int = 20) -> str:
+    """Summarize a metrics JSONL file (counters + histogram percentiles)."""
+    return render_metrics_records(load_metrics_records(path), top)
 
 
 def render_metrics_records(records: Sequence[dict], top: int = 20) -> str:
@@ -275,6 +283,93 @@ def render_metrics_records(records: Sequence[dict], top: int = 20) -> str:
         lines.append("")
         lines.append(cache_summary)
     return "\n".join(lines) if lines else "(no metrics)"
+
+
+def timeline_records(roots: Sequence[SpanNode]) -> List[dict]:
+    """The hop timeline as records: one dict per span, depth-annotated.
+
+    The machine-readable twin of :func:`render_timeline`, used by
+    ``--json``; offsets are relative to the window start, in ms.
+    """
+    if not roots:
+        return []
+    window_start = min(node.span.start for node in roots)
+    records = []
+    for root in roots:
+        for depth, node in root.walk():
+            span = node.span
+            records.append({
+                "name": span.name,
+                "actor": span.actor,
+                "depth": depth,
+                "offset_ms": (span.start - window_start) * 1e3,
+                "duration_ms": (span.duration * 1e3 if span.finished
+                                else None),
+                "attrs": span.attrs,
+            })
+    return records
+
+
+def trace_document(tracefile: TraceFile, trace_id: int) -> Optional[dict]:
+    """One trace as a JSON-ready document: timeline + critical path."""
+    spans = tracefile.traces().get(trace_id)
+    if not spans:
+        return None
+    roots = build_tree(spans)
+    root = roots[0].span
+    return {
+        "trace_id": trace_id,
+        "root": root.name,
+        "actor": root.actor,
+        "csname": root.attrs.get("csname"),
+        "duration_ms": root.duration * 1e3 if root.finished else None,
+        "span_count": len(spans),
+        "timeline": timeline_records(roots),
+        "critical_path": [
+            {"actor": actor, "exclusive_ms": seconds * 1e3}
+            for actor, seconds in critical_path(roots)],
+        "unfinished_spans": [s.name for s in spans if not s.finished],
+    }
+
+
+def report_document(tracefile: TraceFile, top: int = 10,
+                    trace_ids: Optional[Sequence[int]] = None,
+                    metrics_records: Optional[Sequence[dict]] = None) -> dict:
+    """The whole report, machine-readable (the ``--json`` output).
+
+    ``trace_ids`` selects which traces get full timelines (default: the
+    slowest one); the slowest-resolutions table and file meta are always
+    included, and ``metrics_records`` adds the metrics scoreboard.
+    """
+    if trace_ids is None:
+        slowest = slowest_traces(tracefile, 1)
+        trace_ids = [slowest[0]["trace_id"]] if slowest else []
+    document = {
+        "schema": REPORT_SCHEMA,
+        "meta": dict(tracefile.meta),
+        "span_count": len(tracefile.spans),
+        "trace_count": len(tracefile.traces()),
+        "dropped_events": tracefile.dropped_events,
+        "slowest": [
+            {
+                "trace_id": row["trace_id"],
+                "total_ms": row["total"] * 1e3,
+                "hops": row["hops"],
+                "forwards": row["forwards"],
+                "reply": row["reply"],
+                "root": row["root"].name,
+                "actor": row["root"].actor,
+                "csname": row["root"].attrs.get("csname"),
+            }
+            for row in slowest_traces(tracefile, top)],
+        "traces": [doc for doc in
+                   (trace_document(tracefile, trace_id)
+                    for trace_id in trace_ids)
+                   if doc is not None],
+    }
+    if metrics_records is not None:
+        document["metrics"] = [dict(record) for record in metrics_records]
+    return document
 
 
 def render_dropped_warning(tracefile: TraceFile) -> str:
@@ -382,9 +477,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--live", action="store_true",
                         help="read live [obs] names from a simulated "
                              "two-host session instead of JSONL files")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as one JSON document (hop "
+                             "timelines, slowest table, metrics) instead "
+                             "of rendered text")
     args = parser.parse_args(argv)
 
     if args.live:
+        if args.json:
+            parser.error("--json works on trace files, not with --live")
         return run_live(args.top)
     if args.trace_file is None:
         parser.error("a trace file is required unless --live is given")
@@ -399,6 +500,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {args.trace_file} contains no spans -- nothing to "
               "report (was the run traced?)", file=sys.stderr)
         return 2
+
+    if args.json:
+        if args.all:
+            trace_ids = [s["trace_id"] for s in
+                         slowest_traces(tracefile, len(tracefile.traces()))]
+        elif args.trace is not None:
+            trace_ids = [args.trace]
+        else:
+            trace_ids = None
+        metrics_records = None
+        if args.metrics:
+            try:
+                metrics_records = load_metrics_records(args.metrics)
+            except OSError as err:
+                print(f"error: cannot read metrics file {args.metrics}: "
+                      f"{err.strerror or err}", file=sys.stderr)
+                return 2
+        document = report_document(tracefile, args.top, trace_ids,
+                                   metrics_records)
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
 
     print(f"{args.trace_file}: {len(tracefile.spans)} spans, "
           f"{len(tracefile.traces())} traces")

@@ -237,6 +237,8 @@ class StatServer(_IntrospectionServer):
                      lambda: introspect.host_namecache_payload(host)),
             StatLeaf("processes", "json",
                      lambda: introspect.host_processes_payload(host)),
+            StatLeaf("profile", "json",
+                     lambda: introspect.host_profile_payload(host)),
             spans,
         ):
             self.root_ctx.add(node)
@@ -323,5 +325,8 @@ def enable_obs_namespace(domain: "Domain",
         if not domain.hosts:
             raise ValueError("enable_obs_namespace needs at least one host")
         root_host = next(iter(domain.hosts.values()))
+    # Attribution costs zero simulated time, so serving live profiles keeps
+    # the instrumented/uninstrumented timelines identical (the E13 property).
+    domain.enable_profiler()
     domain.obs_namespace = ObsNamespace(domain, root_host)
     return domain.obs_namespace

@@ -10,6 +10,16 @@ properties matter for the reproduction:
 2. **Exactness.** The clock is a float number of simulated seconds; latency
    constants from :mod:`repro.net.latency` compose without noise, which lets
    tests assert the paper's measured numbers to sub-percent tolerances.
+
+Attribution profiling (:mod:`repro.obs.profile`) hooks in here: with one or
+more profiler sinks attached, every scheduled event is stamped with the
+attribution stack current at *schedule* time, and every clock advance is
+charged to the stack of the event that advanced it.  Because the advances
+partition the clock, the per-frame totals sum exactly to elapsed simulated
+time -- and because the stamp is inherited while an event's callback runs,
+transitively scheduled work (a reply frame, a retransmission timer) stays
+attributed to the phase that caused it.  With no sink attached, none of
+these branches run and no simulated behaviour changes.
 """
 
 from __future__ import annotations
@@ -36,6 +46,10 @@ class ScheduledEvent:
     #: entries still sitting in the heap (and compact when they dominate).
     on_cancel: Optional[Callable[[], None]] = field(compare=False, default=None,
                                                     repr=False)
+    #: Attribution stack captured at schedule time (profiling only; None
+    #: when no profiler sink is attached).
+    attribution: Optional[tuple] = field(compare=False, default=None,
+                                         repr=False)
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
@@ -69,6 +83,12 @@ class Engine:
         self._events_processed = 0
         self._cancelled_in_queue = 0
         self._compactions = 0
+        #: Attached profiler sinks (see repro.obs.profile).  Duck-typed:
+        #: each needs account(stack, dt) and count_message(stack, nbytes).
+        self._profilers: list[Any] = []
+        #: The current attribution stack: a tuple of frame labels naming what
+        #: the simulation is doing *right now* (host -> process -> phase).
+        self._attr_stack: tuple = ()
 
     @property
     def now(self) -> float:
@@ -89,6 +109,61 @@ class Engine:
     def compactions(self) -> int:
         """How many times the heap has been compacted (introspection)."""
         return self._compactions
+
+    # ------------------------------------------------------------- profiling
+
+    @property
+    def profiling(self) -> bool:
+        """True when at least one profiler sink is attached.  Kernel code
+        gates its frame pushes on this, so the unprofiled path costs one
+        attribute read."""
+        return bool(self._profilers)
+
+    def attach_profiler(self, sink: Any) -> None:
+        """Attach a profiler sink; it is charged every clock advance."""
+        if sink not in self._profilers:
+            self._profilers.append(sink)
+            sink.attached(self)
+
+    def detach_profiler(self, sink: Any) -> None:
+        if sink in self._profilers:
+            self._profilers.remove(sink)
+            sink.detached(self)
+
+    def profile_scope(self, frames: tuple) -> tuple:
+        """Replace the attribution stack; returns the previous one.
+
+        Used by the kernel when it switches to running a particular process:
+        the scope *replaces* rather than extends, so interleaved processes
+        never inherit each other's frames.
+        """
+        previous = self._attr_stack
+        self._attr_stack = frames
+        return previous
+
+    def profile_restore(self, frames: tuple) -> None:
+        self._attr_stack = frames
+
+    def profile_push(self, label: str) -> None:
+        """Push one frame label (no-op if it is already the innermost one,
+        so self-rescheduling timers do not grow the stack)."""
+        stack = self._attr_stack
+        if not stack or stack[-1] != label:
+            self._attr_stack = stack + (label,)
+
+    def profile_pop(self, label: str) -> None:
+        stack = self._attr_stack
+        if stack and stack[-1] == label:
+            self._attr_stack = stack[:-1]
+
+    def profile_count_message(self, nbytes: int) -> None:
+        """Charge one network message of ``nbytes`` to the current stack."""
+        for sink in self._profilers:
+            sink.count_message(self._attr_stack, nbytes)
+
+    def _account(self, stack: Optional[tuple], dt: float) -> None:
+        for sink in self._profilers:
+            sink.account(stack or (), dt)
 
     def _note_cancelled(self) -> None:
         """An event in the heap was cancelled; compact when they dominate.
@@ -125,6 +200,8 @@ class Engine:
             )
         event = ScheduledEvent(time=time, seq=self._seq, callback=callback,
                                args=args, on_cancel=self._note_cancelled)
+        if self._profilers:
+            event.attribution = self._attr_stack
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -137,6 +214,22 @@ class Engine:
             if event.cancelled:
                 self._cancelled_in_queue -= 1
                 continue
+            if self._profilers:
+                # Clock advances partition elapsed time: charging each to
+                # the stack of the event that caused it makes the per-frame
+                # totals sum exactly to end-to-end simulated time.  The
+                # event's stamp becomes the current stack while its callback
+                # runs, so transitively scheduled events inherit attribution.
+                self._account(event.attribution, event.time - self._now)
+                self._now = event.time
+                self._events_processed += 1
+                previous = self._attr_stack
+                self._attr_stack = event.attribution or ()
+                try:
+                    event.callback(*event.args)
+                finally:
+                    self._attr_stack = previous
+                return True
             self._now = event.time
             self._events_processed += 1
             event.callback(*event.args)
@@ -162,6 +255,8 @@ class Engine:
                     self._cancelled_in_queue -= 1
                     continue
                 if until is not None and head.time > until:
+                    if self._profilers:
+                        self._account(("idle",), until - self._now)
                     self._now = until
                     return
                 if max_events is not None and fired >= max_events:
@@ -171,6 +266,8 @@ class Engine:
                 self.step()
                 fired += 1
             if until is not None and self._now < until:
+                if self._profilers:
+                    self._account(("idle",), until - self._now)
                 self._now = until
         finally:
             self._running = False

@@ -81,6 +81,34 @@ class TestFileServiceOverUdp:
 
         assert run_async(scenario()) == b"fw"
 
+    def test_profiled_prefix_server_survives_udp(self):
+        # A nonzero parse_cpu makes dispatch() yield ProfileEnter/Exit
+        # around its Delay; the socket interpreter must treat them as
+        # no-ops (like Annotate), not IllegalEffect.
+        async def scenario():
+            domain = AsyncDomain()
+            ws = await domain.create_host("ws")
+            fs_host = await domain.create_host("fs")
+            fs_pid = fs_host.spawn(VFileServer(user="mann").body(),
+                                   "fileserver")
+            prefix = ContextPrefixServer(parse_cpu=0.001, user="mann")
+            prefix_pid = ws.spawn(prefix.body(), "prefix")
+            await asyncio.sleep(0.05)
+            prefix.define_prefix(
+                "home", ContextPair(fs_pid, int(WellKnownContext.HOME)))
+            session = Session(ContextPair(fs_pid, int(WellKnownContext.HOME)),
+                              prefix_pid, STANDARD_3MBIT)
+
+            def client():
+                yield from files.write_file(session, "[home]prof.txt", b"ok")
+                return (yield from files.read_file(session, "[home]prof.txt"))
+
+            result = await run_client(domain, ws, client())
+            await domain.shutdown()
+            return result
+
+        assert run_async(scenario()) == b"ok"
+
     def test_directory_listing_over_sockets(self):
         async def scenario():
             domain, ws, *__, session = await base_system()

@@ -1,0 +1,196 @@
+"""Tests for the continuous-benchmark snapshot machinery and the gate.
+
+The suite itself is exercised by running ``repro.obs.bench`` (slow, so the
+benchmark runs live in benchmarks/); here we pin the parts the gate's
+correctness rests on: snapshot naming, tolerance classification, and the
+pure :func:`repro.obs.regress.compare` semantics -- including the two
+acceptance cases (identical snapshots pass; a +20% latency injection
+fails naming the metric).
+"""
+
+import json
+
+import pytest
+
+from repro.obs import regress
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    next_snapshot_path,
+    repo_root,
+    snapshot_paths,
+    write_snapshot,
+)
+from repro.obs.regress import Finding, compare, main, rule_for
+
+
+def make_snapshot(experiments: dict, quick: bool = False,
+                  schema: int = BENCH_SCHEMA) -> dict:
+    return {
+        "schema": schema,
+        "kind": "bench-trajectory",
+        "git_sha": "deadbeef",
+        "seed": 0,
+        "quick": quick,
+        "experiments": {
+            key: {"metrics": dict(metrics)}
+            for key, metrics in experiments.items()},
+    }
+
+
+BASE = {
+    "e4": {"remote_via_prefix_ms": 7.6127, "prefix_delta_remote_ms": 3.93},
+    "e7": {"hops4_messages": 22, "hops4_open_ms": 18.5},
+    "e8c": {"distributed_one_down_reachable_rate": 0.92},
+    "e11": {"file_read_kbs": 29.9},
+}
+
+
+class TestSnapshotNaming:
+    def test_next_index_counts_up_from_existing(self, tmp_path):
+        (tmp_path / "benchmarks").mkdir()
+        assert next_snapshot_path(tmp_path).name == "BENCH_0.json"
+        write_snapshot(make_snapshot(BASE), tmp_path / "BENCH_0.json")
+        write_snapshot(make_snapshot(BASE), tmp_path / "BENCH_4.json")
+        (tmp_path / "BENCH_x.json").write_text("{}")  # not a snapshot name
+        assert [i for i, __ in snapshot_paths(tmp_path)] == [0, 4]
+        assert next_snapshot_path(tmp_path).name == "BENCH_5.json"
+
+    def test_repo_root_walks_up_to_benchmarks_dir(self, tmp_path):
+        (tmp_path / "benchmarks").mkdir()
+        nested = tmp_path / "src" / "deep"
+        nested.mkdir(parents=True)
+        assert repo_root(nested) == tmp_path
+        with pytest.raises(FileNotFoundError):
+            repo_root(tmp_path.parent)
+
+    def test_committed_baseline_matches_schema(self):
+        """BENCH_0.json at the real repo root is a valid gate baseline."""
+        baseline = json.loads(
+            (repo_root() / "BENCH_0.json").read_text())
+        assert baseline["schema"] == BENCH_SCHEMA
+        assert baseline["quick"] is False
+        assert "e7" in baseline["experiments"]
+        # A latency and a count: the two tolerance families the gate uses.
+        metrics = baseline["experiments"]["e7"]["metrics"]
+        assert "hops4_open_ms" in metrics and "hops4_messages" in metrics
+
+
+class TestToleranceRules:
+    def test_suffix_classification(self):
+        assert rule_for("e4", "remote_via_prefix_ms") == ("lower", "rel", 0.02)
+        assert rule_for("e11", "file_read_kbs") == ("higher", "rel", 0.02)
+        assert rule_for("e8c", "x_rate") == ("higher", "abs", 0.005)
+        assert rule_for("e9", "advantage64_ratio") == ("both", "rel", 0.02)
+        # Counts and bytes: exact.
+        assert rule_for("e7", "hops4_messages") == ("both", "abs", 0.0)
+
+    def test_override_beats_suffix(self):
+        assert rule_for("e5", "code_bytes") == ("both", "rel", 0.50)
+
+
+class TestCompare:
+    def test_identical_snapshots_have_no_findings(self):
+        assert compare(make_snapshot(BASE), make_snapshot(BASE)) == []
+
+    def test_twenty_percent_latency_injection_fails_naming_metric(self):
+        candidate = make_snapshot(BASE)
+        metric = candidate["experiments"]["e4"]["metrics"]
+        metric["remote_via_prefix_ms"] *= 1.20
+        findings = compare(make_snapshot(BASE), candidate)
+        regressed = [f for f in findings if f.verdict == "regressed"]
+        assert [f.name for f in regressed] == ["e4.remote_via_prefix_ms"]
+        assert "e4.remote_via_prefix_ms" in regressed[0].describe()
+        assert "+20.00%" in regressed[0].describe()
+
+    def test_faster_latency_is_improved_not_regressed(self):
+        candidate = make_snapshot(BASE)
+        candidate["experiments"]["e4"]["metrics"]["remote_via_prefix_ms"] *= 0.8
+        findings = compare(make_snapshot(BASE), candidate)
+        assert [f.verdict for f in findings] == ["improved"]
+
+    def test_count_drift_is_exact(self):
+        candidate = make_snapshot(BASE)
+        candidate["experiments"]["e7"]["metrics"]["hops4_messages"] = 23
+        findings = compare(make_snapshot(BASE), candidate)
+        assert [f.name for f in findings] == ["e7.hops4_messages"]
+        assert findings[0].verdict == "regressed"
+
+    def test_throughput_and_rate_directions(self):
+        candidate = make_snapshot(BASE)
+        candidate["experiments"]["e11"]["metrics"]["file_read_kbs"] *= 0.9
+        candidate["experiments"]["e8c"]["metrics"][
+            "distributed_one_down_reachable_rate"] = 0.90
+        findings = {f.name: f.verdict
+                    for f in compare(make_snapshot(BASE), candidate)}
+        assert findings == {"e11.file_read_kbs": "regressed",
+                            "e8c.distributed_one_down_reachable_rate":
+                                "regressed"}
+
+    def test_quick_candidate_may_omit_metrics_and_experiments(self):
+        quick = make_snapshot({"e4": BASE["e4"]}, quick=True)
+        del quick["experiments"]["e4"]["metrics"]["prefix_delta_remote_ms"]
+        assert compare(make_snapshot(BASE), quick) == []
+
+    def test_full_candidate_missing_experiment_fails(self):
+        candidate = make_snapshot(
+            {k: v for k, v in BASE.items() if k != "e7"})
+        findings = compare(make_snapshot(BASE), candidate)
+        assert [(f.name, f.verdict) for f in findings] == [("e7.(all)",
+                                                            "missing")]
+
+    def test_full_candidate_missing_metric_fails(self):
+        candidate = make_snapshot(BASE)
+        del candidate["experiments"]["e7"]["metrics"]["hops4_open_ms"]
+        findings = compare(make_snapshot(BASE), candidate)
+        assert [f.name for f in findings] == ["e7.hops4_open_ms"]
+        assert "missing from" in findings[0].describe()
+
+    def test_schema_mismatch_raises(self):
+        with pytest.raises(ValueError, match="schema"):
+            compare(make_snapshot(BASE, schema=99), make_snapshot(BASE))
+
+    def test_extra_candidate_metrics_are_ignored(self):
+        """New metrics enter the gate only once a new baseline commits."""
+        candidate = make_snapshot(BASE)
+        candidate["experiments"]["e4"]["metrics"]["new_ms"] = 1.0
+        assert compare(make_snapshot(BASE), candidate) == []
+
+
+class TestFinding:
+    def test_name_and_describe(self):
+        finding = Finding("e4", "local_ms", 1.0, 1.5, 0.02, "regressed")
+        assert finding.name == "e4.local_ms"
+        assert "1 -> 1.5" in finding.describe()
+
+
+class TestMainGate:
+    def write_pair(self, tmp_path, baseline, candidate):
+        base_path = tmp_path / "BENCH_0.json"
+        cand_path = tmp_path / "BENCH_1.json"
+        base_path.write_text(json.dumps(baseline))
+        cand_path.write_text(json.dumps(candidate))
+        return str(base_path), str(cand_path)
+
+    def test_identical_pair_exits_zero(self, tmp_path, capsys):
+        base, cand = self.write_pair(tmp_path, make_snapshot(BASE),
+                                     make_snapshot(BASE))
+        assert main(["--baseline", base, "--candidate", cand]) == 0
+        assert "OK: no regressions" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        candidate = make_snapshot(BASE)
+        candidate["experiments"]["e4"]["metrics"]["remote_via_prefix_ms"] *= 1.2
+        base, cand = self.write_pair(tmp_path, make_snapshot(BASE), candidate)
+        assert main(["--baseline", base, "--candidate", cand]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED: e4.remote_via_prefix_ms" in out
+        assert "FAIL: 1 metric(s) regressed: e4.remote_via_prefix_ms" in out
+
+    def test_default_pair_needs_two_snapshots(self, tmp_path):
+        (tmp_path / "benchmarks").mkdir()
+        write_snapshot(make_snapshot(BASE), tmp_path / "BENCH_0.json")
+        with pytest.raises(FileNotFoundError):
+            regress.default_pair(tmp_path)
+        write_snapshot(make_snapshot(BASE), tmp_path / "BENCH_3.json")
+        base, cand = regress.default_pair(tmp_path)
+        assert (base.name, cand.name) == ("BENCH_0.json", "BENCH_3.json")

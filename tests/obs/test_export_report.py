@@ -11,6 +11,7 @@ from repro.obs.export import (
 )
 from repro.obs.registry import MetricsRegistry
 from repro.obs.report import (
+    REPORT_SCHEMA,
     critical_path,
     main,
     render_critical_path,
@@ -18,7 +19,9 @@ from repro.obs.report import (
     render_slowest_table,
     render_timeline,
     render_trace,
+    report_document,
     slowest_traces,
+    trace_document,
 )
 from repro.obs.span import TraceCollector, build_tree
 
@@ -71,6 +74,28 @@ class TestExportRoundTrip:
         assert record["end"] is None
         parsed = read_spans_jsonl(path)
         assert not parsed.spans[0].finished
+
+    def test_meta_record_round_trips(self, tmp_path):
+        """The leading meta record (seed, event count) survives a re-read."""
+        collector = sample_collector()
+        path = tmp_path / "trace.jsonl"
+        write_spans_jsonl(collector, path,
+                          meta={"seed": 7, "events_processed": 4242,
+                                "dropped_events": 3})
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["kind"] == "meta"
+        parsed = read_spans_jsonl(path)
+        assert parsed.meta == {"seed": 7, "events_processed": 4242,
+                               "dropped_events": 3}
+        assert parsed.dropped_events == 3
+        assert len(parsed.spans) == len(collector.spans)
+
+    def test_empty_meta_writes_no_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_spans_jsonl(sample_collector(), path, meta={})
+        kinds = [json.loads(line)["kind"]
+                 for line in path.read_text().splitlines()]
+        assert "meta" not in kinds
 
     def test_metrics_jsonl_uses_kind_discriminator(self, tmp_path):
         registry = MetricsRegistry()
@@ -190,3 +215,54 @@ class TestCli:
         path.write_text("")
         assert main([str(path)]) == 2
         assert "no spans" in capsys.readouterr().err
+
+
+class TestJsonReport:
+    def test_report_document_shape(self, tmp_path):
+        collector = sample_collector()
+        path = tmp_path / "trace.jsonl"
+        write_spans_jsonl(collector, path,
+                          meta={"seed": 0, "events_processed": 99})
+        tracefile = read_spans_jsonl(path)
+        document = report_document(tracefile)
+        assert document["schema"] == REPORT_SCHEMA
+        assert document["meta"] == {"seed": 0, "events_processed": 99}
+        assert document["span_count"] == len(collector.spans)
+        assert document["trace_count"] == 2
+        # Slowest table: the forwarded trace outranks the quick local one.
+        assert [row["hops"] for row in document["slowest"]] == [2, 0]
+        assert document["slowest"][0]["csname"] == "[bin]ls"
+        # Default trace selection: the single slowest, with full timeline.
+        assert len(document["traces"]) == 1
+        trace = document["traces"][0]
+        assert trace["span_count"] == 4
+        assert [r["depth"] for r in trace["timeline"]] == [0, 1, 2, 3]
+        assert trace["unfinished_spans"] == []
+        path_ms = {row["actor"]: row["exclusive_ms"]
+                   for row in trace["critical_path"]}
+        assert path_ms["fileserver"] == pytest.approx(3.0)
+
+    def test_trace_document_missing_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_spans_jsonl(sample_collector(), path)
+        assert trace_document(read_spans_jsonl(path), 999) is None
+
+    def test_main_json_emits_parseable_document(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        write_spans_jsonl(sample_collector(), trace_path)
+        registry = MetricsRegistry()
+        registry.counter("ipc.sends").incr(5)
+        metrics_path = tmp_path / "metrics.jsonl"
+        write_metrics_jsonl(registry, metrics_path)
+        assert main([str(trace_path), "--json", "--all",
+                     "--metrics", str(metrics_path)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == REPORT_SCHEMA
+        assert len(document["traces"]) == 2  # --all: every trace expanded
+        assert document["metrics"][0] == {"kind": "counter",
+                                          "name": "ipc.sends", "tags": {},
+                                          "value": 5}
+
+    def test_main_json_rejects_live_mode(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--live", "--json"])

@@ -125,8 +125,9 @@ class TestDirectoryListing:
                          client(workstation.session()))
         by_name = {record.name: record for record in records}
         assert set(by_name) == {"metrics", "services", "namecache",
-                                "processes", "spans"}
-        for leaf in ("metrics", "services", "namecache", "processes"):
+                                "processes", "profile", "spans"}
+        for leaf in ("metrics", "services", "namecache", "processes",
+                     "profile"):
             record = by_name[leaf]
             assert isinstance(record, StatDescription)
             assert record.host == "vax1"
@@ -208,6 +209,40 @@ class TestPerHostLeaves:
         assert by_name["fileserver"]["state"] == "recv_blocked"
         assert all(entry["state"] and entry["queued"] >= 0
                    for entry in table)
+
+    def test_profile_serves_host_scoped_attribution(self):
+        domain, workstation, __, __ = obs_system()
+
+        def warm(session):
+            yield from files.write_file(session, "[home]p.txt", b"x" * 32)
+            yield from files.read_file(session, "[home]p.txt")
+
+        run_on(domain, workstation.host, warm(workstation.session()),
+               name="warm")
+        view = json.loads(read_name(domain, workstation,
+                                    "[obs]/hosts/vax1/profile"))
+        assert view["enabled"] is True
+        assert view["host"] == "vax1"
+        # Frames are scoped to vax1 and their totals are recomputed to
+        # match the filtered set.
+        assert view["frames"]
+        assert all(frame["stack"][0] == "host:vax1"
+                   for frame in view["frames"])
+        assert view["total_seconds"] == pytest.approx(
+            sum(frame["seconds"] for frame in view["frames"]))
+        # The file-server work shows up as proc frames under the host.
+        stacks = {tuple(frame["stack"]) for frame in view["frames"]}
+        assert any("proc:fileserver" in stack for stack in stacks)
+
+    def test_profile_without_profiler_is_an_explicit_stub(self):
+        # enable_obs_namespace turns the profiler on; on a profiler-less
+        # domain the leaf still serves an explicit disabled marker.
+        from repro.obs.introspect import host_profile_payload
+
+        domain = Domain()
+        host = domain.create_host("w")
+        assert json.loads(host_profile_payload(host)) == {
+            "enabled": False, "host": "w"}
 
     def test_recent_spans_belong_to_the_owning_host(self):
         domain, workstation, __, __ = obs_system()
