@@ -131,11 +131,13 @@ def test_e11_throughput_scales_with_disk(benchmark):
 
 def trajectory_metrics(quick: bool = False) -> dict:
     """Metrics tracked by the continuous benchmark (repro.obs.bench)."""
+    from repro.obs.bench import trajectory_point
+
     achieved, disk_bound = measure_file_throughput()
-    metrics = {
-        "file_read_kbs": achieved,
-        "disk_utilization_rate": achieved / disk_bound,
-    }
-    if not quick:
-        metrics["pipe_kbs"] = measure_pipe_throughput()
-    return metrics
+    return trajectory_point(
+        quick,
+        {
+            "file_read_kbs": achieved,
+            "disk_utilization_rate": achieved / disk_bound,
+        },
+        lambda: {"pipe_kbs": measure_pipe_throughput()})

@@ -280,14 +280,19 @@ def trajectory_metrics(quick: bool = False) -> dict:
 
     The Zipf trace length is pinned: hit rate and mean depend on it.
     """
-    warm_cold = measure_warm_cold()
-    metrics = {
-        "remote_cold_ms": warm_cold["remote via prefix (cold)"],
-        "remote_warm_ms": warm_cold["remote via prefix (warm)"],
-        "local_warm_ms": warm_cold["local via prefix (warm)"],
-    }
-    if not quick:
+    from repro.obs.bench import trajectory_point
+
+    def zipf_point():
         zipf = measure_zipf_hit_rate()
-        metrics["zipf_mean_open_ms"] = zipf["mean_open_ms"]
-        metrics["zipf_hit_rate"] = zipf["stats"].hit_rate
-    return metrics
+        return {"zipf_mean_open_ms": zipf["mean_open_ms"],
+                "zipf_hit_rate": zipf["stats"].hit_rate}
+
+    warm_cold = measure_warm_cold()
+    return trajectory_point(
+        quick,
+        {
+            "remote_cold_ms": warm_cold["remote via prefix (cold)"],
+            "remote_warm_ms": warm_cold["remote via prefix (warm)"],
+            "local_warm_ms": warm_cold["local via prefix (warm)"],
+        },
+        zipf_point)

@@ -263,13 +263,15 @@ def test_e13_e12_warm_open_unperturbed(benchmark):
 
 def trajectory_metrics(quick: bool = False) -> dict:
     """Metrics tracked by the continuous benchmark (repro.obs.bench)."""
+    from repro.obs.bench import trajectory_point
+
     latency = measure_read_latency()
-    metrics = {
-        "local_metrics_read_ms": latency["local host metrics"]["ms"],
-        "remote_metrics_read_ms": latency["remote host metrics"]["ms"],
-        "fleet_metrics_read_ms": latency["fleet metrics"]["ms"],
-    }
-    if not quick:
-        warm = measure_e12_warm_with_obs()
-        metrics["warm_open_with_obs_ms"] = warm["warm"]
-    return metrics
+    return trajectory_point(
+        quick,
+        {
+            "local_metrics_read_ms": latency["local host metrics"]["ms"],
+            "remote_metrics_read_ms": latency["remote host metrics"]["ms"],
+            "fleet_metrics_read_ms": latency["fleet metrics"]["ms"],
+        },
+        lambda: {
+            "warm_open_with_obs_ms": measure_e12_warm_with_obs()["warm"]})

@@ -258,15 +258,20 @@ def trajectory_metrics(quick: bool = False) -> dict:
     are round-count-dependent, so quick mode instead skips the clean-wire
     control point.
     """
-    lossy = measure_loss_point(0.10, DEFAULT_CONFIG)
-    metrics = {
-        "loss10_success_rate": lossy["success_rate"],
-        "loss10_p50_ms": lossy["p50_ms"],
-        "loss10_p99_ms": lossy["p99_ms"],
-        "loss10_retransmits": lossy["retransmits"],
-    }
-    if not quick:
+    from repro.obs.bench import trajectory_point
+
+    def clean_point():
         clean = measure_loss_point(0.0, DEFAULT_CONFIG)
-        metrics["clean_p50_ms"] = clean["p50_ms"]
-        metrics["clean_retransmits"] = clean["retransmits"]
-    return metrics
+        return {"clean_p50_ms": clean["p50_ms"],
+                "clean_retransmits": clean["retransmits"]}
+
+    lossy = measure_loss_point(0.10, DEFAULT_CONFIG)
+    return trajectory_point(
+        quick,
+        {
+            "loss10_success_rate": lossy["success_rate"],
+            "loss10_p50_ms": lossy["p50_ms"],
+            "loss10_p99_ms": lossy["p99_ms"],
+            "loss10_retransmits": lossy["retransmits"],
+        },
+        clean_point)

@@ -116,7 +116,9 @@ def trajectory_metrics(quick: bool = False) -> dict:
     in quick mode yield the *same* simulated value -- quick and full
     snapshots stay comparable.
     """
-    rounds = 10 if quick else ROUNDS
+    from repro.obs.bench import pick_rounds
+
+    rounds = pick_rounds(quick, ROUNDS, 10)
     return {
         "remote_3mbit_ms": measure_transactions(STANDARD_3MBIT, True, rounds),
         "local_ms": measure_transactions(STANDARD_3MBIT, False, rounds),

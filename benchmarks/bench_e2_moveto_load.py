@@ -84,7 +84,9 @@ def test_e2_load_scales_linearly(benchmark):
 
 def trajectory_metrics(quick: bool = False) -> dict:
     """Metrics tracked by the continuous benchmark (repro.obs.bench)."""
-    metrics = {"load_64k_ms": measure_load(64 * 1024)}
-    if not quick:
-        metrics["load_16k_ms"] = measure_load(16 * 1024)
-    return metrics
+    from repro.obs.bench import trajectory_point
+
+    return trajectory_point(
+        quick,
+        {"load_64k_ms": measure_load(64 * 1024)},
+        lambda: {"load_16k_ms": measure_load(16 * 1024)})

@@ -119,7 +119,9 @@ def trajectory_metrics(quick: bool = False) -> dict:
     The sequential per-page period is a steady-state mean, so a shorter
     quick-mode file yields the same value.
     """
+    from repro.obs.bench import pick_rounds
+
     return {
-        "sequential_ms": measure_sequential(16 if quick else PAGES),
+        "sequential_ms": measure_sequential(pick_rounds(quick, PAGES, 16)),
         "random_ms": measure_random(16),
     }

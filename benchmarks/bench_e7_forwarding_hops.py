@@ -120,9 +120,10 @@ def trajectory_metrics(quick: bool = False) -> dict:
     message/byte traffic of the pinned 4-hop scenario -- rounds are pinned
     (not reduced in quick mode) because totals are round-dependent.
     """
+    from repro.obs.bench import pick_rounds
     from repro.obs.profile import forwarding_profile
 
-    rounds = 3 if quick else 10  # steady-state mean: round-invariant
+    rounds = pick_rounds(quick, 10, 3)  # steady-state mean: round-invariant
     hops0_ms = measure_hops(0, rounds)
     hops4_ms = measure_hops(MAX_HOPS, rounds)
     prof, __, __ = forwarding_profile(hops=MAX_HOPS, rounds=10, seed=0)

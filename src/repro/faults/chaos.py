@@ -31,6 +31,16 @@ crashes and comes back) and exits nonzero if any invariant fails --
 ``--require-retransmits`` additionally fails the run if the retransmission
 path was never exercised, which is the CI gate against silently disabling
 the machinery.
+
+``--watchdogs`` arms the telemetry collector and the default SLO watchdog
+rules (:mod:`repro.obs.telemetry`) over the same run, serving them through
+the ``[obs]`` name space, and adds one more invariant: after quiescence the
+alert log read *through the protocol* (``[obs]/fleet/alerts``, so the read
+itself crossed the recovering wire) must agree record-for-record with what
+the watchdog engine emitted -- alert delivery must not be lossy even when
+the wire is.  ``--require-alert-cycle`` fails the run unless at least one
+alert both fired and resolved (the CI gate that the watchdogs actually
+watch).
 """
 
 from __future__ import annotations
@@ -212,6 +222,9 @@ class ChaosReport:
     reads_wrong: int = 0
     metrics: dict = field(default_factory=dict)
     cache_stats: dict = field(default_factory=dict)
+    #: Watchdog summary (``--watchdogs`` only): fired/resolved counts, the
+    #: alert records, and how many came back through the [obs] read.
+    alerts: dict = field(default_factory=dict)
 
     @property
     def reads(self) -> int:
@@ -222,7 +235,7 @@ class ChaosReport:
         return self.reads_ok / self.reads if self.reads else 0.0
 
     def to_dict(self) -> dict:
-        return {
+        document = {
             "seed": self.seed,
             "duration": self.duration,
             "drop_rate": self.drop_rate,
@@ -234,6 +247,9 @@ class ChaosReport:
             "metrics": self.metrics,
             "cache": self.cache_stats,
         }
+        if self.alerts:
+            document["alerts"] = self.alerts
+        return document
 
 
 _PAYLOAD = b"chaos-payload"
@@ -248,7 +264,7 @@ _METRIC_KEYS = (
 
 def run_chaos(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
               dup: float = 0.02, delay_rate: float = 0.05,
-              crash: bool = True) -> ChaosReport:
+              crash: bool = True, watchdogs: bool = False) -> ChaosReport:
     """One seeded chaos run; returns the report after checking invariants.
 
     A workstation client reads two names -- one through a fixed ``[root]``
@@ -257,6 +273,11 @@ def run_chaos(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
     the run and (optionally) the file server crashes and respawns in the
     middle of it.  The wire is clean for the first and last stretch so the
     cache warms up honestly and the run can quiesce.
+
+    With ``watchdogs=True``, the ``[obs]`` name space and the telemetry
+    collector (default SLO rules) run over the same timeline; after the
+    run, the alert log is read back through ``[obs]/fleet/alerts`` and
+    must match the engine's emitted events exactly (see module docstring).
     """
     from repro.core.resolver import NameError_
     from repro.runtime import files
@@ -277,6 +298,13 @@ def run_chaos(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
     handle = start_server(fs_host, populated_server())
     standard_prefixes(workstation, handle)
     cache = workstation.enable_name_cache()
+
+    telemetry = None
+    if watchdogs:
+        from repro.servers.statserver import enable_obs_namespace
+
+        enable_obs_namespace(domain, workstation.host)
+        telemetry = domain.enable_telemetry(interval=0.1)
 
     faults = WireFaultModel(drop_rate=drop, dup_rate=dup,
                             delay_rate=delay_rate)
@@ -328,7 +356,57 @@ def run_chaos(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
         "invalidations": cache.stats.invalidations,
     }
     check_invariants(domain, cache=cache)
+    if telemetry is not None:
+        alerts = telemetry.alerts
+        report.alerts = {
+            "fired": alerts.fired,
+            "resolved": alerts.resolved,
+            "active": sorted(f"{rule}@{host}"
+                             for rule, host in alerts.active),
+            "events": alerts.to_records(),
+        }
+        delivered = read_alerts_via_obs(workstation)
+        report.alerts["delivered"] = len(delivered)
+        check_alert_delivery(delivered, alerts.to_records())
     return report
+
+
+def read_alerts_via_obs(workstation) -> list[dict]:
+    """Read ``[obs]/fleet/alerts`` through the protocol; the alert records.
+
+    Spawned after quiescence, so the read travels the full Sec. 5.4
+    forwarding chain (prefix server -> obs root -> fleet leaf) over the
+    now-healed wire -- the same path a live operator's monitor would use.
+    """
+    from repro.runtime import files
+
+    payloads: list[bytes] = []
+
+    def reader(session):
+        data = yield from files.read_file(session, "[obs]/fleet/alerts")
+        payloads.append(data)
+
+    workstation.host.spawn(reader(workstation.session()), name="alert-reader")
+    workstation.host.domain.run()
+    if not payloads:
+        return []
+    records = [json.loads(line)
+               for line in payloads[0].splitlines() if line.strip()]
+    return [record for record in records if record.get("kind") == "alert"]
+
+
+def check_alert_delivery(delivered: list[dict],
+                         emitted: list[dict]) -> None:
+    """The alert log served through ``[obs]`` must match what was emitted.
+
+    Alerts ride the same retransmitting transport as everything else, so a
+    lossy wire may delay the read but must never lose or reorder records.
+    """
+    if delivered != emitted:
+        raise InvariantViolation(
+            [f"alert log read through [obs]/fleet/alerts disagrees with "
+             f"the watchdog engine: {len(delivered)} record(s) delivered "
+             f"vs {len(emitted)} emitted"])
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -346,13 +424,21 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="skip the mid-run file-server crash")
     parser.add_argument("--require-retransmits", action="store_true",
                         help="fail unless ipc.retransmits > 0 (CI gate)")
+    parser.add_argument("--watchdogs", action="store_true",
+                        help="arm telemetry + default SLO watchdogs and "
+                             "check alert delivery through [obs]")
+    parser.add_argument("--require-alert-cycle", action="store_true",
+                        help="fail unless >=1 alert fired AND resolved "
+                             "(implies --watchdogs; CI gate)")
     args = parser.parse_args(argv)
 
     try:
         report = run_chaos(seed=args.seed, duration=args.duration,
                            drop=args.drop, dup=args.dup,
                            delay_rate=args.delay_rate,
-                           crash=not args.no_crash)
+                           crash=not args.no_crash,
+                           watchdogs=args.watchdogs
+                           or args.require_alert_cycle)
     except InvariantViolation as violation:
         print(violation, file=sys.stderr)
         return 1
@@ -361,6 +447,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         print("FAIL: injected loss but ipc.retransmits == 0",
               file=sys.stderr)
         return 1
+    if args.require_alert_cycle:
+        fired = report.alerts.get("fired", 0)
+        resolved = report.alerts.get("resolved", 0)
+        if not fired or not resolved:
+            print(f"FAIL: watchdogs never completed a fire/resolve cycle "
+                  f"(fired={fired}, resolved={resolved})", file=sys.stderr)
+            return 1
     return 0
 
 

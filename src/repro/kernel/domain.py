@@ -66,6 +66,10 @@ class Domain:
         #: Domain-lifetime attribution profiler (see enable_profiler), or
         #: None.  Scoped profiles via profile() work regardless.
         self.profiler: Optional["Profiler"] = None
+        #: Continuous-telemetry collector (see enable_telemetry), or None.
+        #: The kernel's per-transaction latency hook gates on this, so the
+        #: disabled path costs one attribute read per completed send.
+        self.telemetry = None
         self.ethernet = Ethernet(self.engine, latency, self.metrics, obs=obs)
         self.groups = GroupRegistry()
         self.hosts: dict[int, Host] = {}
@@ -79,6 +83,10 @@ class Domain:
         #: Callbacks fired with each newly created Host (the obs namespace
         #: uses this to cover late-created machines with stat servers).
         self._host_created_listeners: list[Callable[[Host], None]] = []
+        #: Callbacks fired when a crashed Host restarts.  A crash kills the
+        #: machine's servers, so anything that keeps a per-host service
+        #: running (the obs namespace's stat servers) must respawn it here.
+        self._host_restarted_listeners: list[Callable[[Host], None]] = []
         #: (task name, exception) for every process that died with an error.
         self.failures: list[tuple[str, BaseException]] = []
         #: Domain-wide registration-removal listeners: every host's service
@@ -112,6 +120,15 @@ class Domain:
         """Subscribe to future :meth:`create_host` calls."""
         if callback not in self._host_created_listeners:
             self._host_created_listeners.append(callback)
+
+    def on_host_restarted(self, callback: Callable[[Host], None]) -> None:
+        """Subscribe to crashed hosts coming back up (:meth:`Host.restart`)."""
+        if callback not in self._host_restarted_listeners:
+            self._host_restarted_listeners.append(callback)
+
+    def _notify_host_restarted(self, host: Host) -> None:
+        for callback in list(self._host_restarted_listeners):
+            callback(host)
 
     # ----------------------------------------------------------------- hosts
 
@@ -172,6 +189,35 @@ class Domain:
             self.profiler = Profiler(engine=self.engine)
             self.engine.attach_profiler(self.profiler)
         return self.profiler
+
+    def enable_telemetry(self, interval: float | None = None,
+                         rules=None, capacity: int | None = None):
+        """Attach and arm a continuous-telemetry collector (idempotent).
+
+        Samples every host's counters into ring-buffer time series at
+        ``interval`` simulated seconds and evaluates the SLO watchdog
+        ``rules`` at each tick (default: :func:`repro.obs.telemetry.
+        default_watchdogs`).  The ``[obs]`` name space serves the series as
+        ``hosts/<host>/timeseries/<metric>`` and the alert log as
+        ``fleet/alerts``.  Sampling is zero simulated cost; the collector
+        parks itself once the event queue quiesces so ``run()`` still
+        drains.
+        """
+        if self.telemetry is None:
+            from repro.obs.telemetry import (
+                DEFAULT_CAPACITY,
+                DEFAULT_INTERVAL,
+                TelemetryCollector,
+                default_watchdogs,
+            )
+
+            self.telemetry = TelemetryCollector(
+                self,
+                interval=DEFAULT_INTERVAL if interval is None else interval,
+                capacity=DEFAULT_CAPACITY if capacity is None else capacity,
+                rules=default_watchdogs() if rules is None else rules)
+            self.telemetry.start()
+        return self.telemetry
 
     # ------------------------------------------------------------------ time
 

@@ -181,6 +181,7 @@ class Host:
         self.counters.clear()
         self.started_at = self.engine.now
         self._trace("fault", self.name, "host restarted")
+        self.domain._notify_host_restarted(self)
 
     # --------------------------------------------------------- process loop
 
@@ -325,6 +326,7 @@ class Host:
             dst=effect.dst,
             message=effect.message,
             expose=effect.expose,
+            sent_at=self.engine.now,
         )
         proc.pending_txn = txn
         proc.state = ProcessState.SEND_BLOCKED
@@ -403,6 +405,9 @@ class Host:
         sender.pending_txn = None
         self.metrics.incr("ipc.transactions")
         self._count("ipc.transactions")
+        telemetry = self.domain.telemetry
+        if telemetry is not None:
+            telemetry.observe_txn(self, self.engine.now - current.sent_at)
         self._advance(sender, value=reply)
 
     # -- Receive ---------------------------------------------------------------
@@ -694,7 +699,8 @@ class Host:
 
     def _do_group_send(self, proc: Process, effect: ipc.GroupSend) -> Any:
         txn = Transaction(txn_id=next(_txn_counter), sender=proc.pid,
-                          dst=proc.pid, message=effect.message)
+                          dst=proc.pid, message=effect.message,
+                          sent_at=self.engine.now)
         proc.pending_txn = txn
         proc.state = ProcessState.SEND_BLOCKED
         self._outstanding[txn.txn_id] = txn

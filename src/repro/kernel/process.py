@@ -42,6 +42,9 @@ class Transaction:
     dst: Pid                       # current responder (updated on Forward)
     message: Message
     expose: Optional[Segment] = None
+    #: Simulated send time; the telemetry collector's per-host resolution
+    #: latency (p99) is measured from here to the completing reply.
+    sent_at: float = 0.0
     probes_unanswered: int = 0
     probe_event: Optional["ScheduledEvent"] = None
     #: Retransmission state (see KernelConfig): the pending timer, how many

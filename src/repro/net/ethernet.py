@@ -202,6 +202,10 @@ class Ethernet:
             rng = self._fault_rng
             if rng.random() < faults.drop_rate:
                 self.metrics.incr("net.drops")
+                # Attributed to the *sender* (its frame was lost), keyed by
+                # host id like net.delivered_to -- the telemetry collector
+                # samples this into each host's "drops" series.
+                self.metrics.incr(f"net.drops_from.{frame.src_host}")
                 continue
             self._deliver_faulted(frame, host_id, faults, rng)
             if rng.random() < faults.dup_rate:

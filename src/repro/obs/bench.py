@@ -29,12 +29,23 @@ Snapshot schema (``schema`` = :data:`BENCH_SCHEMA`)::
       "seed": 0,
       "quick": false,
       "experiments": {
-        "e1": {"metrics": {"remote_3mbit_ms": 2.56, ...}},
+        "e1": {
+          "metrics": {"remote_3mbit_ms": 2.56, ...},
+          "wall": {"events": 6200, "seconds": 0.41,
+                   "wall_events_per_sec": 15122.0}
+        },
         ...
       }
     }
 
-No timestamps: snapshots of identical trees diff clean.
+Each ``metrics`` dict is simulated time or deterministic counts only --
+identical trees produce byte-identical values there.  ``wall`` is the one
+deliberate exception: the ROADMAP-mandated wall-clock throughput dimension
+(engine events fired per wall second while the experiment ran), measured
+*outside* the deterministic metrics so they stay byte-stable, and gated by
+``repro.obs.regress`` with a deliberately loose tolerance (machines
+differ; only a collapse should fail the gate).  No timestamps: apart from
+``wall``, snapshots of identical trees diff clean.
 """
 
 from __future__ import annotations
@@ -46,8 +57,11 @@ import os
 import re
 import subprocess
 import sys
+import time
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Mapping, Optional, Union
+
+from repro.sim.engine import Engine
 
 #: Bump when the snapshot layout changes incompatibly.
 BENCH_SCHEMA = 1
@@ -74,10 +88,46 @@ EXPERIMENTS: tuple[tuple[str, str], ...] = (
     ("e12", "bench_e12_cached_open"),
     ("e13", "bench_e13_obs_namespace"),
     ("e14", "bench_e14_lossy_wire"),
+    ("e15", "bench_e15_telemetry"),
     ("ablations", "bench_ablations"),
 )
 
 _SNAPSHOT_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+# ------------------------------------------------------- trajectory helpers
+
+
+def trajectory_point(quick: bool, primary: Mapping[str, float],
+                     secondary: Union[Callable[[], Mapping[str, float]],
+                                      Mapping[str, float], None] = None,
+                     ) -> dict:
+    """Assemble one bench module's ``trajectory_metrics`` return value.
+
+    The suite-wide quick-mode contract, in one place instead of copied
+    into every ``benchmarks/bench_*.py``:
+
+    - ``primary`` metrics are measured in both modes (pinned seeds and
+      round counts belong in the code that computed them, so quick and
+      full snapshots stay value-comparable);
+    - ``secondary`` metrics are skipped entirely in quick mode -- pass a
+      zero-argument callable so their measurement cost is skipped too
+      (regress compares the intersection, so their absence is legitimate).
+    """
+    metrics = dict(primary)
+    if not quick and secondary is not None:
+        metrics.update(secondary() if callable(secondary) else secondary)
+    return metrics
+
+
+def pick_rounds(quick: bool, full: int, reduced: int) -> int:
+    """Repetition count for a steady-state mean: ``reduced`` in quick mode.
+
+    Only for round-invariant metrics (E1/E3/E7 latencies).  Metrics whose
+    value depends on the round count (E14 percentiles, E12's Zipf hit
+    rate) must pin one count for both modes instead.
+    """
+    return reduced if quick else full
 
 
 def repo_root(start: Optional[Path] = None) -> Path:
@@ -135,10 +185,25 @@ def run_suite(quick: bool = False,
         if verbose:
             print(f"  {key}: {module_name} ...", file=sys.stderr, flush=True)
         module = load_bench_module(module_name, benchmarks_dir)
+        events_before = Engine.total_events
+        wall_start = time.perf_counter()
         metrics = module.trajectory_metrics(quick=quick)
+        wall_seconds = time.perf_counter() - wall_start
+        events = Engine.total_events - events_before
         if not metrics:
             continue
-        experiments[key] = {"metrics": metrics}
+        experiments[key] = {
+            "metrics": metrics,
+            # The one non-deterministic section (see module docstring):
+            # engine events fired per wall-clock second over the whole
+            # trajectory_metrics call, including every domain it built.
+            "wall": {
+                "events": events,
+                "seconds": round(wall_seconds, 6),
+                "wall_events_per_sec": round(events / wall_seconds, 1)
+                if wall_seconds > 0 else 0.0,
+            },
+        }
     return {
         "schema": BENCH_SCHEMA,
         "kind": "bench-trajectory",
@@ -197,8 +262,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     write_snapshot(snapshot, out)
     count = sum(len(exp["metrics"])
                 for exp in snapshot["experiments"].values())
+    walls = [exp["wall"]["wall_events_per_sec"]
+             for exp in snapshot["experiments"].values() if "wall" in exp]
+    rate = f", {min(walls):,.0f}-{max(walls):,.0f} events/s" if walls else ""
     print(f"wrote {out} ({len(snapshot['experiments'])} experiments, "
-          f"{count} metrics, quick={snapshot['quick']})")
+          f"{count} metrics, quick={snapshot['quick']}{rate})")
     return 0
 
 

@@ -117,6 +117,26 @@ def host_spans_payload(host: "Host",
     return _jsonl_bytes(span_record(span) for span in picked[-limit:])
 
 
+def host_timeseries_payload(host: "Host", metric: str) -> bytes:
+    """``[obs]/hosts/<host>/timeseries/<metric>``: one sampled series.
+
+    JSONL: a leading ``meta`` record (host, metric, sampling interval,
+    enablement) followed by one ``sample`` record per retained tick.  A
+    domain without a telemetry collector serves the meta record with
+    ``enabled: false`` -- the *name* exists on every host, uniformly.
+    """
+    telemetry = host.domain.telemetry
+    meta = {"kind": "meta", "host": host.name, "metric": metric,
+            "enabled": telemetry is not None}
+    if telemetry is None:
+        return _jsonl_bytes([meta])
+    meta["interval"] = telemetry.interval
+    meta["ticks"] = telemetry.ticks
+    series = telemetry.series_for(host.name, metric)
+    records = series.to_records() if series is not None else []
+    return _jsonl_bytes([meta, *records])
+
+
 # ------------------------------------------------------------------- fleet
 
 
@@ -145,6 +165,28 @@ def fleet_hosts_payload(domain: "Domain") -> bytes:
                if not host.crashed]
     records.sort(key=lambda r: r["host_id"])
     return _json_bytes(records)
+
+
+def fleet_alerts_payload(domain: "Domain") -> bytes:
+    """``[obs]/fleet/alerts``: the SLO watchdog alert log, fleet-wide.
+
+    JSONL: a leading ``meta`` record (enablement, armed rule names,
+    fire/resolve totals, currently-active alerts) followed by one ``alert``
+    record per fire/resolve transition, oldest first.
+    """
+    telemetry = domain.telemetry
+    meta: dict = {"kind": "meta", "enabled": telemetry is not None}
+    if telemetry is None:
+        return _jsonl_bytes([meta])
+    log = telemetry.alerts
+    meta.update({
+        "rules": [rule.name for rule in telemetry.rules],
+        "fired": log.fired,
+        "resolved": log.resolved,
+        "active": [{"rule": rule, "host": host}
+                   for rule, host in sorted(log.active)],
+    })
+    return _jsonl_bytes([meta, *log.to_records()])
 
 
 def fleet_services_payload(domain: "Domain") -> bytes:

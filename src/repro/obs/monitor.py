@@ -1,0 +1,283 @@
+"""Live monitoring CLI: SLO alerts and time series through ``[obs]``.
+
+``python -m repro.obs.monitor`` runs a seeded, traced chaos-style scenario
+(a workstation client reading through its prefix server and name cache
+while the wire loses frames and the file server crashes mid-run) with the
+telemetry collector and the default SLO watchdogs armed, and:
+
+- **tails alerts live** -- every fire/resolve the watchdog engine emits is
+  printed the moment it happens on the simulated timeline;
+- **reads everything back through the protocol** -- after quiescence an
+  in-simulation reader pulls every host's ``timeseries/<metric>`` ring
+  buffer and the fleet alert log over the standard Sec. 5.4 forwarding
+  chain (``[obs]/hosts/<host>/timeseries/<metric>``,
+  ``[obs]/fleet/alerts``), so every number shown travelled the wire;
+- **renders** per-host summary tables with unicode sparklines, the alert
+  history, and a delivery check (protocol read vs engine emission).
+
+``--json`` replaces the rendering with one deterministic document (same
+seed -> byte-identical modulo nothing: every value is simulated), which is
+what CI's monitor smoke consumes.  Exit status is nonzero when the alert
+log read through ``[obs]`` disagrees with what the engine emitted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Optional
+
+from repro.obs.telemetry import SERIES_METRICS, AlertEvent
+
+#: Eight-level bar for time-series trends; one char per bucketed sample.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+MONITOR_SCHEMA = 1
+
+_PAYLOAD = b"monitor-payload"
+
+
+def sparkline(values: list[float], width: int = 40) -> str:
+    """Render ``values`` as a fixed-width unicode bar trend (min..max)."""
+    if not values:
+        return ""
+    if len(values) > width:
+        # Bucket to width by averaging, keeping the overall shape.
+        step = len(values) / width
+        values = [sum(values[int(i * step):int((i + 1) * step) or 1])
+                  / max(1, len(values[int(i * step):int((i + 1) * step)]))
+                  for i in range(width)]
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return SPARK_CHARS[0] * len(values)
+    top = len(SPARK_CHARS) - 1
+    return "".join(SPARK_CHARS[round((v - lo) / (hi - lo) * top)]
+                   for v in values)
+
+
+def _parse_jsonl(payload: bytes) -> list[dict]:
+    return [json.loads(line)
+            for line in payload.splitlines() if line.strip()]
+
+
+def _series_summary(records: list[dict]) -> dict:
+    values = [record["value"] for record in records
+              if record.get("kind") == "sample"]
+    if not values:
+        return {"samples": 0}
+    return {
+        "samples": len(values),
+        "min": min(values),
+        "mean": round(sum(values) / len(values), 4),
+        "max": max(values),
+        "last": values[-1],
+        "values": values,
+    }
+
+
+def run_monitored(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
+                  interval: float = 0.1,
+                  on_alert: Optional[Callable[[AlertEvent], None]] = None,
+                  ) -> dict:
+    """One traced, watchdogged scenario; the monitor document.
+
+    The scenario mirrors :func:`repro.faults.chaos.run_chaos` (lossy wire
+    for the middle 80%, file-server crash/respawn at 40-50%) but carries a
+    full :class:`~repro.obs.Observability` bundle so the run is traced,
+    and every number in the returned document was read back through the
+    ``[obs]`` name space, not scraped from Python objects.
+    """
+    from repro.core.resolver import NameError_
+    from repro.faults.chaos import ChaosSchedule
+    from repro.kernel.domain import Domain
+    from repro.net.latency import WireFaultModel
+    from repro.obs import Observability
+    from repro.runtime import files
+    from repro.runtime.workstation import setup_workstation, standard_prefixes
+    from repro.servers.base import start_server
+    from repro.servers.fileserver.server import VFileServer
+    from repro.servers.statserver import enable_obs_namespace
+    from repro.vio.client import IoError
+
+    def populated_server() -> VFileServer:
+        server = VFileServer(user="mann")
+        node = server.store.make_path("data/f0.dat", directory=False)
+        node.data[:] = _PAYLOAD
+        return server
+
+    domain = Domain(seed=seed, obs=Observability())
+    workstation = setup_workstation(domain, "mann")
+    fs_host = domain.create_host("vax1")
+    handle = start_server(fs_host, populated_server())
+    standard_prefixes(workstation, handle)
+    workstation.enable_name_cache()
+    enable_obs_namespace(domain, workstation.host)
+    telemetry = domain.enable_telemetry(interval=interval)
+    if on_alert is not None:
+        telemetry.alerts.subscribe(on_alert)
+
+    schedule = ChaosSchedule(domain)
+    schedule.loss_between(0.1 * duration, 0.9 * duration,
+                          WireFaultModel(drop_rate=drop, dup_rate=0.02,
+                                         delay_rate=0.05))
+
+    def respawn(host):
+        new_handle = start_server(host, populated_server())
+        standard_prefixes(workstation, new_handle)
+
+    schedule.crash_between(fs_host, 0.4 * duration, 0.5 * duration,
+                           respawn=respawn)
+
+    reads = {"ok": 0, "failed": 0}
+
+    def client(session):
+        from repro.kernel.ipc import Delay, Now
+
+        while True:
+            now = yield Now()
+            if now >= duration:
+                break
+            for name in ("[root]data/f0.dat", "[storage]data/f0.dat"):
+                try:
+                    yield from files.read_file(session, name)
+                except (NameError_, IoError):
+                    reads["failed"] += 1
+                else:
+                    reads["ok"] += 1
+            yield Delay(0.02)
+
+    workstation.host.spawn(client(workstation.session()),
+                           name="monitor-client")
+    domain.run()
+    domain.check_healthy()
+
+    # Everything below is read back through [obs] -- full protocol path.
+    host_names = sorted(host.name for host in domain.hosts.values()
+                        if not host.crashed)
+    payloads: dict[tuple[str, str], bytes] = {}
+
+    def reader(session):
+        for host_name in host_names:
+            for metric in SERIES_METRICS:
+                name = f"[obs]/hosts/{host_name}/timeseries/{metric}"
+                payloads[(host_name, metric)] = (
+                    yield from files.read_file(session, name))
+        payloads[("fleet", "alerts")] = yield from files.read_file(
+            session, "[obs]/fleet/alerts")
+
+    workstation.host.spawn(reader(workstation.session()),
+                           name="monitor-reader")
+    domain.run()
+
+    hosts: dict[str, dict] = {}
+    for host_name in host_names:
+        hosts[host_name] = {
+            metric: _series_summary(
+                _parse_jsonl(payloads[(host_name, metric)]))
+            for metric in SERIES_METRICS
+        }
+    alert_records = [record
+                     for record in _parse_jsonl(payloads[("fleet", "alerts")])
+                     if record.get("kind") == "alert"]
+    emitted = telemetry.alerts.to_records()
+    return {
+        "kind": "obs-monitor",
+        "schema": MONITOR_SCHEMA,
+        "scenario": {"seed": seed, "duration": duration, "drop": drop,
+                     "interval": interval},
+        "reads": dict(reads),
+        "hosts": hosts,
+        "alerts": {
+            "fired": telemetry.alerts.fired,
+            "resolved": telemetry.alerts.resolved,
+            "active": sorted(f"{rule}@{host}"
+                             for rule, host in telemetry.alerts.active),
+            "events": alert_records,
+        },
+        "delivery": {"emitted": len(emitted),
+                     "read_through_obs": len(alert_records),
+                     "match": alert_records == emitted},
+    }
+
+
+# ------------------------------------------------------------- rendering
+
+
+def _strip_values(document: dict) -> dict:
+    """Drop the raw sample arrays for the JSON document (summaries stay)."""
+    for metrics in document["hosts"].values():
+        for summary in metrics.values():
+            summary.pop("values", None)
+    return document
+
+
+def render(document: dict, out=None) -> None:
+    out = out if out is not None else sys.stdout
+    scenario = document["scenario"]
+    print(f"scenario: seed={scenario['seed']} "
+          f"duration={scenario['duration']}s drop={scenario['drop']} "
+          f"sample interval={scenario['interval']}s", file=out)
+    reads = document["reads"]
+    print(f"client reads: {reads['ok']} ok, {reads['failed']} failed",
+          file=out)
+    for host_name, metrics in document["hosts"].items():
+        print(f"\n[obs]/hosts/{host_name}/timeseries/*", file=out)
+        print(f"  {'metric':<12} {'n':>4} {'min':>9} {'mean':>9} "
+              f"{'max':>9} {'last':>9}  trend", file=out)
+        for metric, summary in metrics.items():
+            if not summary["samples"]:
+                print(f"  {metric:<12} {0:>4}", file=out)
+                continue
+            print(f"  {metric:<12} {summary['samples']:>4} "
+                  f"{summary['min']:>9.3g} {summary['mean']:>9.3g} "
+                  f"{summary['max']:>9.3g} {summary['last']:>9.3g}  "
+                  f"{sparkline(summary.get('values', []))}", file=out)
+    alerts = document["alerts"]
+    print(f"\nalerts ([obs]/fleet/alerts): {alerts['fired']} fired, "
+          f"{alerts['resolved']} resolved, "
+          f"{len(alerts['active'])} active", file=out)
+    for record in alerts["events"]:
+        print(f"  [t={record['t']:8.3f}] {record['event']:<7} "
+              f"{record['severity']:<8} {record['rule']} "
+              f"host={record['host']} {record['metric']}={record['value']:g}",
+              file=out)
+    delivery = document["delivery"]
+    verdict = "match" if delivery["match"] else "MISMATCH"
+    print(f"delivery: {delivery['read_through_obs']} read through [obs] "
+          f"vs {delivery['emitted']} emitted -- {verdict}", file=out)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.monitor",
+        description="Run a traced chaos scenario with SLO watchdogs and "
+                    "monitor it through the [obs] name space.")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="simulated seconds (default 5)")
+    parser.add_argument("--drop", type=float, default=0.10,
+                        help="frame drop rate during the loss phase")
+    parser.add_argument("--interval", type=float, default=0.1,
+                        help="telemetry sample interval (simulated s)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the monitor document instead of tables "
+                             "(no live tail)")
+    args = parser.parse_args(argv)
+
+    def tail(event: AlertEvent) -> None:
+        print(event.describe(), flush=True)
+
+    document = run_monitored(seed=args.seed, duration=args.duration,
+                             drop=args.drop, interval=args.interval,
+                             on_alert=None if args.json else tail)
+    if args.json:
+        print(json.dumps(_strip_values(document), indent=2, sort_keys=True))
+    else:
+        print()
+        render(document)
+    return 0 if document["delivery"]["match"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

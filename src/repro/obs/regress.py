@@ -24,6 +24,18 @@ compared -- quick-mode snapshots simply omit the secondary metrics -- but
 an experiment present in the baseline and absent from a *non-quick*
 candidate is itself a failure (a silently dropped experiment must not pass
 the gate).
+
+The wall-clock dimension is gated separately: when both snapshots carry an
+experiment's ``wall`` section, ``wall_events_per_sec`` is compared
+higher-is-better with the deliberately loose ``--wall-tolerance`` (default
+:data:`DEFAULT_WALL_TOLERANCE`, i.e. fail only when throughput halves) --
+wall rates are machine-dependent, so the gate exists to catch an
+engine-speed *collapse*, not 2% noise.  A snapshot without ``wall``
+(pre-telemetry baselines) simply skips the wall comparison.
+
+``--json`` emits the full per-metric verdict document (baseline,
+candidate, delta, allowed tolerance, pass/fail for *every* compared
+metric) so CI can annotate failures instead of parsing stderr.
 """
 
 from __future__ import annotations
@@ -58,6 +70,12 @@ OVERRIDES: dict[str, tuple[str, str, float]] = {
 
 DEFAULT_RULE = ("both", "abs", 0.0)  # counts: exact
 
+#: The wall-clock throughput metric inside each experiment's ``wall``
+#: section, and its default relative tolerance (higher is better; fail
+#: when the candidate loses more than this fraction of the baseline rate).
+WALL_METRIC = "wall_events_per_sec"
+DEFAULT_WALL_TOLERANCE = 0.5
+
 
 def rule_for(experiment: str, metric: str) -> tuple[str, str, float]:
     override = OVERRIDES.get(f"{experiment}.{metric}")
@@ -78,11 +96,34 @@ class Finding:
     baseline: float
     candidate: float
     allowed: float
-    verdict: str  # "regressed" | "improved" | "missing"
+    verdict: str  # "ok" | "regressed" | "improved" | "missing"
 
     @property
     def name(self) -> str:
         return f"{self.experiment}.{self.metric}"
+
+    @property
+    def delta(self) -> float:
+        return self.candidate - self.baseline
+
+    @property
+    def passes(self) -> bool:
+        return self.verdict in ("ok", "improved")
+
+    def to_record(self) -> dict:
+        """The ``--json`` verdict record for this metric."""
+        candidate = self.candidate
+        return {
+            "experiment": self.experiment,
+            "metric": self.metric,
+            "name": self.name,
+            "baseline": self.baseline,
+            "candidate": None if candidate != candidate else candidate,
+            "delta": None if candidate != candidate else self.delta,
+            "allowed": self.allowed,
+            "verdict": self.verdict,
+            "pass": self.passes,
+        }
 
     def describe(self) -> str:
         if self.verdict == "missing":
@@ -94,11 +135,29 @@ class Finding:
                 f"({rel:+.2f}%, allowed ±{self.allowed:g})")
 
 
-def compare(baseline: dict, candidate: dict) -> list[Finding]:
-    """Pure comparison: findings for every out-of-tolerance metric.
+def _judge(experiment: str, metric: str, base_value: float,
+           cand_value: float, direction: str, allowed: float) -> Finding:
+    delta = cand_value - base_value
+    if abs(delta) <= allowed:
+        verdict = "ok"
+    else:
+        worse = {"lower": delta > 0, "higher": delta < 0,
+                 "both": True}[direction]
+        verdict = "regressed" if worse else "improved"
+    return Finding(experiment, metric, base_value, cand_value, allowed,
+                   verdict)
 
-    ``verdict == "regressed"`` findings are what the gate fails on;
-    "improved" findings are reported but pass.
+
+def compare_all(baseline: dict, candidate: dict,
+                wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+                ) -> list[Finding]:
+    """Pure comparison: one :class:`Finding` per compared metric.
+
+    Within-tolerance metrics get ``verdict == "ok"`` (the ``--json``
+    output wants every verdict); :func:`compare` filters those out for
+    the human-facing report.  Each experiment's ``wall_events_per_sec``
+    is compared last, higher-is-better at ``wall_tolerance`` relative,
+    and only when both snapshots carry a ``wall`` section.
     """
     for name, snapshot in (("baseline", baseline), ("candidate", candidate)):
         if snapshot.get("schema") != BENCH_SCHEMA:
@@ -132,15 +191,29 @@ def compare(baseline: dict, candidate: dict) -> list[Finding]:
                 allowed = abs(base_value) * tolerance
             else:
                 allowed = tolerance
-            delta = cand_value - base_value
-            if abs(delta) <= allowed:
-                continue
-            worse = {"lower": delta > 0, "higher": delta < 0,
-                     "both": True}[direction]
-            findings.append(Finding(experiment, metric, base_value,
-                                    cand_value, allowed,
-                                    "regressed" if worse else "improved"))
+            findings.append(_judge(experiment, metric, base_value,
+                                   cand_value, direction, allowed))
+        base_wall = base_entry.get("wall", {}).get(WALL_METRIC)
+        cand_wall = cand_entry.get("wall", {}).get(WALL_METRIC)
+        if base_wall is not None and cand_wall is not None:
+            findings.append(_judge(
+                experiment, WALL_METRIC, float(base_wall),
+                float(cand_wall), "higher",
+                abs(float(base_wall)) * wall_tolerance))
     return findings
+
+
+def compare(baseline: dict, candidate: dict,
+            wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+            ) -> list[Finding]:
+    """Findings for every *out-of-tolerance* metric (the gate's view).
+
+    ``verdict == "regressed"``/``"missing"`` findings are what the gate
+    fails on; "improved" findings are reported but pass.
+    """
+    return [finding
+            for finding in compare_all(baseline, candidate, wall_tolerance)
+            if finding.verdict != "ok"]
 
 
 def load_snapshot(path: Path) -> dict:
@@ -166,6 +239,14 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="baseline snapshot (default: lowest index)")
     parser.add_argument("--candidate", metavar="PATH",
                         help="candidate snapshot (default: highest index)")
+    parser.add_argument("--wall-tolerance", type=float,
+                        default=DEFAULT_WALL_TOLERANCE, metavar="FRAC",
+                        help="allowed relative wall_events_per_sec loss "
+                             f"(default {DEFAULT_WALL_TOLERANCE}; wall "
+                             "rates are machine-dependent, keep it loose)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full per-metric verdict document "
+                             "on stdout instead of the text report")
     args = parser.parse_args(argv)
 
     if args.baseline and args.candidate:
@@ -179,14 +260,36 @@ def main(argv: Optional[list[str]] = None) -> int:
                           else default_cand)
     baseline = load_snapshot(baseline_path)
     candidate = load_snapshot(candidate_path)
-    findings = compare(baseline, candidate)
+    all_findings = compare_all(baseline, candidate,
+                               wall_tolerance=args.wall_tolerance)
+    regressions = [f for f in all_findings
+                   if f.verdict in ("regressed", "missing")]
+    improvements = [f for f in all_findings if f.verdict == "improved"]
+
+    if args.json:
+        document = {
+            "schema": BENCH_SCHEMA,
+            "kind": "bench-regress",
+            "baseline": {"path": str(baseline_path),
+                         "git_sha": baseline.get("git_sha"),
+                         "quick": bool(baseline.get("quick"))},
+            "candidate": {"path": str(candidate_path),
+                          "git_sha": candidate.get("git_sha"),
+                          "quick": bool(candidate.get("quick"))},
+            "wall_tolerance": args.wall_tolerance,
+            "pass": not regressions,
+            "counts": {"compared": len(all_findings),
+                       "regressed": len(regressions),
+                       "improved": len(improvements)},
+            "metrics": [finding.to_record() for finding in all_findings],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 1 if regressions else 0
 
     print(f"baseline:  {baseline_path} (sha {baseline.get('git_sha')}, "
           f"quick={bool(baseline.get('quick'))})")
     print(f"candidate: {candidate_path} (sha {candidate.get('git_sha')}, "
           f"quick={bool(candidate.get('quick'))})")
-    regressions = [f for f in findings if f.verdict != "improved"]
-    improvements = [f for f in findings if f.verdict == "improved"]
     for finding in improvements:
         print(f"improved:  {finding.describe()}")
     for finding in regressions:

@@ -7,14 +7,16 @@ the system's own observability state:
 
 - a :class:`StatServer` per host exposes that kernel's live state as
   readable file-like objects -- ``metrics``, ``services``, ``namecache``,
-  ``processes``, and ``spans/recent`` -- under a single-context name space;
+  ``processes``, ``spans/recent``, and the telemetry collector's
+  ``timeseries/<metric>`` ring buffers -- under one name space;
 - a :class:`ObsRootServer`, registered under the generic ``[obs]`` prefix
   (service id :data:`~repro.kernel.services.ServiceId.OBS`), implements the
   top of the tree: ``hosts/<host>`` entries are *remote links* to the owning
   host's stat server, so ``open("[obs]/hosts/ws2/metrics")`` travels the
   standard Sec. 5.4 forwarding chain -- prefix server -> root obs server ->
   host ws2's stat server -- and the resolution trace shows every hop.
-  ``fleet/`` holds domain-wide roll-ups served by the root itself.
+  ``fleet/`` holds domain-wide roll-ups served by the root itself,
+  including the SLO watchdog alert log at ``fleet/alerts``.
 
 Costs are split the V way: *capturing* a snapshot is plain memory reads by
 the serving process (zero simulated time, like every other handler body),
@@ -53,6 +55,7 @@ from repro.kernel.messages import ReplyCode, RequestCode
 from repro.kernel.pids import Pid
 from repro.kernel.services import ServiceId
 from repro.obs import introspect
+from repro.obs.telemetry import SERIES_METRICS
 from repro.servers.base import ServerHandle, start_server
 from repro.vio.instance import MemoryInstance
 
@@ -228,6 +231,12 @@ class StatServer(_IntrospectionServer):
         spans = StatContext("spans")
         spans.add(StatLeaf("recent", "jsonl",
                            lambda: introspect.host_spans_payload(host)))
+        timeseries = StatContext("timeseries")
+        for metric in SERIES_METRICS:
+            timeseries.add(StatLeaf(
+                metric, "jsonl",
+                lambda metric=metric:
+                introspect.host_timeseries_payload(host, metric)))
         for node in (
             StatLeaf("metrics", "json",
                      lambda: introspect.host_metrics_payload(host)),
@@ -240,6 +249,7 @@ class StatServer(_IntrospectionServer):
             StatLeaf("profile", "json",
                      lambda: introspect.host_profile_payload(host)),
             spans,
+            timeseries,
         ):
             self.root_ctx.add(node)
 
@@ -261,6 +271,8 @@ class ObsRootServer(_IntrospectionServer):
                            lambda: introspect.fleet_hosts_payload(domain)))
         fleet.add(StatLeaf("services", "json",
                            lambda: introspect.fleet_services_payload(domain)))
+        fleet.add(StatLeaf("alerts", "jsonl",
+                           lambda: introspect.fleet_alerts_payload(domain)))
         self.root_ctx.add(self.hosts_ctx)
         self.root_ctx.add(fleet)
 
@@ -285,6 +297,7 @@ class ObsNamespace:
         for host in list(domain.hosts.values()):
             self._cover(host)
         domain.on_host_created(self._cover)
+        domain.on_host_restarted(self._recover)
 
     @property
     def root(self) -> ObsRootServer:
@@ -296,6 +309,16 @@ class ObsNamespace:
         handle = start_server(host, StatServer(host))
         self.stat_handles[host.host_id] = handle
         self.root.register_host(host.name, handle.pid)
+
+    def _recover(self, host: "Host") -> None:
+        """A crash killed the host's stat server; respawn and rebind.
+
+        The respawned server has a new pid -- exactly the paper's
+        "recreated after a crash" case -- so ``hosts/<name>`` is re-bound
+        and stale cached routes fall back through the forwarding chain.
+        """
+        self.stat_handles.pop(host.host_id, None)
+        self._cover(host)
 
     def stat_pid(self, host: "Host | str") -> Optional[Pid]:
         """The stat-server pid covering ``host`` (by object or name)."""

@@ -75,6 +75,12 @@ class Engine:
     #: costs more bookkeeping than the dead entries do.
     COMPACT_MIN_QUEUE = 64
 
+    #: Process-wide count of events fired across *all* engine instances.
+    #: The bench runner reads it around each experiment to derive the
+    #: wall-clock events/sec trajectory metric without holding references
+    #: to the domains a benchmark builds internally.
+    total_events: int = 0
+
     def __init__(self) -> None:
         self._queue: list[ScheduledEvent] = []
         self._seq = 0
@@ -223,6 +229,7 @@ class Engine:
                 self._account(event.attribution, event.time - self._now)
                 self._now = event.time
                 self._events_processed += 1
+                Engine.total_events += 1
                 previous = self._attr_stack
                 self._attr_stack = event.attribution or ()
                 try:
@@ -232,6 +239,7 @@ class Engine:
                 return True
             self._now = event.time
             self._events_processed += 1
+            Engine.total_events += 1
             event.callback(*event.args)
             return True
         return False

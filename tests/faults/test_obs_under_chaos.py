@@ -1,0 +1,161 @@
+"""``[obs]`` under fire: introspection must survive the faults it reports.
+
+The telemetry pipeline is only trustworthy if reading it works *while*
+things are broken: series reads issued during the loss phase ride the same
+retransmission machinery as any transaction, the alert log read back
+through ``[obs]/fleet/alerts`` must match the watchdog engine record for
+record, and a crashed host's stat server must come back with its machine.
+"""
+
+import json
+
+import pytest
+
+from repro.core.resolver import NameError_
+from repro.faults.chaos import (
+    ChaosSchedule,
+    check_invariants,
+    run_chaos,
+)
+from repro.kernel.domain import Domain
+from repro.net.latency import WireFaultModel
+from repro.runtime.workstation import setup_workstation, standard_prefixes
+from repro.servers import VFileServer, enable_obs_namespace, start_server
+from repro.vio.client import IoError
+
+DURATION = 3.0
+
+
+def lossy_obs_system(seed: int = 11, drop: float = 0.15):
+    """Workstation + file server with [obs] armed and a mid-run loss phase."""
+    domain = Domain(seed=seed)
+    workstation = setup_workstation(domain, "mann")
+    fs_host = domain.create_host("vax1")
+    handle = start_server(fs_host, VFileServer(user="mann"))
+    standard_prefixes(workstation, handle)
+    enable_obs_namespace(domain, workstation.host)
+    telemetry = domain.enable_telemetry(interval=0.1)
+    schedule = ChaosSchedule(domain)
+    schedule.loss_between(0.1 * DURATION, 0.9 * DURATION,
+                          WireFaultModel(drop_rate=drop, dup_rate=0.02,
+                                         delay_rate=0.05))
+    return domain, workstation, fs_host, telemetry
+
+
+class TestReadsAcrossTheLossyWire:
+    def test_timeseries_reads_ride_the_retransmission_path(self):
+        domain, workstation, __, __ = lossy_obs_system()
+        outcomes = {"ok": 0, "failed": 0, "bad_payload": 0}
+
+        def client(session):
+            from repro.kernel.ipc import Delay, Now
+
+            while True:
+                now = yield Now()
+                if now >= DURATION:
+                    break
+                for name in ("[obs]/hosts/vax1/timeseries/retransmits",
+                             "[obs]/fleet/alerts"):
+                    try:
+                        payload = yield from session.read_file(name)
+                    except (NameError_, IoError):
+                        outcomes["failed"] += 1
+                        continue
+                    records = [json.loads(line) for line in
+                               payload.splitlines() if line.strip()]
+                    if records and records[0].get("kind") == "meta":
+                        outcomes["ok"] += 1
+                    else:
+                        outcomes["bad_payload"] += 1
+                yield Delay(0.05)
+
+        workstation.host.spawn(client(workstation.session()),
+                               name="obs-chaos-reader")
+        domain.run()
+        domain.check_healthy()
+        check_invariants(domain)
+
+        # Frames were genuinely lost and retransmitted under the reads...
+        assert domain.metrics.count("net.drops") > 0
+        assert domain.metrics.count("ipc.retransmits") > 0
+        # ...yet every [obs] read completed with a well-formed payload.
+        # (Reads are charged real latency -- stretched further by the
+        # retransmissions -- so the loop fits ~20 per simulated second.)
+        assert outcomes["ok"] >= 20
+        assert outcomes["failed"] == 0
+        assert outcomes["bad_payload"] == 0
+
+
+class TestAlertDelivery:
+    def test_chaos_run_fires_resolves_and_delivers_alerts(self):
+        # run_chaos itself raises InvariantViolation if the [obs] read of
+        # the alert log disagrees with the engine's emissions.
+        report = run_chaos(seed=7, duration=5.0, drop=0.10, watchdogs=True)
+        assert report.alerts["fired"] >= 1
+        assert report.alerts["resolved"] >= 1
+        assert report.alerts["delivered"] == (report.alerts["fired"]
+                                              + report.alerts["resolved"])
+        assert not report.alerts["active"]       # the run ends healthy
+        events = report.alerts["events"]
+        assert [event["event"] for event in events].count("fire") == \
+            report.alerts["fired"]
+        retransmit_fires = [event for event in events
+                            if event["event"] == "fire"
+                            and event["rule"] == "retransmit-rate"]
+        assert retransmit_fires, "loss phase never tripped retransmit-rate"
+        # Fire precedes resolve on the simulated timeline.
+        times = [event["t"] for event in events]
+        assert times == sorted(times)
+
+    def test_alert_records_survive_dropped_frames_on_the_read_path(self):
+        # Same invariant, harsher wire: the post-run read still crosses a
+        # wire that dropped frames all run; delivery must stay exact.
+        report = run_chaos(seed=3, duration=5.0, drop=0.20, watchdogs=True)
+        assert report.alerts["delivered"] == len(report.alerts["events"])
+
+
+class TestStatServerRecovery:
+    def test_crashed_host_gets_its_stat_server_back(self):
+        domain = Domain(seed=5)
+        workstation = setup_workstation(domain, "mann")
+        fs_host = domain.create_host("vax1")
+        handle = start_server(fs_host, VFileServer(user="mann"))
+        standard_prefixes(workstation, handle)
+        namespace = enable_obs_namespace(domain, workstation.host)
+        before = namespace.stat_pid("vax1")
+        assert before is not None
+
+        domain.engine.schedule(0.5, fs_host.crash)
+        domain.engine.schedule(1.0, fs_host.restart)
+
+        def client(session):
+            from repro.kernel.ipc import Delay
+
+            yield Delay(1.5)                     # after the restart
+            return (yield from session.read_file("[obs]/hosts/vax1/metrics"))
+
+        box = {}
+
+        def wrapper():
+            box["payload"] = yield from client(workstation.session())
+
+        workstation.host.spawn(wrapper(), name="post-restart-reader")
+        domain.run()
+        after = namespace.stat_pid("vax1")
+        # The respawned stat server is a new process on the same name...
+        assert after is not None
+        assert after != before
+        # ...and the read reaches it through the re-bound hosts/ link.
+        snap = json.loads(box["payload"])
+        assert snap["host"] == "vax1"
+        assert snap["crashed"] is False
+
+
+class TestWatchdogGateStaysQuiet:
+    def test_clean_wire_fires_nothing(self):
+        report = run_chaos(seed=7, duration=2.0, drop=0.0, dup=0.0,
+                           delay_rate=0.0, crash=False, watchdogs=True)
+        assert report.alerts["fired"] == 0
+        assert report.alerts["resolved"] == 0
+        assert report.alerts["delivered"] == 0
+        assert report.success_rate == pytest.approx(1.0)

@@ -16,16 +16,20 @@ from repro.obs import regress
 from repro.obs.bench import (
     BENCH_SCHEMA,
     next_snapshot_path,
+    pick_rounds,
     repo_root,
     snapshot_paths,
+    trajectory_point,
     write_snapshot,
 )
-from repro.obs.regress import Finding, compare, main, rule_for
+from repro.obs.regress import Finding, compare, compare_all, main, rule_for
 
 
 def make_snapshot(experiments: dict, quick: bool = False,
-                  schema: int = BENCH_SCHEMA) -> dict:
-    return {
+                  schema: int = BENCH_SCHEMA,
+                  wall: dict | None = None) -> dict:
+    """``wall`` maps experiment key -> events/sec for its ``wall`` section."""
+    document = {
         "schema": schema,
         "kind": "bench-trajectory",
         "git_sha": "deadbeef",
@@ -35,6 +39,11 @@ def make_snapshot(experiments: dict, quick: bool = False,
             key: {"metrics": dict(metrics)}
             for key, metrics in experiments.items()},
     }
+    for key, rate in (wall or {}).items():
+        document["experiments"][key]["wall"] = {
+            "events": 1000, "seconds": round(1000 / rate, 6),
+            "wall_events_per_sec": rate}
+    return document
 
 
 BASE = {
@@ -156,11 +165,84 @@ class TestCompare:
         assert compare(make_snapshot(BASE), candidate) == []
 
 
+class TestWallGate:
+    """The wall-clock dimension: loose, higher-is-better, opt-in."""
+
+    def test_identical_wall_sections_pass(self):
+        base = make_snapshot(BASE, wall={"e4": 50000.0})
+        assert compare(base, make_snapshot(BASE, wall={"e4": 50000.0})) == []
+
+    def test_throughput_collapse_fails_at_the_default_tolerance(self):
+        # Default tolerance is 0.5: losing more than half the baseline
+        # rate is an engine-speed collapse, anything less is machine noise.
+        base = make_snapshot(BASE, wall={"e4": 50000.0})
+        slower = make_snapshot(BASE, wall={"e4": 24000.0})
+        findings = compare(base, slower)
+        assert [(f.name, f.verdict) for f in findings] == \
+            [("e4.wall_events_per_sec", "regressed")]
+        barely = make_snapshot(BASE, wall={"e4": 26000.0})
+        assert compare(base, barely) == []
+
+    def test_wall_tolerance_is_adjustable(self):
+        base = make_snapshot(BASE, wall={"e4": 50000.0})
+        slower = make_snapshot(BASE, wall={"e4": 40000.0})
+        assert compare(base, slower) == []
+        findings = compare(base, slower, wall_tolerance=0.1)
+        assert [f.verdict for f in findings] == ["regressed"]
+        assert findings[0].allowed == pytest.approx(5000.0)
+
+    def test_faster_wall_is_improved(self):
+        base = make_snapshot(BASE, wall={"e4": 10000.0})
+        faster = make_snapshot(BASE, wall={"e4": 60000.0})
+        assert [f.verdict for f in compare(base, faster)] == ["improved"]
+
+    def test_missing_wall_on_either_side_skips_the_comparison(self):
+        # Pre-telemetry baselines carry no wall section; its absence is
+        # not a failure on either side (unlike a missing metric).
+        with_wall = make_snapshot(BASE, wall={"e4": 50000.0})
+        without = make_snapshot(BASE)
+        assert compare(with_wall, without) == []
+        assert compare(without, with_wall) == []
+
+
+class TestCompareAll:
+    def test_every_metric_gets_a_verdict(self):
+        base = make_snapshot(BASE, wall={"e4": 50000.0})
+        findings = compare_all(base, make_snapshot(BASE,
+                                                   wall={"e4": 50000.0}))
+        metric_count = sum(len(metrics) for metrics in BASE.values())
+        assert len(findings) == metric_count + 1      # + the wall verdict
+        assert all(f.verdict == "ok" and f.passes for f in findings)
+
+    def test_compare_is_compare_all_minus_ok(self):
+        candidate = make_snapshot(BASE)
+        candidate["experiments"]["e4"]["metrics"]["remote_via_prefix_ms"] *= 1.2
+        all_findings = compare_all(make_snapshot(BASE), candidate)
+        assert compare(make_snapshot(BASE), candidate) == \
+            [f for f in all_findings if f.verdict != "ok"]
+
+
 class TestFinding:
     def test_name_and_describe(self):
         finding = Finding("e4", "local_ms", 1.0, 1.5, 0.02, "regressed")
         assert finding.name == "e4.local_ms"
         assert "1 -> 1.5" in finding.describe()
+
+    def test_to_record_round_trips_the_verdict(self):
+        finding = Finding("e4", "local_ms", 1.0, 1.5, 0.02, "regressed")
+        assert finding.to_record() == {
+            "experiment": "e4", "metric": "local_ms",
+            "name": "e4.local_ms", "baseline": 1.0, "candidate": 1.5,
+            "delta": pytest.approx(0.5), "allowed": 0.02,
+            "verdict": "regressed", "pass": False}
+
+    def test_to_record_maps_missing_nan_to_null(self):
+        finding = Finding("e7", "hops4_open_ms", 18.5, float("nan"), 0.0,
+                          "missing")
+        record = finding.to_record()
+        assert record["candidate"] is None
+        assert record["delta"] is None
+        assert record["pass"] is False
 
 
 class TestMainGate:
@@ -194,3 +276,64 @@ class TestMainGate:
         write_snapshot(make_snapshot(BASE), tmp_path / "BENCH_3.json")
         base, cand = regress.default_pair(tmp_path)
         assert (base.name, cand.name) == ("BENCH_0.json", "BENCH_3.json")
+
+    def test_json_verdict_document(self, tmp_path, capsys):
+        candidate = make_snapshot(BASE, wall={"e4": 50000.0})
+        candidate["experiments"]["e4"]["metrics"]["remote_via_prefix_ms"] *= 1.2
+        base, cand = self.write_pair(
+            tmp_path, make_snapshot(BASE, wall={"e4": 50000.0}), candidate)
+        code = main(["--baseline", base, "--candidate", cand, "--json"])
+        document = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert document["kind"] == "bench-regress"
+        assert document["pass"] is False
+        assert document["wall_tolerance"] == regress.DEFAULT_WALL_TOLERANCE
+        metric_count = sum(len(metrics) for metrics in BASE.values())
+        assert document["counts"] == {"compared": metric_count + 1,
+                                      "regressed": 1, "improved": 0}
+        by_name = {record["name"]: record for record in document["metrics"]}
+        assert len(by_name) == metric_count + 1       # every verdict present
+        assert by_name["e4.remote_via_prefix_ms"]["verdict"] == "regressed"
+        assert by_name["e4.wall_events_per_sec"]["pass"] is True
+
+    def test_json_pass_exits_zero(self, tmp_path, capsys):
+        base, cand = self.write_pair(tmp_path, make_snapshot(BASE),
+                                     make_snapshot(BASE))
+        assert main(["--baseline", base, "--candidate", cand, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["pass"] is True
+
+    def test_wall_tolerance_flag_reaches_the_gate(self, tmp_path, capsys):
+        base, cand = self.write_pair(
+            tmp_path, make_snapshot(BASE, wall={"e4": 50000.0}),
+            make_snapshot(BASE, wall={"e4": 40000.0}))
+        args = ["--baseline", base, "--candidate", cand]
+        assert main(args) == 0                        # default 0.5: passes
+        assert main(args + ["--wall-tolerance", "0.1"]) == 1
+        assert "e4.wall_events_per_sec" in capsys.readouterr().out
+
+
+class TestTrajectoryHelpers:
+    """The shared quick-mode contract the bench modules lean on."""
+
+    def test_quick_skips_secondary_without_measuring_it(self):
+        calls = []
+
+        def expensive():
+            calls.append(True)
+            return {"secondary_ms": 9.0}
+
+        assert trajectory_point(True, {"primary_ms": 1.0}, expensive) == \
+            {"primary_ms": 1.0}
+        assert not calls                              # never even ran
+        assert trajectory_point(False, {"primary_ms": 1.0}, expensive) == \
+            {"primary_ms": 1.0, "secondary_ms": 9.0}
+
+    def test_secondary_accepts_a_plain_mapping(self):
+        assert trajectory_point(False, {"a": 1.0}, {"b": 2.0}) == \
+            {"a": 1.0, "b": 2.0}
+        assert trajectory_point(True, {"a": 1.0}, {"b": 2.0}) == {"a": 1.0}
+        assert trajectory_point(False, {"a": 1.0}) == {"a": 1.0}
+
+    def test_pick_rounds(self):
+        assert pick_rounds(False, 400, 10) == 400
+        assert pick_rounds(True, 400, 10) == 10

@@ -1,0 +1,81 @@
+"""The monitoring CLI: sparklines, the monitor document, and exit status."""
+
+import json
+
+from repro.obs import monitor
+from repro.obs.monitor import run_monitored, sparkline
+from repro.obs.telemetry import SERIES_METRICS
+
+DURATION = 2.0
+
+
+class TestSparkline:
+    def test_empty_and_flat(self):
+        assert sparkline([]) == ""
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_ramp_uses_the_full_range(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_long_series_buckets_to_width(self):
+        line = sparkline([float(index) for index in range(400)], width=40)
+        assert len(line) == 40
+        assert line[0] == "▁" and line[-1] == "█"
+
+
+class TestRunMonitored:
+    def test_document_shape_and_delivery(self):
+        document = run_monitored(duration=DURATION)
+        assert document["kind"] == "obs-monitor"
+        assert document["schema"] == monitor.MONITOR_SCHEMA
+        assert set(document["hosts"]) == {"ws-mann", "vax1"}
+        for metrics in document["hosts"].values():
+            assert set(metrics) == set(SERIES_METRICS)
+        # Every summarised number came back through [obs]; the workload
+        # host must have sampled activity.
+        resolutions = document["hosts"]["ws-mann"]["resolutions"]
+        assert resolutions["samples"] > 0
+        assert resolutions["max"] >= 1
+        assert document["reads"]["ok"] > 0
+        assert document["delivery"]["match"] is True
+        assert document["delivery"]["read_through_obs"] == \
+            document["delivery"]["emitted"]
+
+    def test_same_seed_same_document(self):
+        first = run_monitored(duration=DURATION)
+        second = run_monitored(duration=DURATION)
+        assert first == second
+
+    def test_alert_tail_sees_fire_before_resolve(self):
+        tailed = []
+        document = run_monitored(duration=5.0,
+                                 on_alert=lambda event: tailed.append(event))
+        assert document["alerts"]["fired"] >= 1
+        assert [event.to_record() for event in tailed] == \
+            document["alerts"]["events"]
+        assert tailed[0].event == "fire"
+
+
+class TestCli:
+    def test_json_mode_emits_the_document(self, capsys):
+        code = monitor.main(["--json", "--duration", str(DURATION)])
+        out = capsys.readouterr().out
+        document = json.loads(out)
+        assert code == 0
+        assert document["kind"] == "obs-monitor"
+        # The JSON document carries summaries, not raw sample arrays.
+        for metrics in document["hosts"].values():
+            assert all("values" not in summary
+                       for summary in metrics.values())
+
+    def test_text_mode_renders_tables_and_tail(self, capsys):
+        code = monitor.main(["--duration", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FIRE" in out                       # the live tail
+        assert "[obs]/hosts/ws-mann/timeseries/*" in out
+        assert any(char in out for char in "▂▃▄▅▆▇█")
+        assert "-- match" in out

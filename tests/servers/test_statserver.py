@@ -125,7 +125,8 @@ class TestDirectoryListing:
                          client(workstation.session()))
         by_name = {record.name: record for record in records}
         assert set(by_name) == {"metrics", "services", "namecache",
-                                "processes", "profile", "spans"}
+                                "processes", "profile", "spans",
+                                "timeseries"}
         for leaf in ("metrics", "services", "namecache", "processes",
                      "profile"):
             record = by_name[leaf]
@@ -136,6 +137,10 @@ class TestDirectoryListing:
         spans = by_name["spans"]
         assert isinstance(spans, ContextDescription)
         assert spans.entry_count == 1
+        timeseries = by_name["timeseries"]
+        assert isinstance(timeseries, ContextDescription)
+        from repro.obs.telemetry import SERIES_METRICS
+        assert timeseries.entry_count == len(SERIES_METRICS)
 
     def test_hosts_context_lists_remote_links(self):
         domain, workstation, __, namespace = obs_system()
@@ -262,6 +267,51 @@ class TestPerHostLeaves:
         assert all(actor.startswith("vax1/") for actor in actors)
 
 
+class TestTimeseriesLeaves:
+    def test_disabled_collector_serves_an_explicit_stub(self):
+        domain, workstation, __, __ = obs_system()
+        payload = read_name(
+            domain, workstation, "[obs]/hosts/vax1/timeseries/retransmits")
+        (meta,) = [json.loads(line) for line in
+                   payload.decode().splitlines() if line]
+        assert meta == {"kind": "meta", "host": "vax1",
+                        "metric": "retransmits", "enabled": False}
+
+    def test_enabled_collector_serves_samples_through_the_chain(self):
+        domain, workstation, __, __ = obs_system()
+        domain.enable_telemetry(interval=0.05)
+
+        def workload(session):
+            from repro.kernel.ipc import Delay
+
+            yield from files.write_file(session, "[home]t.txt", b"x" * 16)
+            for __ in range(5):
+                yield from files.read_file(session, "[home]t.txt")
+                yield Delay(0.05)
+
+        run_on(domain, workstation.host, workload(workstation.session()),
+               name="workload")
+        # ws1 initiated the transactions ("resolutions" counts sends, so
+        # it moves on the client host); vax1's series exists but is quiet.
+        payload = read_name(
+            domain, workstation, "[obs]/hosts/ws1/timeseries/resolutions")
+        records = [json.loads(line) for line in
+                   payload.decode().splitlines() if line]
+        meta, samples = records[0], records[1:]
+        assert meta["kind"] == "meta"
+        assert meta["enabled"] is True
+        assert meta["interval"] == 0.05
+        assert samples, "no samples after a multi-tick workload"
+        assert all(record["kind"] == "sample" for record in samples)
+        assert sum(record["value"] for record in samples) >= 1
+        # Sample timestamps follow the collector's tick grid, in order.
+        times = [record["t"] for record in samples]
+        assert times == sorted(times)
+        remote = read_name(
+            domain, workstation, "[obs]/hosts/vax1/timeseries/resolutions")
+        assert json.loads(remote.splitlines()[0])["enabled"] is True
+
+
 class TestFleet:
     def test_fleet_metrics_is_export_shaped_jsonl(self):
         domain, workstation, __, __ = obs_system()
@@ -273,6 +323,37 @@ class TestFleet:
         names = {record["name"] for record in records}
         assert "ipc.sends" in names
         assert "host.uptime_seconds" in names  # refreshed at capture time
+
+    def test_fleet_alerts_without_telemetry_is_an_explicit_stub(self):
+        domain, workstation, __, __ = obs_system()
+        payload = read_name(domain, workstation, "[obs]/fleet/alerts")
+        (meta,) = [json.loads(line) for line in
+                   payload.decode().splitlines() if line]
+        assert meta["kind"] == "meta"
+        assert meta["enabled"] is False
+
+    def test_fleet_alerts_serves_the_watchdog_log(self):
+        domain, workstation, __, __ = obs_system()
+        domain.enable_telemetry(interval=0.05)
+
+        def warm(session):
+            from repro.kernel.ipc import Delay
+
+            yield from files.write_file(session, "[home]a.txt", b"x" * 16)
+            yield Delay(0.2)
+
+        run_on(domain, workstation.host, warm(workstation.session()),
+               name="warm")
+        payload = read_name(domain, workstation, "[obs]/fleet/alerts")
+        records = [json.loads(line) for line in
+                   payload.decode().splitlines() if line]
+        meta = records[0]
+        assert meta["kind"] == "meta"
+        assert meta["enabled"] is True
+        assert "retransmit-rate" in meta["rules"]
+        # A quiet wire fires nothing; the log is served, just empty.
+        assert meta["fired"] == 0
+        assert all(record["kind"] == "alert" for record in records[1:])
 
     def test_fleet_hosts_and_services_cover_the_domain(self):
         domain, workstation, __, __ = obs_system()
