@@ -130,14 +130,16 @@ def check_no_timer_leaks(domain: Domain) -> list[str]:
     transaction the kernel already forgot.
     """
     problems = []
-    for event in domain.engine._queue:
-        if event.cancelled:
+    # Heap entries are (time, seq, callback, args, event-or-None); posted
+    # fire-and-forget entries have no event object and cannot be cancelled.
+    for time, __, callback, args, event in domain.engine._queue:
+        if event is not None and event.cancelled:
             continue
-        for arg in event.args:
+        for arg in args:
             if isinstance(arg, Process) and not arg.alive:
                 problems.append(
-                    f"event {event.callback.__qualname__} at "
-                    f"t={event.time:.4f} references dead process "
+                    f"event {callback.__qualname__} at "
+                    f"t={time:.4f} references dead process "
                     f"{arg.name!r} ({arg.pid!r})")
     return problems
 

@@ -26,7 +26,7 @@ the probe protocol gives up (see :mod:`repro.kernel.config`).
 from __future__ import annotations
 
 import itertools
-from collections import OrderedDict
+from collections import OrderedDict, defaultdict
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.kernel import ipc
@@ -79,7 +79,8 @@ class Host:
         self.crashed = False
         #: Per-host IPC counters (the domain metrics registry aggregates
         #: across machines; introspection wants this kernel's share).
-        self.counters: dict[str, int] = {}
+        #: A defaultdict so _count is a single indexed increment.
+        self.counters: dict[str, int] = defaultdict(int)
         #: When this kernel came up (simulated seconds); reset by restart().
         self.started_at = self.engine.now
 
@@ -103,6 +104,38 @@ class Host:
 
         self.ethernet.attach(host_id, self._on_frame)
 
+        # ---- hot-path flyweights -------------------------------------
+        # Latency constants and the frame pool never change for the life
+        # of the host; per-frame code reads them through one attribute
+        # instead of a chain.  (Engine methods are NOT pre-bound anywhere:
+        # the profiler's dispatch swap relies on attribute lookup.)
+        self._kernel_cpu = self.latency.kernel_cpu_per_packet
+        self._local_hop = self.latency.local_hop
+        self._acquire_frame = self.ethernet.frame_pool.acquire
+        # KernelConfig is frozen; snapshot the per-probe and per-send scalars.
+        self._probe_interval = self.config.probe_interval
+        self._max_failed_probes = self.config.max_failed_probes
+        self._retransmit_enabled = self.config.retransmit_enabled
+        self._retransmit_initial = self.config.retransmit_initial
+        # Pre-bind the callbacks this kernel posts per frame or per
+        # transaction: a bound-method object is otherwise allocated at
+        # every post.  (Self-shadowing is deliberate -- the instance
+        # attribute holds the one bound method every later lookup returns.)
+        self._transmit_put = self._transmit_put
+        self._handle_packet = self._handle_packet
+        self._deliver_local_request = self._deliver_local_request
+        self._complete_local_txn = self._complete_local_txn
+        self._probe_fire = self._probe_fire
+        self._retransmit_fire = self._retransmit_fire
+        # Pre-resolved registry counters for the per-transaction metrics
+        # (same Counter objects the registry serves, so every view agrees).
+        registry = self.metrics.registry
+        self._m_sends = registry.counter("ipc.sends")
+        self._m_deliveries = registry.counter("ipc.deliveries")
+        self._m_replies = registry.counter("ipc.replies")
+        self._m_transactions = registry.counter("ipc.transactions")
+        self._m_probes = registry.counter("ipc.probes")
+
     # ------------------------------------------------------------- lifecycle
 
     def spawn(self, body, name: str = "process") -> Process:
@@ -115,8 +148,9 @@ class Host:
         task = Task(body, name=f"{self.name}/{name}")
         proc = Process(pid, task, name)
         self.processes[pid.local_id] = proc
-        self._trace("proc", name, f"spawned as {pid!r}")
-        self.engine.schedule(0.0, self._start_process, proc)
+        if self.domain.tracer is not None:
+            self._trace("proc", name, f"spawned as {pid!r}")
+        self.engine.post(0.0, self._start_process, proc)
         return proc
 
     def _start_process(self, proc: Process) -> None:
@@ -126,7 +160,10 @@ class Host:
 
     def find_process(self, pid: Pid) -> Optional[Process]:
         proc = self.processes.get(pid.local_id)
-        if proc is not None and proc.pid == pid and proc.alive:
+        # Pid equality is value equality and aliveness is a state check;
+        # both inlined -- this runs on every delivery and probe.
+        if (proc is not None and proc.pid.value == pid.value
+                and proc.state is not ProcessState.DEAD):
             return proc
         return None
 
@@ -206,7 +243,7 @@ class Host:
     def _advance_inner(self, proc: Process, value: Any,
                        exc: BaseException | None, first: bool) -> None:
         while True:
-            if not proc.alive:
+            if proc.state is ProcessState.DEAD:
                 return
             proc.state = ProcessState.READY
             try:
@@ -227,7 +264,18 @@ class Host:
                 self._terminate(proc)
                 return
             try:
-                result = self._dispatch(proc, effect)
+                # The effect dispatch is inlined (one effect per resume,
+                # tens of thousands per simulated second); the profiled
+                # variant keeps the out-of-line path with phase frames.
+                if self.engine.profiling:
+                    result = self._dispatch(proc, effect)
+                else:
+                    handler = _EFFECT_HANDLERS.get(type(effect))
+                    if handler is None:
+                        raise IllegalEffect(
+                            f"process {proc.name!r} yielded {effect!r}, "
+                            "which is not a kernel effect")
+                    result = handler(self, proc, effect)
             except KernelError as err:
                 # API misuse becomes an exception *inside* the process, so a
                 # defensive server can catch it; an unhandled one fails the
@@ -331,7 +379,7 @@ class Host:
         proc.pending_txn = txn
         proc.state = ProcessState.SEND_BLOCKED
         self._outstanding[txn.txn_id] = txn
-        self.metrics.incr("ipc.sends")
+        self._m_sends.value += 1
         self._count("ipc.sends")
         if self.obs is not None:
             # One span per message transaction, parented under whatever
@@ -345,23 +393,28 @@ class Host:
                 request_bytes=effect.message.wire_bytes)
             effect.message.trace = span.context
             self._txn_spans[txn.txn_id] = span
-        self._trace("ipc", proc.name,
-                    f"Send {effect.message!r} -> {effect.dst!r} (txn {txn.txn_id})")
-        if effect.dst.is_local_to(self.host_id):
-            self.engine.schedule(self.latency.local_hop,
-                                 self._deliver_local_request, txn, None)
+        if self.domain.tracer is not None:
+            self._trace("ipc", proc.name,
+                        f"Send {effect.message!r} -> {effect.dst!r} (txn {txn.txn_id})")
+        # ``is_local_to`` and the one-line ``_transmit`` wrapper are inlined
+        # here and on the reply/probe paths: one Send/Reply round trip
+        # otherwise pays four extra method calls.
+        dst_host = effect.dst.logical_host
+        if dst_host == self.host_id:
+            self.engine.post(self._local_hop,
+                             self._deliver_local_request, txn, None)
         else:
-            packet = Packet(PacketKind.REQUEST, src_pid=proc.pid,
-                            dst_pid=effect.dst, txn_id=txn.txn_id,
-                            message=effect.message)
-            self._transmit(packet, effect.dst.logical_host)
+            packet = Packet(PacketKind.REQUEST, proc.pid, effect.dst,
+                            txn.txn_id, effect.message)
+            self.engine.post(self._kernel_cpu,
+                             self._transmit_put, packet, dst_host, None)
         self._schedule_probe(txn)
         # Local requests are delivered by a reliable in-kernel hop, but the
         # timer is armed for them too: a Forward may push the transaction
         # onto the (lossy) wire later, and then it is this timer that
         # re-sends the request.
-        if self.config.retransmit_enabled:
-            self._schedule_retransmit(txn, self.config.retransmit_initial)
+        if self._retransmit_enabled:
+            self._schedule_retransmit(txn, self._retransmit_initial)
         return _BLOCKED
 
     def _deliver_local_request(self, txn: Transaction,
@@ -403,7 +456,7 @@ class Host:
         if sender is None or sender.pending_txn is not current:
             return
         sender.pending_txn = None
-        self.metrics.incr("ipc.transactions")
+        self._m_transactions.value += 1
         self._count("ipc.transactions")
         telemetry = self.domain.telemetry
         if telemetry is not None:
@@ -429,7 +482,7 @@ class Host:
     def _enqueue_delivery(self, proc: Process, delivery: Delivery) -> None:
         if not delivery.via_group:
             self._presence[delivery.txn_id] = ("queued", proc.pid)
-        self.metrics.incr("ipc.deliveries")
+        self._m_deliveries.value += 1
         self._count("ipc.deliveries")
         if (self.obs is not None and delivery.message.trace is not None
                 and not delivery.via_group):
@@ -465,7 +518,7 @@ class Host:
     def _do_reply(self, proc: Process, effect: ipc.Reply) -> Any:
         delivery = self._find_unreplied(proc, effect.to)
         self._presence.pop(delivery.txn_id, None)
-        self.metrics.incr("ipc.replies")
+        self._m_replies.value += 1
         self._count("ipc.replies")
         if self.obs is not None:
             span = self._hop_spans.pop((delivery.txn_id, proc.pid), None)
@@ -474,8 +527,9 @@ class Host:
                                       reply_code=code_name(effect.message.code))
                 # The reply frame's wire span hangs off this hop.
                 effect.message.trace = span.context
-        self._trace("ipc", proc.name,
-                    f"Reply {effect.message!r} -> {effect.to!r} (txn {delivery.txn_id})")
+        if self.domain.tracer is not None:
+            self._trace("ipc", proc.name,
+                        f"Reply {effect.message!r} -> {effect.to!r} (txn {delivery.txn_id})")
         return self._route_reply(proc.pid, delivery, effect.message, busy=True,
                                  replier=proc)
 
@@ -488,24 +542,27 @@ class Host:
         replier when the frame is on the wire.
         """
         sender_pid = delivery.sender
-        if sender_pid.is_local_to(self.host_id):
+        sender_host = sender_pid.logical_host
+        if sender_host == self.host_id:
             txn = self._outstanding.get(delivery.txn_id)
             if txn is not None:
-                self.engine.schedule(self.latency.local_hop,
-                                     self._complete_local_txn, txn, message)
+                self.engine.post(self._local_hop,
+                                 self._complete_local_txn, txn, message)
             else:
                 self.metrics.incr("ipc.duplicate_replies")
             return None
-        packet = Packet(PacketKind.REPLY, src_pid=from_pid, dst_pid=sender_pid,
-                        txn_id=delivery.txn_id, message=message)
-        if self.config.retransmit_enabled:
+        packet = Packet(PacketKind.REPLY, from_pid, sender_pid,
+                        delivery.txn_id, message)
+        if self._retransmit_enabled:
             self._cache_reply(delivery.txn_id, packet)
         if busy and replier is not None:
             replier.state = ProcessState.WAITING
-            self._transmit(packet, sender_pid.logical_host,
-                           on_sent=lambda: self._advance(replier, value=None))
+            self.engine.post(self._kernel_cpu, self._transmit_put, packet,
+                             sender_host,
+                             lambda: self._advance(replier, value=None))
             return _BLOCKED
-        self._transmit(packet, sender_pid.logical_host)
+        self.engine.post(self._kernel_cpu,
+                         self._transmit_put, packet, sender_host, None)
         return None
 
     # -- Forward -------------------------------------------------------------------
@@ -528,8 +585,9 @@ class Host:
                 # The next hop's span chains under this one: the span tree
                 # *is* the Sec. 5.4 forwarding path.
                 message.trace = span.context
-        self._trace("ipc", proc.name,
-                    f"Forward txn {delivery.txn_id} -> {effect.dst!r}")
+        if self.domain.tracer is not None:
+            self._trace("ipc", proc.name,
+                        f"Forward txn {delivery.txn_id} -> {effect.dst!r}")
         # Tell the sender's kernel where the transaction went, if it is here.
         local_txn = self._outstanding.get(delivery.txn_id)
         if local_txn is not None:
@@ -541,8 +599,8 @@ class Host:
                                  dst=effect.dst, message=message)
             if local_txn is not None:
                 shadow = local_txn
-            self.engine.schedule(self.latency.local_hop,
-                                 self._deliver_local_request, shadow, proc.pid)
+            self.engine.post(self._local_hop,
+                             self._deliver_local_request, shadow, proc.pid)
             return None
         self._presence[delivery.txn_id] = ("forwarded", effect.dst)
         packet = Packet(PacketKind.REQUEST, src_pid=delivery.sender,
@@ -605,7 +663,7 @@ class Host:
         if src_host == dst_host:
             duration = self.latency.bulk_move_local(nbytes)
             proc.state = ProcessState.MOVE_BLOCKED
-            self.engine.schedule(duration, self._advance, proc, result)
+            self.engine.post(duration, self._advance, proc, result)
             return _BLOCKED
         packets = self.latency.bulk_packets(nbytes)
         per_packet = self.latency.bulk_move_remote(nbytes) / max(packets, 1)
@@ -614,17 +672,18 @@ class Host:
         for index in range(packets):
             chunk = min(remaining, 1024)
             remaining -= chunk
-            self.engine.schedule(
+            self.engine.post(
                 per_packet * (index + 1) - self.latency.wire_time(chunk),
                 self._emit_move_frame, src_host, dst_host, chunk,
             )
-        self.engine.schedule(per_packet * packets, self._advance, proc, result)
+        self.engine.post(per_packet * packets, self._advance, proc, result)
         return _BLOCKED
 
     def _emit_move_frame(self, src_host: int, dst_host: int, chunk: int) -> None:
         packet = Packet(PacketKind.MOVE_DATA, src_pid=Pid(0), dst_pid=None,
                         txn_id=0, info={"data_bytes": chunk})
-        frame = Frame(src_host, dst_host, packet, packet.payload_bytes)
+        frame = self._acquire_frame(
+            src_host, dst_host, packet, packet.payload_bytes)
         if self.engine.profiling:
             self.engine.profile_count_message(packet.payload_bytes)
         self.ethernet.transmit(frame)
@@ -634,8 +693,9 @@ class Host:
     def _do_set_pid(self, proc: Process, effect: ipc.SetPid) -> Any:
         self.registry.set_pid(effect.service, proc.pid, effect.scope)
         self.metrics.incr("services.registrations")
-        self._trace("svc", proc.name,
-                    f"SetPid service={effect.service} scope={effect.scope.value}")
+        if self.domain.tracer is not None:
+            self._trace("svc", proc.name,
+                        f"SetPid service={effect.service} scope={effect.scope.value}")
         return None
 
     def _do_get_pid(self, proc: Process, effect: ipc.GetPid) -> Any:
@@ -708,15 +768,16 @@ class Host:
         timeout = self.engine.schedule(self.config.group_reply_timeout,
                                        self._group_send_timeout, txn)
         self._group_timeouts[txn.txn_id] = timeout
-        # Local members (other than the sender) get a local delivery.
-        for member in self.domain.groups.members_on_host(effect.group_id,
-                                                         self.host_id):
-            if member == proc.pid:
-                continue
-            local_txn = Transaction(txn_id=txn.txn_id, sender=proc.pid,
-                                    dst=member, message=effect.message)
-            self.engine.schedule(self.latency.local_hop,
-                                 self._deliver_group_local, local_txn)
+        # Local members (other than the sender) get a local delivery; the
+        # whole same-tick burst goes into the queue as one batched entry.
+        deliver = self._deliver_group_local
+        self.engine.schedule_many(
+            self._local_hop,
+            [(deliver, (Transaction(txn_id=txn.txn_id, sender=proc.pid,
+                                    dst=member, message=effect.message),))
+             for member in self.domain.groups.members_on_host(
+                 effect.group_id, self.host_id)
+             if member != proc.pid])
         # Remote members are reached by one multicast frame.
         packet = Packet(PacketKind.GROUP_REQUEST, src_pid=proc.pid, dst_pid=None,
                         txn_id=txn.txn_id, message=effect.message,
@@ -742,7 +803,7 @@ class Host:
 
     def _do_delay(self, proc: Process, effect: ipc.Delay) -> Any:
         proc.state = ProcessState.WAITING
-        self.engine.schedule(effect.seconds, self._advance, proc, None)
+        self.engine.post(effect.seconds, self._advance, proc, None)
         return _BLOCKED
 
     def _do_annotate(self, proc: Process, effect: ipc.Annotate) -> Any:
@@ -791,38 +852,39 @@ class Host:
 
     def _transmit(self, packet: Packet, dst, on_sent=None) -> None:
         """Charge send-side kernel CPU, then put one frame on the wire."""
+        self.engine.post(self._kernel_cpu,
+                         self._transmit_put, packet, dst, on_sent)
 
-        def put() -> None:
-            if self.crashed:
-                return
-            frame = Frame(self.host_id, dst, packet, packet.payload_bytes)
-            if self.engine.profiling:
-                # One message out: bump the current stack's message/byte
-                # totals, and charge the propagation (the arrival event the
-                # ethernet schedules) to a wire frame under this phase.
-                self.engine.profile_count_message(packet.payload_bytes)
-                self.engine.profile_push("phase:wire")
-                try:
-                    arrival = self.ethernet.transmit(frame)
-                finally:
-                    self.engine.profile_pop("phase:wire")
-            else:
+    def _transmit_put(self, packet: Packet, dst, on_sent) -> None:
+        if self.crashed:
+            return
+        frame = self._acquire_frame(
+            self.host_id, dst, packet, packet.payload_bytes)
+        if self.engine.profiling:
+            # One message out: bump the current stack's message/byte
+            # totals, and charge the propagation (the arrival event the
+            # ethernet schedules) to a wire frame under this phase.
+            self.engine.profile_count_message(packet.payload_bytes)
+            self.engine.profile_push("phase:wire")
+            try:
                 arrival = self.ethernet.transmit(frame)
-            if on_sent is not None:
-                self.engine.schedule_at(arrival, on_sent)
-
-        self.engine.schedule(self.latency.kernel_cpu_per_packet, put)
+            finally:
+                self.engine.profile_pop("phase:wire")
+        else:
+            arrival = self.ethernet.transmit(frame)
+        if on_sent is not None:
+            self.engine.post_at(arrival, on_sent)
 
     def _on_frame(self, frame: Frame) -> None:
         if self.crashed:
             return
         packet = frame.payload
-        if not isinstance(packet, Packet):
+        if type(packet) is not Packet:
             return
         if packet.kind is PacketKind.MOVE_DATA:
             return  # pure timing/traffic; the move completion is scheduled
-        self.engine.schedule(self.latency.kernel_cpu_per_packet,
-                             self._handle_packet, packet, frame.src_host)
+        self.engine.post(self._kernel_cpu,
+                         self._handle_packet, packet, frame.src_host)
 
     def _handle_packet(self, packet: Packet, src_host: int) -> None:
         if self.crashed:
@@ -845,7 +907,7 @@ class Host:
                     span.append_attr("dup_suppressed", self.engine.now)
             return
         cached = self._reply_cache.get(packet.txn_id)
-        if cached is not None and self.config.retransmit_enabled:
+        if cached is not None and self._retransmit_enabled:
             # We already answered this transaction; the reply frame must
             # have been lost.  Replay it instead of re-executing anything.
             self.metrics.incr("ipc.dup_suppressed")
@@ -877,7 +939,7 @@ class Host:
         presence = self._presence.get(packet.txn_id)
         if presence is None:
             cached = self._reply_cache.get(packet.txn_id)
-            if cached is not None and self.config.retransmit_enabled:
+            if cached is not None and self._retransmit_enabled:
                 # Transaction done; its reply frame was lost.  Replay.
                 self.metrics.incr("ipc.reply_resends")
                 self._count("ipc.reply_resends")
@@ -905,9 +967,10 @@ class Host:
                               info={"new_dst": presence[1]})
         else:
             response = Packet(PacketKind.PROBE_OK,
-                              src_pid=packet.dst_pid or Pid(0),
-                              dst_pid=packet.src_pid, txn_id=packet.txn_id)
-        self._transmit(response, packet.src_pid.logical_host)
+                              packet.dst_pid or Pid(0),
+                              packet.src_pid, packet.txn_id)
+        self.engine.post(self._kernel_cpu, self._transmit_put, response,
+                         packet.src_pid.logical_host, None)
 
     def _on_probe_ok_packet(self, packet: Packet, src_host: int) -> None:
         txn = self._outstanding.get(packet.txn_id)
@@ -928,7 +991,7 @@ class Host:
         txn = self._outstanding.get(packet.txn_id)
         if txn is None:
             return
-        if self.config.retransmit_enabled:
+        if self._retransmit_enabled:
             # The request never arrived; push a fresh copy now rather than
             # waiting out the backoff, and give the probe counter a fresh
             # start -- the peer did answer, so it is alive.
@@ -979,34 +1042,35 @@ class Host:
             self.engine.profile_push("phase:probe")
             try:
                 txn.probe_event = self.engine.schedule(
-                    self.config.probe_interval, self._probe_fire, txn)
+                    self._probe_interval, self._probe_fire, txn)
             finally:
                 self.engine.profile_pop("phase:probe")
             return
-        txn.probe_event = self.engine.schedule(self.config.probe_interval,
+        txn.probe_event = self.engine.schedule(self._probe_interval,
                                                self._probe_fire, txn)
 
     def _probe_fire(self, txn: Transaction) -> None:
         if txn.txn_id not in self._outstanding:
             return
-        if txn.probes_unanswered >= self.config.max_failed_probes:
+        if txn.probes_unanswered >= self._max_failed_probes:
             self.metrics.incr("ipc.send_timeouts")
             self._trace("ipc", f"txn{txn.txn_id}",
                         f"abandoned after {txn.probes_unanswered} failed probes")
             self._complete_local_txn(txn, Message.reply(ReplyCode.TIMEOUT))
             return
         txn.probes_unanswered += 1
-        if txn.dst.is_local_to(self.host_id):
+        dst_host = txn.dst.logical_host
+        if dst_host == self.host_id:
             presence = self._presence.get(txn.txn_id)
             if presence is not None:
                 if presence[0] == "forwarded":
                     txn.dst = presence[1]
                 txn.probes_unanswered = 0
         else:
-            probe = Packet(PacketKind.PROBE, src_pid=txn.sender,
-                           dst_pid=txn.dst, txn_id=txn.txn_id)
-            self._transmit(probe, txn.dst.logical_host)
-            self.metrics.incr("ipc.probes")
+            probe = Packet(PacketKind.PROBE, txn.sender, txn.dst, txn.txn_id)
+            self.engine.post(self._kernel_cpu,
+                             self._transmit_put, probe, dst_host, None)
+            self._m_probes.value += 1
         self._schedule_probe(txn)
 
     # --------------------------------------------------------- retransmission
@@ -1040,9 +1104,8 @@ class Host:
 
     def _retransmit_now(self, txn: Transaction) -> None:
         """Push one fresh copy of an outstanding request onto the wire."""
-        packet = Packet(PacketKind.REQUEST, src_pid=txn.sender,
-                        dst_pid=txn.dst, txn_id=txn.txn_id,
-                        message=txn.message)
+        packet = Packet(PacketKind.REQUEST, txn.sender, txn.dst,
+                        txn.txn_id, txn.message)
         txn.retransmits += 1
         self.metrics.incr("ipc.retransmits")
         self._count("ipc.retransmits")
@@ -1050,8 +1113,9 @@ class Host:
             span = self._txn_spans.get(txn.txn_id)
             if span is not None:
                 span.append_attr("retransmit", self.engine.now)
-        self._trace("ipc", f"txn{txn.txn_id}",
-                    f"retransmit #{txn.retransmits} -> {txn.dst!r}")
+        if self.domain.tracer is not None:
+            self._trace("ipc", f"txn{txn.txn_id}",
+                        f"retransmit #{txn.retransmits} -> {txn.dst!r}")
         if self.engine.profiling:
             # Also reached outside the timer (PROBE_MISSING): make sure the
             # fresh copy is charged to the retransmission phase regardless.
@@ -1074,7 +1138,7 @@ class Host:
 
     def _count(self, name: str) -> None:
         """Bump a per-host counter (zero simulated cost; plain dict incr)."""
-        self.counters[name] = self.counters.get(name, 0) + 1
+        self.counters[name] += 1
 
     @property
     def uptime(self) -> float:

@@ -46,6 +46,8 @@ class Segment:
     it, ``MoveTo`` writes it (only if ``writable``).
     """
 
+    __slots__ = ("_data", "writable")
+
     def __init__(self, data: bytes | bytearray = b"", writable: bool = False,
                  size: int | None = None) -> None:
         if size is not None:
@@ -79,13 +81,16 @@ class Segment:
         return bytes(self._data)
 
 
-@dataclass
+@dataclass(slots=True, init=False)
 class Delivery:
     """What ``Receive`` resumes with: a request plus its provenance.
 
     ``sender`` is always the *original* sender, even if the message arrived
     via ``Forward`` -- the defining property of V forwarding (Sec. 3.1).
     ``forwarder`` records who forwarded it here, when known.
+
+    One delivery is built per received request (hand-written ``__init__``;
+    the generated one is measurably slower on the IPC hot path).
     """
 
     message: Message
@@ -94,13 +99,22 @@ class Delivery:
     forwarder: Optional[Pid] = None
     via_group: bool = False
 
+    def __init__(self, message: Message, sender: Pid, txn_id: int,
+                 forwarder: Optional[Pid] = None,
+                 via_group: bool = False) -> None:
+        self.message = message
+        self.sender = sender
+        self.txn_id = txn_id
+        self.forwarder = forwarder
+        self.via_group = via_group
+
 
 # --------------------------------------------------------------------------
 # Effects.  Plain dataclasses; the kernel dispatches on type.
 # --------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class Send:
     """Blocking message transaction to ``dst``; resumes with the reply."""
 
@@ -109,14 +123,14 @@ class Send:
     expose: Optional[Segment] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Receive:
     """Block until a request arrives.  ``from_pid`` filters by sender."""
 
     from_pid: Optional[Pid] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Reply:
     """Unblock ``to`` (which must be awaiting our reply) with ``message``."""
 
@@ -124,7 +138,7 @@ class Reply:
     message: Message
 
 
-@dataclass
+@dataclass(slots=True)
 class Forward:
     """Forward a received request to ``dst`` on behalf of its sender.
 
@@ -138,7 +152,7 @@ class Forward:
     message: Optional[Message] = None  # default: forward unchanged
 
 
-@dataclass
+@dataclass(slots=True)
 class MoveFrom:
     """Read ``nbytes`` at ``offset`` from the segment ``src`` exposed."""
 
@@ -147,7 +161,7 @@ class MoveFrom:
     nbytes: int
 
 
-@dataclass
+@dataclass(slots=True)
 class MoveTo:
     """Write ``data`` at ``offset`` into the segment ``dst`` exposed."""
 
@@ -156,7 +170,7 @@ class MoveTo:
     data: bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class Delay:
     """Advance simulated time by ``seconds`` (models CPU work or sleep)."""
 
@@ -167,7 +181,7 @@ class Delay:
             raise ValueError(f"negative delay: {self.seconds}")
 
 
-@dataclass
+@dataclass(slots=True)
 class SetPid:
     """Register the *current process* as providing ``service`` (Sec. 4.2)."""
 
@@ -175,7 +189,7 @@ class SetPid:
     scope: Scope = Scope.BOTH
 
 
-@dataclass
+@dataclass(slots=True)
 class GetPid:
     """Look up the server for ``service``; resumes with a Pid or None."""
 
@@ -183,19 +197,19 @@ class GetPid:
     scope: Scope = Scope.ANY
 
 
-@dataclass
+@dataclass(slots=True)
 class JoinGroup:
     """Add the current process to process group ``group_id`` (Sec. 7)."""
 
     group_id: int
 
 
-@dataclass
+@dataclass(slots=True)
 class LeaveGroup:
     group_id: int
 
 
-@dataclass
+@dataclass(slots=True)
 class GroupSend:
     """One-to-many Send: resumes with the *first* reply from the group."""
 
@@ -203,7 +217,7 @@ class GroupSend:
     message: Message
 
 
-@dataclass
+@dataclass(slots=True)
 class Annotate:
     """Attach observability attributes to the span of a held transaction.
 
@@ -224,7 +238,7 @@ class Annotate:
     append: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class ProfileEnter:
     """Open an attribution frame ``phase:<label>`` for the current process.
 
@@ -242,22 +256,22 @@ class ProfileEnter:
     label: str
 
 
-@dataclass
+@dataclass(slots=True)
 class ProfileExit:
     """Close the innermost :class:`ProfileEnter` frame (zero cost)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Now:
     """Resumes with the current simulated time (seconds)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class MyPid:
     """Resumes with the current process's Pid."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Spawn:
     """Create a process on this host; resumes with its Pid."""
 
@@ -265,7 +279,7 @@ class Spawn:
     name: str = "process"
 
 
-@dataclass
+@dataclass(slots=True)
 class Exit:
     """Terminate the current process immediately."""
 

@@ -131,7 +131,7 @@ def code_name(code: int) -> str:
             return f"{code:#06x}"
 
 
-@dataclass
+@dataclass(slots=True, init=False)
 class Message:
     """A V short message: request/reply code + named fields (+ segment).
 
@@ -148,6 +148,11 @@ class Message:
     :mod:`repro.obs.span`): pure metadata, never charged on the wire.  The
     kernel rewrites it at each hop so span trees follow ``Forward`` chains;
     a real kernel would pack the three ids into the short-message header.
+
+    ``__init__`` is hand-written (``init=False``): messages are built once
+    per IPC hop, and the generated dataclass initializer plus a
+    ``__post_init__`` costs several times the attribute stores it performs.
+    Equality and repr still come from the dataclass machinery.
     """
 
     code: int
@@ -155,21 +160,35 @@ class Message:
     segment: Optional[bytes] = None
     segment_buffer: int = 0
     trace: Optional["SpanContext"] = None
+    #: Total wire size.  ``segment``/``segment_buffer`` are fixed after
+    #: construction (only ``trace`` is rewritten per hop, and it is never
+    #: charged), so this is computed once -- packet construction and frame
+    #: transmission read it per message.
+    wire_bytes: int = field(init=False, repr=False, compare=False, default=0)
 
-    def __post_init__(self) -> None:
-        if self.segment is not None and not isinstance(self.segment, (bytes, bytearray)):
-            raise TypeError(f"segment must be bytes (got {type(self.segment).__name__})")
-        if self.segment_buffer < 0:
+    def __init__(self, code: int, fields: Optional[dict] = None,
+                 segment: Optional[bytes] = None, segment_buffer: int = 0,
+                 trace: Optional["SpanContext"] = None) -> None:
+        self.code = code
+        self.fields = {} if fields is None else fields
+        self.segment = segment
+        self.segment_buffer = segment_buffer
+        self.trace = trace
+        if segment is None:
+            self.wire_bytes = SHORT_MESSAGE_BYTES + max(0, segment_buffer)
+        else:
+            if not isinstance(segment, (bytes, bytearray)):
+                raise TypeError(
+                    f"segment must be bytes (got {type(segment).__name__})")
+            self.wire_bytes = SHORT_MESSAGE_BYTES + max(len(segment),
+                                                        segment_buffer)
+        if segment_buffer < 0:
             raise ValueError("segment_buffer must be non-negative")
 
     @property
     def segment_wire_bytes(self) -> int:
         actual = len(self.segment) if self.segment is not None else 0
         return max(actual, self.segment_buffer)
-
-    @property
-    def wire_bytes(self) -> int:
-        return SHORT_MESSAGE_BYTES + self.segment_wire_bytes
 
     def get(self, name: str, default: Any = None) -> Any:
         return self.fields.get(name, default)
@@ -189,14 +208,12 @@ class Message:
     @classmethod
     def request(cls, code: int, segment: bytes | None = None,
                 segment_buffer: int = 0, **fields: Any) -> "Message":
-        return cls(code=int(code), fields=fields, segment=segment,
-                   segment_buffer=segment_buffer)
+        return cls(int(code), fields, segment, segment_buffer)
 
     @classmethod
     def reply(cls, code: int = ReplyCode.OK, segment: bytes | None = None,
               segment_buffer: int = 0, **fields: Any) -> "Message":
-        return cls(code=int(code), fields=fields, segment=segment,
-                   segment_buffer=segment_buffer)
+        return cls(int(code), fields, segment, segment_buffer)
 
     def __repr__(self) -> str:
         seg = f" +seg[{self.segment_wire_bytes}]" if self.segment_wire_bytes else ""
@@ -220,32 +237,65 @@ class PacketKind(enum.Enum):
     MOVE_REQUEST = "move_request"        # asyncio transport: MoveTo/MoveFrom
     MOVE_RESPONSE = "move_response"      # asyncio transport: move outcome/data
 
+    # Members are singletons and equality is identity, so the identity hash
+    # is consistent -- and C-level, unlike enum's default hash-of-name,
+    # which shows up in profiles because every received packet is dispatched
+    # through a dict keyed by its kind.
+    __hash__ = object.__hash__
+
 
 #: Packet kinds that carry a Message payload.
 _MESSAGE_KINDS = {PacketKind.REQUEST, PacketKind.REPLY, PacketKind.NACK,
                   PacketKind.GROUP_REQUEST}
 
+#: Shared ``info`` for the common case of a packet with no side-channel
+#: data.  Packet info is read-only after construction (callers that need
+#: entries pass their own dict), so one empty dict serves every such packet
+#: instead of a fresh allocation per construction.
+_EMPTY_INFO: dict = {}
 
-@dataclass
+
+@dataclass(slots=True, init=False)
 class Packet:
-    """One kernel-level packet: the unit the Ethernet carries."""
+    """One kernel-level packet: the unit the Ethernet carries.
+
+    Like :class:`Message`, the initializer is hand-written: two to three
+    packets are built per transaction, and the stores below are the whole
+    job.  Equality and repr still come from the dataclass machinery.
+    """
 
     kind: PacketKind
     src_pid: Pid
     dst_pid: Optional[Pid]
     txn_id: int
     message: Optional[Message] = None
-    info: dict = field(default_factory=dict)
+    #: Side-channel fields (forwarder, group id, move parameters...).  None
+    #: normalizes to a shared immutable-by-convention empty dict.
+    info: Optional[dict] = None
+    #: Wire payload size: control packets are short-message sized.  Computed
+    #: once at construction -- kind, message and info are fixed for the
+    #: packet's lifetime, and transmit/profiling read this several times per
+    #: frame.
+    payload_bytes: int = field(init=False, repr=False, compare=False,
+                               default=0)
 
-    def __post_init__(self) -> None:
-        if self.kind in _MESSAGE_KINDS and self.message is None:
-            raise ValueError(f"{self.kind} packet requires a message")
-
-    @property
-    def payload_bytes(self) -> int:
-        """Wire payload: control packets are short-message sized."""
-        if self.kind is PacketKind.MOVE_DATA:
-            return int(self.info.get("data_bytes", 0))
-        if self.message is not None:
-            return self.message.wire_bytes
-        return SHORT_MESSAGE_BYTES
+    def __init__(self, kind: PacketKind, src_pid: Pid, dst_pid: Optional[Pid],
+                 txn_id: int, message: Optional[Message] = None,
+                 info: Optional[dict] = None) -> None:
+        self.kind = kind
+        self.src_pid = src_pid
+        self.dst_pid = dst_pid
+        self.txn_id = txn_id
+        self.message = message
+        self.info = info if info is not None else _EMPTY_INFO
+        if message is not None:
+            if kind is PacketKind.MOVE_DATA:
+                self.payload_bytes = int(self.info.get("data_bytes", 0))
+            else:
+                self.payload_bytes = message.wire_bytes
+        elif kind is PacketKind.MOVE_DATA:
+            self.payload_bytes = int(self.info.get("data_bytes", 0))
+        elif kind in _MESSAGE_KINDS:
+            raise ValueError(f"{kind} packet requires a message")
+        else:
+            self.payload_bytes = SHORT_MESSAGE_BYTES

@@ -22,7 +22,7 @@ maximizes time-before-reuse (Sec. 4.1 footnote).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 #: Field widths and masks.
 LOGICAL_HOST_BITS = 16
@@ -40,13 +40,25 @@ NULL_LOCAL_ID = 0
 
 @dataclass(frozen=True, order=True)
 class Pid:
-    """A 32-bit V process identifier."""
+    """A 32-bit V process identifier.
+
+    The subfields are unpacked once at construction: pids are created
+    rarely (allocation, wire decode) but their host field is consulted on
+    every routing decision, so ``logical_host``/``local_id`` are plain
+    attributes rather than computed properties.  Both are excluded from
+    equality/ordering/repr -- they are pure functions of ``value``.
+    """
 
     value: int
+    logical_host: int = field(init=False, repr=False, compare=False)
+    local_id: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        if not 0 <= self.value <= 0xFFFFFFFF:
-            raise ValueError(f"pid out of 32-bit range: {self.value:#x}")
+        value = self.value
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise ValueError(f"pid out of 32-bit range: {value:#x}")
+        object.__setattr__(self, "logical_host", value >> LOCAL_ID_BITS)
+        object.__setattr__(self, "local_id", value & LOCAL_ID_MAX)
 
     @classmethod
     def make(cls, logical_host: int, local_id: int) -> "Pid":
@@ -55,14 +67,6 @@ class Pid:
         if not 0 <= local_id <= LOCAL_ID_MAX:
             raise ValueError(f"local id out of range: {local_id}")
         return cls((logical_host << LOCAL_ID_BITS) | local_id)
-
-    @property
-    def logical_host(self) -> int:
-        return self.value >> LOCAL_ID_BITS
-
-    @property
-    def local_id(self) -> int:
-        return self.value & LOCAL_ID_MAX
 
     def is_local_to(self, logical_host: int) -> bool:
         """The O(1) locality test the pid structure exists to provide."""

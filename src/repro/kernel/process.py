@@ -33,9 +33,13 @@ class ProcessState(enum.Enum):
     DEAD = "dead"
 
 
-@dataclass
+@dataclass(slots=True, init=False)
 class Transaction:
-    """One outstanding Send, tracked at the *sender's* kernel."""
+    """One outstanding Send, tracked at the *sender's* kernel.
+
+    Hand-written ``__init__`` (one transaction per Send; the generated
+    initializer's default plumbing is measurable on the IPC hot path).
+    """
 
     txn_id: int
     sender: Pid
@@ -55,6 +59,20 @@ class Transaction:
     retransmits: int = 0
     acked: bool = False
 
+    def __init__(self, txn_id: int, sender: Pid, dst: Pid, message: Message,
+                 expose: Optional[Segment] = None, sent_at: float = 0.0) -> None:
+        self.txn_id = txn_id
+        self.sender = sender
+        self.dst = dst
+        self.message = message
+        self.expose = expose
+        self.sent_at = sent_at
+        self.probes_unanswered = 0
+        self.probe_event = None
+        self.retransmit_event = None
+        self.retransmits = 0
+        self.acked = False
+
     def cancel_probe(self) -> None:
         if self.probe_event is not None:
             self.probe_event.cancel()
@@ -68,6 +86,9 @@ class Transaction:
 
 class Process:
     """One V process: a task plus kernel IPC state."""
+
+    __slots__ = ("pid", "task", "name", "state", "msg_queue", "recv_filter",
+                 "pending_txn", "unreplied", "profile_frames")
 
     def __init__(self, pid: Pid, task: Task, name: str) -> None:
         self.pid = pid

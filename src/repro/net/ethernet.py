@@ -25,7 +25,7 @@ import random
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.latency import LatencyModel, WireFaultModel
-from repro.net.packet import BROADCAST, Frame, GroupAddress
+from repro.net.packet import BROADCAST, Frame, FramePool, GroupAddress, _Broadcast
 from repro.obs.registry import DEFAULT_BYTES_BUCKETS
 from repro.sim.engine import Engine
 from repro.sim.metrics import Metrics
@@ -56,11 +56,42 @@ class Ethernet:
         self.obs = obs
         self._interfaces: dict[int, DeliverFn] = {}
         self._link_up: dict[int, bool] = {}
+        #: host -> deliver callback, for hosts that are attached AND whose
+        #: link is up.  Maintained by attach/detach/set_link so the per-frame
+        #: path answers "can this host receive right now" with one dict get.
+        self._live_iface: dict[int, DeliverFn] = {}
         self._groups: dict[int, set[int]] = {}
         self._busy_until = 0.0
         self._drop_predicate: Optional[Callable[[Frame, int], bool]] = None
         self._faults: Optional[WireFaultModel] = None
         self._fault_rng: Optional[random.Random] = None
+        #: Flyweight recycling for kernel-originated frames: kernels acquire
+        #: here, _deliver releases once the frame has fanned out (except
+        #: under fault injection, whose delayed/duplicated copies may hold
+        #: the frame past this event).
+        self.frame_pool = FramePool()
+        #: Pre-resolved "net.delivered_to.<host>" counters (hot path).
+        self._delivered_counters: dict = {}
+        #: Pre-resolved registry counters: transmit/deliver run per frame,
+        #: and even the cached-by-name incr() is measurable there.  These
+        #: are the registry's own Counter objects, so every other view
+        #: (counter_values, telemetry, [obs]) sees the same numbers.
+        registry = self.metrics.registry
+        self._c_frames = registry.counter("net.frames")
+        self._c_bytes = registry.counter("net.bytes")
+        self._c_broadcast = registry.counter("net.broadcast_frames")
+        self._c_multicast = registry.counter("net.multicast_frames")
+        #: Bound once: transmit() computes one wire time per frame, and
+        #: posts one delivery callback -- pre-binding skips the per-frame
+        #: bound-method allocation.
+        self._wire_time = latency.wire_time
+        self._deliver = self._deliver
+        self._deliver_one = self._deliver_one
+        #: Memoized wire times keyed by payload size.  Traffic concentrates
+        #: on a handful of distinct sizes (short messages plus a few segment
+        #: lengths), so the cache turns a method call plus float arithmetic
+        #: into one dict probe; values are exactly what wire_time returns.
+        self._wire_time_cache: dict[int, float] = {}
 
     # ------------------------------------------------------------------ hosts
 
@@ -70,11 +101,13 @@ class Ethernet:
             raise NetworkError(f"host {host_id} already attached")
         self._interfaces[host_id] = deliver
         self._link_up[host_id] = True
+        self._live_iface[host_id] = deliver
 
     def detach(self, host_id: int) -> None:
         """Remove a host entirely (e.g. permanent failure)."""
         self._interfaces.pop(host_id, None)
         self._link_up.pop(host_id, None)
+        self._live_iface.pop(host_id, None)
         for members in self._groups.values():
             members.discard(host_id)
 
@@ -89,6 +122,10 @@ class Ethernet:
         if host_id not in self._interfaces:
             raise NetworkError(f"host {host_id} is not attached")
         self._link_up[host_id] = up
+        if up:
+            self._live_iface[host_id] = self._interfaces[host_id]
+        else:
+            self._live_iface.pop(host_id, None)
 
     def link_is_up(self, host_id: int) -> bool:
         return self._link_up.get(host_id, False)
@@ -142,18 +179,27 @@ class Ethernet:
         from a host whose link is down is silently lost (the sender finds out
         the way real senders do: by timeout at a higher layer).
         """
-        now = self.engine.now
-        start = max(now, self._busy_until)
-        tx_time = self.latency.wire_time(frame.payload_bytes)
-        arrival = start + tx_time
+        # Private-attribute read: engine.now is a property, and transmit
+        # runs once per frame.
+        now = self.engine._now
+        busy = self._busy_until
+        start = now if now >= busy else busy
+        payload_bytes = frame.payload_bytes
+        cache = self._wire_time_cache
+        wire = cache.get(payload_bytes)
+        if wire is None:
+            wire = cache[payload_bytes] = self._wire_time(payload_bytes)
+        arrival = start + wire
         self._busy_until = arrival
 
-        self.metrics.incr("net.frames")
-        self.metrics.incr("net.bytes", frame.payload_bytes)
-        if frame.is_broadcast:
-            self.metrics.incr("net.broadcast_frames")
-        elif frame.is_multicast:
-            self.metrics.incr("net.multicast_frames")
+        self._c_frames.value += 1
+        self._c_bytes.value += payload_bytes
+        dst_type = type(frame.dst)
+        if dst_type is not int:
+            if dst_type is _Broadcast:
+                self._c_broadcast.value += 1
+            elif dst_type is GroupAddress:
+                self._c_multicast.value += 1
 
         if self.obs is not None:
             self.obs.registry.histogram(
@@ -173,18 +219,35 @@ class Ethernet:
                     bytes=frame.payload_bytes, src_host=frame.src_host,
                     dst=str(frame.dst), queued=start - now)
 
-        if not self._link_up.get(frame.src_host, False):
+        if frame.src_host not in self._live_iface:
             self.metrics.incr("net.frames_lost")
             return arrival
 
-        self.engine.schedule_at(arrival, self._deliver, frame)
+        self.engine.post_at(arrival, self._deliver, frame)
         return arrival
 
     def _deliver(self, frame: Frame) -> None:
         faults = self._faults
         inject = faults is not None and not faults.is_null
+        if not inject and type(frame.dst) is int and self._drop_predicate is None:
+            # Unicast on a healthy wire: the overwhelmingly common case at
+            # fleet scale -- skip the destination-list build entirely
+            # (_deliver_one performs the same link/attachment checks the
+            # general loop would).
+            self._deliver_one(frame, frame.dst)
+            self.frame_pool.release(frame)
+            return
+        self._fan_out(frame, faults, inject)
+        if not inject:
+            # Fan-out is synchronous without fault injection, so the frame
+            # is fully delivered here and pool frames can be recycled.
+            # (Injected faults schedule delayed/dup copies that keep frame
+            # references; those frames simply age out via GC as before.)
+            self.frame_pool.release(frame)
+
+    def _fan_out(self, frame: Frame, faults, inject: bool) -> None:
         for host_id in self._destinations(frame):
-            if not self._link_up.get(host_id, False):
+            if host_id not in self._live_iface:
                 self.metrics.incr("net.frames_lost")
                 continue
             if self._drop_predicate is not None and self._drop_predicate(
@@ -221,20 +284,22 @@ class Ethernet:
             if self.obs is not None:
                 self.obs.registry.histogram(
                     "net.injected_delay_seconds").observe(extra)
-            self.engine.schedule(extra, self._deliver_one, frame, host_id)
+            self.engine.post(extra, self._deliver_one, frame, host_id)
         else:
             self._deliver_one(frame, host_id)
 
     def _deliver_one(self, frame: Frame, host_id: int) -> None:
         """Hand one frame copy to one destination host, if still possible."""
-        if not self._link_up.get(host_id, False):
-            self.metrics.incr("net.frames_lost")
-            return
-        deliver = self._interfaces.get(host_id)
+        deliver = self._live_iface.get(host_id)
         if deliver is None:
+            # Detached, or attached with the link down: lost either way.
             self.metrics.incr("net.frames_lost")
             return
-        self.metrics.incr(f"net.delivered_to.{host_id}")
+        counter = self._delivered_counters.get(host_id)
+        if counter is None:
+            counter = self.metrics.registry.counter(f"net.delivered_to.{host_id}")
+            self._delivered_counters[host_id] = counter
+        counter.value += 1
         deliver(frame)
 
     def _destinations(self, frame: Frame) -> list[int]:

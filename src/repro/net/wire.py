@@ -43,28 +43,61 @@ class WireError(ValueError):
 # ---------------------------------------------------------------- field maps
 
 
+def _encode_int(out: bytearray, value) -> None:
+    if not -(1 << 63) <= value < (1 << 63):
+        raise WireError(f"integer field out of i64 range: {value}")
+    out += b"i" + _I64.pack(value)
+
+
+def _encode_str(out: bytearray, value) -> None:
+    raw = value.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise WireError("string field too long")
+    out += b"s" + _U16.pack(len(raw)) + raw
+
+
+def _encode_bytes(out: bytearray, value) -> None:
+    if len(value) > 0xFFFF:
+        raise WireError("bytes field too long")
+    out += b"b" + _U16.pack(len(value)) + bytes(value)
+
+
+def _encode_float(out: bytearray, value) -> None:
+    out += b"f" + _F64.pack(value)
+
+
+#: Exact-type dispatch for the common field types; the isinstance chain in
+#: ``_encode_value`` remains the fallback for subclasses (IntEnum values,
+#: str/bytes subclasses), so the accepted inputs -- and the bytes produced --
+#: are unchanged.
+_VALUE_ENCODERS = {
+    type(None): lambda out, value: out.extend(b"N"),
+    bool: lambda out, value: out.extend(b"B\x01" if value else b"B\x00"),
+    Pid: lambda out, value: out.extend(b"P" + _U32.pack(value.value)),
+    int: _encode_int,
+    float: _encode_float,
+    str: _encode_str,
+    bytes: _encode_bytes,
+    bytearray: _encode_bytes,
+}
+
+
 def _encode_value(out: bytearray, value) -> None:
-    if value is None:
-        out += b"N"
+    encoder = _VALUE_ENCODERS.get(type(value))
+    if encoder is not None:
+        encoder(out, value)
     elif isinstance(value, bool):
-        out += b"B" + _U8.pack(1 if value else 0)
+        out += b"B\x01" if value else b"B\x00"
     elif isinstance(value, Pid):
         out += b"P" + _U32.pack(value.value)
     elif isinstance(value, int):
-        if not -(1 << 63) <= value < (1 << 63):
-            raise WireError(f"integer field out of i64 range: {value}")
-        out += b"i" + _I64.pack(value)
+        _encode_int(out, value)
     elif isinstance(value, float):
-        out += b"f" + _F64.pack(value)
+        _encode_float(out, value)
     elif isinstance(value, str):
-        raw = value.encode("utf-8")
-        if len(raw) > 0xFFFF:
-            raise WireError("string field too long")
-        out += b"s" + _U16.pack(len(raw)) + raw
+        _encode_str(out, value)
     elif isinstance(value, (bytes, bytearray)):
-        if len(value) > 0xFFFF:
-            raise WireError("bytes field too long")
-        out += b"b" + _U16.pack(len(value)) + bytes(value)
+        _encode_bytes(out, value)
     else:
         raise WireError(
             f"field value of type {type(value).__name__} is not wire-encodable "
@@ -98,21 +131,40 @@ def _decode_value(data: bytes, offset: int):
     raise WireError(f"unknown value tag {tag!r}")
 
 
+#: Length-prefixed UTF-8 of every field name seen so far.  Field names are
+#: program identifiers ("service", "waiter", ...), so the memo stays tiny
+#: while saving an encode + pack per field on every packet.
+_KEY_CACHE: dict[str, bytes] = {}
+
+
+def _encode_key(key: str) -> bytes:
+    raw = key.encode("utf-8")
+    if len(raw) > 0xFF:
+        raise WireError(f"field name too long: {key!r}")
+    encoded = _U8.pack(len(raw)) + raw
+    _KEY_CACHE[key] = encoded
+    return encoded
+
+
 def _encode_fields(out: bytearray, fields: dict) -> None:
+    if not fields:
+        out += b"\x00"
+        return
     if len(fields) > 0xFF:
         raise WireError("too many fields")
+    key_cache = _KEY_CACHE
     out += _U8.pack(len(fields))
     for key in sorted(fields):
-        raw = key.encode("utf-8")
-        if len(raw) > 0xFF:
-            raise WireError(f"field name too long: {key!r}")
-        out += _U8.pack(len(raw)) + raw
+        encoded = key_cache.get(key)
+        out += encoded if encoded is not None else _encode_key(key)
         _encode_value(out, fields[key])
 
 
 def _decode_fields(data: bytes, offset: int) -> tuple[dict, int]:
-    (count,) = _U8.unpack_from(data, offset)
+    count = data[offset]
     offset += 1
+    if not count:
+        return {}, offset
     fields = {}
     for __ in range(count):
         (klen,) = _U8.unpack_from(data, offset)

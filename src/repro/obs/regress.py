@@ -155,9 +155,11 @@ def compare_all(baseline: dict, candidate: dict,
 
     Within-tolerance metrics get ``verdict == "ok"`` (the ``--json``
     output wants every verdict); :func:`compare` filters those out for
-    the human-facing report.  Each experiment's ``wall_events_per_sec``
-    is compared last, higher-is-better at ``wall_tolerance`` relative,
-    and only when both snapshots carry a ``wall`` section.
+    the human-facing report.  Each experiment's wall rates -- the
+    per-suite ``wall_events_per_sec`` plus any ``wall_events_per_sec_*``
+    sweep keys a module publishes (E16's fleet ladder) -- are compared
+    last, higher-is-better at ``wall_tolerance`` relative, and only for
+    keys both snapshots carry.
     """
     for name, snapshot in (("baseline", baseline), ("candidate", candidate)):
         if snapshot.get("schema") != BENCH_SCHEMA:
@@ -193,11 +195,21 @@ def compare_all(baseline: dict, candidate: dict,
                 allowed = tolerance
             findings.append(_judge(experiment, metric, base_value,
                                    cand_value, direction, allowed))
-        base_wall = base_entry.get("wall", {}).get(WALL_METRIC)
-        cand_wall = cand_entry.get("wall", {}).get(WALL_METRIC)
-        if base_wall is not None and cand_wall is not None:
+        base_wall_section = base_entry.get("wall", {})
+        cand_wall_section = cand_entry.get("wall", {})
+        # Gate every shared rate key: the per-suite "wall_events_per_sec"
+        # plus any module-published sweep keys such as E16's
+        # "wall_events_per_sec_200h" (all higher-is-better).
+        for metric in sorted(base_wall_section):
+            if metric != WALL_METRIC and not metric.startswith(
+                    WALL_METRIC + "_"):
+                continue
+            base_wall = base_wall_section[metric]
+            cand_wall = cand_wall_section.get(metric)
+            if cand_wall is None:
+                continue
             findings.append(_judge(
-                experiment, WALL_METRIC, float(base_wall),
+                experiment, metric, float(base_wall),
                 float(cand_wall), "higher",
                 abs(float(base_wall)) * wall_tolerance))
     return findings

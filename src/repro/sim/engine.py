@@ -11,53 +11,149 @@ properties matter for the reproduction:
    constants from :mod:`repro.net.latency` compose without noise, which lets
    tests assert the paper's measured numbers to sub-percent tolerances.
 
-Attribution profiling (:mod:`repro.obs.profile`) hooks in here: with one or
-more profiler sinks attached, every scheduled event is stamped with the
+Hot-path layout (the ROADMAP's >= 10^6 events/sec target):
+
+- Heap entries are plain ``(time, seq, callback, args, event)`` tuples, so
+  every sift comparison is a C-level tuple compare; ``seq`` is unique, so
+  nothing past it is ever compared.  The trailing ``event`` slot is a
+  :class:`ScheduledEvent` -- a ``__slots__`` flyweight carrying only
+  cancellation state and the profiler's attribution stamp -- for entries
+  the caller may cancel, and ``None`` for fire-and-forget work posted via
+  :meth:`Engine.post` / :meth:`Engine.post_at`, which skips the event
+  allocation entirely.  Kernel frame hops (transmit, deliver, handle) are
+  all posts, so the dominant event traffic allocates one tuple and nothing
+  else.
+- ``step``/``run``/``schedule*`` come in two complete variants.  The class
+  methods *are* the fast path and contain no profiler branch at all.  When
+  the first profiler sink attaches, :meth:`attach_profiler` performs a
+  one-time dispatch swap -- instance attributes shadowing the class methods
+  with the instrumented variants -- and detaching the last sink removes
+  them.  The cost of profiling support on an unprofiled engine is therefore
+  zero per event, not one branch per event.
+- :meth:`schedule_many` batches same-tick bursts (a kernel fanning a group
+  send out to local members) behind one heap push: the batch consumes one
+  sequence number per callback, so firing order is *identical* to the
+  equivalent loop of :meth:`schedule` calls, but the heap sees a single
+  wrapper entry.
+
+Attribution profiling (:mod:`repro.obs.profile`) hooks into the
+instrumented variants: every scheduled event is stamped with the
 attribution stack current at *schedule* time, and every clock advance is
 charged to the stack of the event that advanced it.  Because the advances
 partition the clock, the per-frame totals sum exactly to elapsed simulated
 time -- and because the stamp is inherited while an event's callback runs,
 transitively scheduled work (a reply frame, a retransmission timer) stays
-attributed to the phase that caused it.  With no sink attached, none of
-these branches run and no simulated behaviour changes.
+attributed to the phase that caused it.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(RuntimeError):
     """Raised when the engine is used inconsistently (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
 class ScheduledEvent:
-    """A single pending callback in the event queue."""
+    """A single pending callback in the event queue.
 
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    #: Set by the owning engine so it can keep an exact count of cancelled
-    #: entries still sitting in the heap (and compact when they dominate).
-    on_cancel: Optional[Callable[[], None]] = field(compare=False, default=None,
-                                                    repr=False)
-    #: Attribution stack captured at schedule time (profiling only; None
-    #: when no profiler sink is attached).
-    attribution: Optional[tuple] = field(compare=False, default=None,
-                                         repr=False)
+    A ``__slots__`` flyweight: ordering lives in the ``(time, seq)`` tuple
+    of the heap entry, not on the object, so instances carry no comparison
+    methods and creation is one attribute burst.  ``attribution`` is the
+    stack captured at schedule time (instrumented scheduling only; None on
+    the fast path).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled",
+                 "on_cancel", "attribution")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None],
+                 args: tuple = (),
+                 on_cancel: Optional[Callable[[], None]] = None,
+                 attribution: Optional[tuple] = None) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        #: Set by the owning engine so it can keep an exact count of
+        #: cancelled entries still sitting in the heap (and compact when
+        #: they dominate); cleared when the event fires.
+        self.on_cancel = on_cancel
+        self.attribution = attribution
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
         if self.cancelled:
             return
         self.cancelled = True
-        if self.on_cancel is not None:
-            self.on_cancel()
+        on_cancel = self.on_cancel
+        if on_cancel is not None:
+            on_cancel()
+
+    def __repr__(self) -> str:
+        return (f"ScheduledEvent(time={self.time}, seq={self.seq}, "
+                f"callback={self.callback!r}, cancelled={self.cancelled})")
+
+
+class _Batch:
+    """Shared state of one :meth:`Engine.schedule_many` call."""
+
+    __slots__ = ("engine", "wrapper", "live", "started")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.wrapper: Optional[ScheduledEvent] = None
+        self.live = 0
+        self.started = False
+
+    def entry_cancelled(self) -> None:
+        self.live -= 1
+        if self.started:
+            # The wrapper already fired; per-entry accounting was settled
+            # when the batch started running.
+            return
+        if self.live == 0:
+            # Nothing left to fire: the wrapper itself becomes a dead heap
+            # entry (counted, compactable) -- exactly like the last of N
+            # individually scheduled events being cancelled.
+            self.wrapper.cancel()
+        else:
+            self.engine._batch_extra -= 1
+
+
+class _BatchEntry:
+    """One cancellable callback inside a :meth:`Engine.schedule_many` batch.
+
+    Supports the same ``cancel()`` / ``cancelled`` surface as
+    :class:`ScheduledEvent`, so callers can hold either interchangeably.
+    """
+
+    __slots__ = ("callback", "args", "batch", "_state")
+
+    _PENDING, _CANCELLED, _FIRED = 0, 1, 2
+
+    def __init__(self, callback: Callable[..., None], args: tuple,
+                 batch: _Batch) -> None:
+        self.callback = callback
+        self.args = args
+        self.batch = batch
+        self._state = 0
+
+    @property
+    def cancelled(self) -> bool:
+        return self._state == self._CANCELLED
+
+    def cancel(self) -> None:
+        if self._state != self._PENDING:
+            return
+        self._state = self._CANCELLED
+        self.batch.entry_cancelled()
 
 
 class Engine:
@@ -71,6 +167,16 @@ class Engine:
         assert engine.now == 0.5
     """
 
+    #: Hot engine state lives in slots (``_now`` is stored on every event
+    #: fired, ``_seq``/``_queue`` are read on every schedule/post).  The
+    #: trailing ``__dict__`` keeps the instance open for the profiler's
+    #: dispatch-swap shadows (and the ``profiling`` flag, which must stay a
+    #: class attribute so it cannot be listed here).
+    __slots__ = ("_queue", "_seq", "_now", "_running", "_events_processed",
+                 "_cancelled_in_queue", "_batch_extra", "_on_cancel",
+                 "_compactions", "_profilers", "_attr_stack", "_attr_dups",
+                 "__dict__", "__weakref__")
+
     #: Compaction never runs below this queue size: rebuilding a tiny heap
     #: costs more bookkeeping than the dead entries do.
     COMPACT_MIN_QUEUE = 64
@@ -78,16 +184,37 @@ class Engine:
     #: Process-wide count of events fired across *all* engine instances.
     #: The bench runner reads it around each experiment to derive the
     #: wall-clock events/sec trajectory metric without holding references
-    #: to the domains a benchmark builds internally.
+    #: to the domains a benchmark builds internally.  Python integers do
+    #: not overflow, so the count is safe at any fleet scale; reset it
+    #: between measurement windows with :meth:`reset_total_events` rather
+    #: than assigning the class attribute directly.
     total_events: int = 0
 
+    @classmethod
+    def reset_total_events(cls) -> None:
+        """Zero the process-wide event counter (documented reset point).
+
+        Benchmarks that want a fresh measurement window call this instead
+        of writing ``Engine.total_events`` -- assigning through an
+        *instance* would silently shadow the class counter and split the
+        tally.
+        """
+        cls.total_events = 0
+
     def __init__(self) -> None:
-        self._queue: list[ScheduledEvent] = []
+        #: Min-heap of (time, seq, callback, args, event-or-None) tuples.
+        self._queue: list[tuple] = []
         self._seq = 0
         self._now = 0.0
         self._running = False
         self._events_processed = 0
         self._cancelled_in_queue = 0
+        #: Live batch entries beyond the one heap slot their wrapper holds
+        #: (see schedule_many): ``pending`` adds this to the queue count.
+        self._batch_extra = 0
+        #: The bound cancellation hook, created once -- schedule() runs per
+        #: event, and rebuilding the bound method there is measurable.
+        self._on_cancel = self._note_cancelled
         self._compactions = 0
         #: Attached profiler sinks (see repro.obs.profile).  Duck-typed:
         #: each needs account(stack, dt) and count_message(stack, nbytes).
@@ -95,6 +222,12 @@ class Engine:
         #: The current attribution stack: a tuple of frame labels naming what
         #: the simulation is doing *right now* (host -> process -> phase).
         self._attr_stack: tuple = ()
+        #: Parallel per-frame duplicate counts: profile_push deduplicates a
+        #: label equal to the innermost frame, and this records how many
+        #: such no-op pushes are outstanding so profile_pop stays
+        #: depth-balanced (popping a deduplicated label must not remove the
+        #: frame somebody else pushed).
+        self._attr_dups: tuple = ()
 
     @property
     def now(self) -> float:
@@ -103,13 +236,18 @@ class Engine:
 
     @property
     def events_processed(self) -> int:
-        """Total number of events that have fired so far."""
+        """Total number of events that have fired so far.
+
+        Exact between runs; during :meth:`run` the fast path accumulates
+        into a local and flushes on exit, so mid-run reads (only possible
+        from inside a callback) may lag the true count.
+        """
         return self._events_processed
 
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still in the queue.  O(1)."""
-        return len(self._queue) - self._cancelled_in_queue
+        return len(self._queue) - self._cancelled_in_queue + self._batch_extra
 
     @property
     def compactions(self) -> int:
@@ -118,49 +256,86 @@ class Engine:
 
     # ------------------------------------------------------------- profiling
 
-    @property
-    def profiling(self) -> bool:
-        """True when at least one profiler sink is attached.  Kernel code
-        gates its frame pushes on this, so the unprofiled path costs one
-        attribute read."""
-        return bool(self._profilers)
+    #: True while at least one profiler sink is attached.  Kernel code gates
+    #: its frame pushes on this; it is a plain attribute (maintained by
+    #: attach/detach, shadowing this class default) rather than a property,
+    #: because the kernel reads it several times per frame hop and a
+    #: property call there is measurable at fleet scale.
+    profiling: bool = False
+
+    #: Methods swapped to their instrumented variants while any profiler is
+    #: attached.  The class-level definitions are the fast path; the swap
+    #: sets instance attributes that shadow them, and detaching the last
+    #: sink deletes the shadows -- a one-time dispatch change instead of a
+    #: per-event branch.
+    _SWAPPED = ("step", "run", "schedule", "schedule_at", "schedule_many",
+                "post", "post_at")
 
     def attach_profiler(self, sink: Any) -> None:
         """Attach a profiler sink; it is charged every clock advance."""
         if sink not in self._profilers:
             self._profilers.append(sink)
+            self.profiling = True
             sink.attached(self)
+            if len(self._profilers) == 1:
+                self.step = self._step_instrumented
+                self.run = self._run_instrumented
+                self.schedule = self._schedule_instrumented
+                self.schedule_at = self._schedule_at_instrumented
+                self.schedule_many = self._schedule_many_instrumented
+                self.post = self._post_instrumented
+                self.post_at = self._post_at_instrumented
 
     def detach_profiler(self, sink: Any) -> None:
         if sink in self._profilers:
             self._profilers.remove(sink)
             sink.detached(self)
+            if not self._profilers:
+                self.__dict__.pop("profiling", None)
+                for name in self._SWAPPED:
+                    self.__dict__.pop(name, None)
 
     def profile_scope(self, frames: tuple) -> tuple:
-        """Replace the attribution stack; returns the previous one.
+        """Replace the attribution stack; returns an opaque restore token.
 
         Used by the kernel when it switches to running a particular process:
         the scope *replaces* rather than extends, so interleaved processes
-        never inherit each other's frames.
+        never inherit each other's frames.  Pass the returned token back to
+        :meth:`profile_restore`; it carries both the previous stack and its
+        duplicate-push counts, so push/pop balance survives the swap.
         """
-        previous = self._attr_stack
+        token = (self._attr_stack, self._attr_dups)
         self._attr_stack = frames
-        return previous
+        self._attr_dups = (0,) * len(frames)
+        return token
 
-    def profile_restore(self, frames: tuple) -> None:
-        self._attr_stack = frames
+    def profile_restore(self, token: tuple) -> None:
+        self._attr_stack, self._attr_dups = token
 
     def profile_push(self, label: str) -> None:
-        """Push one frame label (no-op if it is already the innermost one,
-        so self-rescheduling timers do not grow the stack)."""
+        """Push one frame label (deduplicated if it is already the innermost
+        one, so self-rescheduling timers do not grow the stack).
+
+        Deduplicated pushes are *counted*: the matching :meth:`profile_pop`
+        consumes the count instead of removing the frame someone else
+        pushed, so push/pop always balances."""
         stack = self._attr_stack
-        if not stack or stack[-1] != label:
+        if stack and stack[-1] == label:
+            dups = self._attr_dups
+            self._attr_dups = dups[:-1] + (dups[-1] + 1,)
+        else:
             self._attr_stack = stack + (label,)
+            self._attr_dups = self._attr_dups + (0,)
 
     def profile_pop(self, label: str) -> None:
         stack = self._attr_stack
         if stack and stack[-1] == label:
-            self._attr_stack = stack[:-1]
+            dups = self._attr_dups
+            if dups and dups[-1] > 0:
+                self._attr_dups = dups[:-1] + (dups[-1] - 1,)
+            else:
+                self._attr_stack = stack[:-1]
+                self._attr_dups = dups[:-1]
 
     def profile_count_message(self, nbytes: int) -> None:
         """Charge one network message of ``nbytes`` to the current stack."""
@@ -170,6 +345,8 @@ class Engine:
     def _account(self, stack: Optional[tuple], dt: float) -> None:
         for sink in self._profilers:
             sink.account(stack or (), dt)
+
+    # ----------------------------------------------------------- compaction
 
     def _note_cancelled(self) -> None:
         """An event in the heap was cancelled; compact when they dominate.
@@ -181,12 +358,20 @@ class Engine:
         rebuild is only triggered after at least as many cancellations.
         """
         self._cancelled_in_queue += 1
-        if (len(self._queue) >= self.COMPACT_MIN_QUEUE
-                and self._cancelled_in_queue * 2 > len(self._queue)):
-            self._queue = [e for e in self._queue if not e.cancelled]
-            heapq.heapify(self._queue)
+        queue = self._queue
+        if (len(queue) >= self.COMPACT_MIN_QUEUE
+                and self._cancelled_in_queue * 2 > len(queue)):
+            # In place: run() holds a local alias to the heap list, so the
+            # rebuild must preserve list identity, not rebind the attribute.
+            # Posted (fire-and-forget) entries carry None in the event slot
+            # and are never cancelled.
+            queue[:] = [entry for entry in queue
+                        if entry[4] is None or not entry[4].cancelled]
+            heapq.heapify(queue)
             self._cancelled_in_queue = 0
             self._compactions += 1
+
+    # ------------------------------------------------- scheduling (fast path)
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -194,7 +379,12 @@ class Engine:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, seq, callback, args, self._on_cancel)
+        _heappush(self._queue, (time, seq, callback, args, event))
+        return event
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
@@ -204,43 +394,109 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at {time} which is before now ({self._now})"
             )
-        event = ScheduledEvent(time=time, seq=self._seq, callback=callback,
-                               args=args, on_cancel=self._note_cancelled)
-        if self._profilers:
-            event.attribution = self._attr_stack
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, seq, callback, args, self._on_cancel)
+        _heappush(self._queue, (time, seq, callback, args, event))
         return event
+
+    def post(self, delay: float, callback: Callable[..., None],
+             *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancellation handle.
+
+        Identical firing semantics (consumes one sequence number, fires in
+        the same order a ``schedule`` call here would), but the heap entry
+        carries ``None`` in the event slot, so no :class:`ScheduledEvent`
+        is allocated.  This is the right call for the kernel's frame-hop
+        events -- transmit, deliver, handle-packet -- which are never
+        cancelled and dominate event traffic at fleet scale.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._queue, (self._now + delay, seq, callback, args, None))
+
+    def post_at(self, time: float, callback: Callable[..., None],
+                *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at` (see :meth:`post`)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} which is before now ({self._now})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._queue, (time, seq, callback, args, None))
+
+    def schedule_many(self, delay: float, calls) -> list:
+        """Batch-schedule ``calls`` (an iterable of ``(callback, args)``
+        pairs) all at ``delay`` seconds from now, behind one heap push.
+
+        Exactly equivalent to ``[self.schedule(delay, cb, *args) for cb,
+        args in calls]`` -- the batch consumes one sequence number per
+        callback and fires them in list order at the same instant, so
+        relative order against every other event is identical -- but the
+        heap carries a single wrapper entry, which is what makes kernel
+        fan-out (group sends, burst deliveries) O(1) amortized in heap
+        operations.  Returns one cancellable handle per callback.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        calls = list(calls)
+        count = len(calls)
+        if count == 0:
+            return []
+        time = self._now + delay
+        if count == 1:
+            callback, args = calls[0]
+            return [self.schedule_at(time, callback, *args)]
+        batch = _Batch(self)
+        entries = [_BatchEntry(callback, args, batch)
+                   for callback, args in calls]
+        seq = self._seq
+        self._seq = seq + count
+        wrapper = ScheduledEvent(time, seq, self._run_batch,
+                                 (batch, entries), self._on_cancel)
+        batch.wrapper = wrapper
+        batch.live = count
+        _heappush(self._queue,
+                  (time, seq, self._run_batch, (batch, entries), wrapper))
+        self._batch_extra += count - 1
+        return entries
+
+    def _run_batch(self, batch: _Batch, entries: list) -> None:
+        """Fire a schedule_many batch: the wrapper event's callback."""
+        batch.started = True
+        # The wrapper's own heap slot was accounted as one pending event and
+        # one fired event; settle the remainder for the live entries.
+        self._batch_extra -= batch.live - 1
+        fired = 0
+        for entry in entries:
+            if entry._state == 0:  # pending (not cancelled, even mid-batch)
+                entry._state = 2
+                fired += 1
+                entry.callback(*entry.args)
+        extra = fired - 1
+        if extra:
+            self._events_processed += extra
+            Engine.total_events += extra
+
+    # -------------------------------------------------- event loop (fast path)
 
     def step(self) -> bool:
         """Fire the single next event.  Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            event.on_cancel = None
-            if event.cancelled:
-                self._cancelled_in_queue -= 1
-                continue
-            if self._profilers:
-                # Clock advances partition elapsed time: charging each to
-                # the stack of the event that caused it makes the per-frame
-                # totals sum exactly to end-to-end simulated time.  The
-                # event's stamp becomes the current stack while its callback
-                # runs, so transitively scheduled events inherit attribution.
-                self._account(event.attribution, event.time - self._now)
-                self._now = event.time
-                self._events_processed += 1
-                Engine.total_events += 1
-                previous = self._attr_stack
-                self._attr_stack = event.attribution or ()
-                try:
-                    event.callback(*event.args)
-                finally:
-                    self._attr_stack = previous
-                return True
-            self._now = event.time
+        queue = self._queue
+        while queue:
+            time, __, callback, args, event = _heappop(queue)
+            if event is not None:
+                if event.cancelled:
+                    self._cancelled_in_queue -= 1
+                    continue
+                event.on_cancel = None
+            self._now = time
             self._events_processed += 1
             Engine.total_events += 1
-            event.callback(*event.args)
+            callback(*args)
             return True
         return False
 
@@ -249,37 +505,187 @@ class Engine:
 
         ``until`` stops the clock at that simulated time (events after it stay
         queued); ``max_events`` bounds the number of events fired, as a guard
-        against accidental livelock in tests.
+        against accidental livelock in tests.  Dead (cancelled) heads are
+        drained before the ``until`` check, so ``pending`` never counts
+        events an immediate re-run would silently discard.
         """
         if self._running:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
+        queue = self._queue
+        pop = _heappop
+        limit = float("inf") if max_events is None else max_events
         fired = 0
         try:
-            while self._queue:
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue).on_cancel = None
+            if until is None:
+                while queue:
+                    if fired >= limit:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; possible livelock"
+                        )
+                    time, __, callback, args, event = pop(queue)
+                    if event is not None:
+                        if event.cancelled:
+                            self._cancelled_in_queue -= 1
+                            continue
+                        event.on_cancel = None
+                    self._now = time
+                    fired += 1
+                    callback(*args)
+                return
+            while queue:
+                entry = queue[0]
+                event = entry[4]
+                if event is not None and event.cancelled:
+                    pop(queue)
                     self._cancelled_in_queue -= 1
                     continue
-                if until is not None and head.time > until:
-                    if self._profilers:
-                        self._account(("idle",), until - self._now)
+                if entry[0] > until:
+                    self._now = until
+                    return
+                if fired >= limit:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; possible livelock"
+                    )
+                pop(queue)
+                if event is not None:
+                    event.on_cancel = None
+                self._now = entry[0]
+                fired += 1
+                entry[2](*entry[3])
+            if self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+            if fired:
+                self._events_processed += fired
+                Engine.total_events += fired
+
+    def run_for(self, duration: float) -> None:
+        """Run until ``duration`` simulated seconds past the current time."""
+        self.run(until=self._now + duration)
+
+    # --------------------------------------------- instrumented event loop
+    #
+    # Complete second implementations of the swapped methods, installed as
+    # instance attributes while a profiler sink is attached (see
+    # attach_profiler).  Behaviour is identical to the fast path except for
+    # the attribution bookkeeping: events are stamped with the stack at
+    # schedule time, every clock advance is charged to the stack of the
+    # event that caused it, and the stamp becomes the current stack while
+    # the callback runs so transitively scheduled work inherits it.
+
+    def _schedule_instrumented(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> ScheduledEvent:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._schedule_at_instrumented(self._now + delay,
+                                              callback, *args)
+
+    def _schedule_at_instrumented(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> ScheduledEvent:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} which is before now ({self._now})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, seq, callback, args, self._on_cancel,
+                               attribution=self._attr_stack)
+        _heappush(self._queue, (time, seq, callback, args, event))
+        return event
+
+    def _post_instrumented(self, delay: float, callback: Callable[..., None],
+                           *args: Any) -> None:
+        # Posted events must still carry an attribution stamp under
+        # profiling, so the instrumented post allocates a real event.  The
+        # handle is simply not returned -- post's contract.
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._schedule_at_instrumented(self._now + delay, callback, *args)
+
+    def _post_at_instrumented(self, time: float,
+                              callback: Callable[..., None],
+                              *args: Any) -> None:
+        self._schedule_at_instrumented(time, callback, *args)
+
+    def _schedule_many_instrumented(self, delay: float, calls) -> list:
+        # Per-event scheduling under profiling: each callback gets its own
+        # stamped heap entry, so attribution is indistinguishable from a
+        # loop of schedule() calls.  Sequence consumption (one per callback)
+        # matches the fast path, so simulated-time results are identical
+        # whether or not a profiler is attached.
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        time = self._now + delay
+        return [self._schedule_at_instrumented(time, callback, *args)
+                for callback, args in calls]
+
+    def _step_instrumented(self) -> bool:
+        queue = self._queue
+        while queue:
+            time, __, callback, args, event = _heappop(queue)
+            # An event slot of None means the entry was posted before the
+            # profiler attached; it carries no stamp and is never cancelled.
+            if event is not None:
+                if event.cancelled:
+                    self._cancelled_in_queue -= 1
+                    continue
+                event.on_cancel = None
+                attribution = event.attribution
+            else:
+                attribution = None
+            # Clock advances partition elapsed time: charging each to the
+            # stack of the event that caused it makes the per-frame totals
+            # sum exactly to end-to-end simulated time.  The event's stamp
+            # becomes the current stack while its callback runs, so
+            # transitively scheduled events inherit attribution.
+            self._account(attribution, time - self._now)
+            self._now = time
+            self._events_processed += 1
+            Engine.total_events += 1
+            previous_stack = self._attr_stack
+            previous_dups = self._attr_dups
+            attribution = attribution or ()
+            self._attr_stack = attribution
+            self._attr_dups = (0,) * len(attribution)
+            try:
+                callback(*args)
+            finally:
+                self._attr_stack = previous_stack
+                self._attr_dups = previous_dups
+            return True
+        return False
+
+    def _run_instrumented(self, until: float | None = None,
+                          max_events: int | None = None) -> None:
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        queue = self._queue
+        fired = 0
+        try:
+            while queue:
+                entry = queue[0]
+                event = entry[4]
+                if event is not None and event.cancelled:
+                    _heappop(queue)
+                    self._cancelled_in_queue -= 1
+                    continue
+                if until is not None and entry[0] > until:
+                    self._account(("idle",), until - self._now)
                     self._now = until
                     return
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; possible livelock"
                     )
-                self.step()
+                self._step_instrumented()
                 fired += 1
             if until is not None and self._now < until:
-                if self._profilers:
-                    self._account(("idle",), until - self._now)
+                self._account(("idle",), until - self._now)
                 self._now = until
         finally:
             self._running = False
-
-    def run_for(self, duration: float) -> None:
-        """Run until ``duration`` simulated seconds past the current time."""
-        self.run(until=self._now + duration)

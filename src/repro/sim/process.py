@@ -66,7 +66,8 @@ class Task:
 
     @property
     def finished(self) -> bool:
-        return self.state in (TaskState.DONE, TaskState.FAILED)
+        state = self.state
+        return state is TaskState.DONE or state is TaskState.FAILED
 
     def start(self) -> tuple[bool, Effect]:
         """Run the body to its first yield.
@@ -75,17 +76,35 @@ class Task:
         """
         if self.state is not TaskState.CREATED:
             raise RuntimeError(f"task {self.name!r} already started")
-        return self._advance(lambda: self.body.send(None))
+        return self._advance(self.body.send, None)
 
     def resume(self, value: Any = None) -> tuple[bool, Effect]:
-        """Resume the body with the result of the last effect."""
-        self._check_resumable()
-        return self._advance(lambda: self.body.send(value))
+        """Resume the body with the result of the last effect.
+
+        This is the kernel's per-effect hot path, so the state guard and
+        the advance are inlined rather than delegated (one resume per
+        effect, tens of thousands per simulated second at fleet scale).
+        """
+        if self.state is not TaskState.BLOCKED:
+            self._check_resumable()
+        self.state = TaskState.READY
+        try:
+            effect = self.body.send(value)
+        except StopIteration as stop:
+            self.state = TaskState.DONE
+            self.result = stop.value
+            return True, stop.value
+        except BaseException as exc:  # noqa: BLE001 - report, then re-raise wrapped
+            self.state = TaskState.FAILED
+            self.failure = exc
+            raise TaskFailure(self.name, exc) from exc
+        self.state = TaskState.BLOCKED
+        return False, effect
 
     def throw(self, exc: BaseException) -> tuple[bool, Effect]:
         """Resume the body by raising ``exc`` at the suspended yield."""
         self._check_resumable()
-        return self._advance(lambda: self.body.throw(exc))
+        return self._advance(self.body.throw, exc)
 
     def close(self) -> None:
         """Abort the task (GeneratorExit inside the body)."""
@@ -99,10 +118,10 @@ class Task:
         if self.state is TaskState.CREATED:
             raise RuntimeError(f"task {self.name!r} not started")
 
-    def _advance(self, step) -> tuple[bool, Effect]:
+    def _advance(self, step, arg) -> tuple[bool, Effect]:
         self.state = TaskState.READY
         try:
-            effect = step()
+            effect = step(arg)
         except StopIteration as stop:
             self.state = TaskState.DONE
             self.result = stop.value

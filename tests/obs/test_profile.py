@@ -12,6 +12,7 @@ import json
 import pytest
 
 from repro.kernel.domain import Domain
+from repro.sim.engine import Engine
 from repro.obs.profile import (
     PROFILE_SCHEMA,
     UNATTRIBUTED,
@@ -153,3 +154,49 @@ class TestDomainIntegration:
         assert scoped.total_seconds == pytest.approx(window)
         # The long-lived profiler kept accumulating through the window.
         assert domain.profiler.total_seconds == pytest.approx(domain.now)
+
+
+class TestPushPopBalance:
+    """profile_push deduplicates; profile_pop must stay depth-balanced.
+
+    Regression test: a push of a label equal to the innermost frame is a
+    counted no-op, and the matching pop must consume that count instead of
+    removing the frame somebody else pushed.
+    """
+
+    def test_deduplicated_push_pop_leaves_outer_frame(self):
+        engine = Engine()
+        engine.profile_push("phase:wire")
+        engine.profile_push("phase:wire")   # dedup: counted, not stacked
+        assert engine._attr_stack == ("phase:wire",)
+        engine.profile_pop("phase:wire")    # consumes the dup count
+        assert engine._attr_stack == ("phase:wire",)
+        engine.profile_pop("phase:wire")    # now removes the real frame
+        assert engine._attr_stack == ()
+
+    def test_nested_dedup_depths_balance(self):
+        engine = Engine()
+        engine.profile_push("a")
+        engine.profile_push("b")
+        engine.profile_push("b")
+        engine.profile_push("b")
+        engine.profile_pop("b")
+        engine.profile_pop("b")
+        assert engine._attr_stack == ("a", "b")
+        engine.profile_pop("b")
+        engine.profile_pop("a")
+        assert engine._attr_stack == ()
+
+    def test_scope_token_preserves_dup_counts(self):
+        engine = Engine()
+        engine.profile_push("a")
+        engine.profile_push("a")            # one outstanding dup
+        token = engine.profile_scope(("other",))
+        engine.profile_push("other")        # dedup inside the scope
+        engine.profile_pop("other")
+        assert engine._attr_stack == ("other",)
+        engine.profile_restore(token)
+        engine.profile_pop("a")             # the dup, restored with the token
+        assert engine._attr_stack == ("a",)
+        engine.profile_pop("a")
+        assert engine._attr_stack == ()

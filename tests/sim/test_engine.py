@@ -209,3 +209,141 @@ class TestHeapCompaction:
         assert engine.compactions >= 1
         engine.run()
         assert fired == [i for i in range(2, 100) if i % 2 == 0]
+
+
+class TestPostFireAndForget:
+    def test_post_fires_in_schedule_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, fired.append, "scheduled")
+        engine.post(1.0, fired.append, "posted")
+        engine.schedule(1.0, fired.append, "scheduled-2")
+        engine.run()
+        assert fired == ["scheduled", "posted", "scheduled-2"]
+
+    def test_post_returns_no_handle(self):
+        assert Engine().post(0.1, lambda: None) is None
+
+    def test_post_at_absolute_time(self):
+        engine = Engine()
+        fired = []
+        engine.post_at(2.0, fired.append, "late")
+        engine.post_at(1.0, fired.append, "early")
+        engine.run()
+        assert fired == ["early", "late"]
+        assert engine.now == 2.0
+
+    def test_post_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().post(-0.1, lambda: None)
+
+    def test_post_at_in_the_past_rejected(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.post_at(0.5, lambda: None)
+
+    def test_post_counts_in_pending_and_processed(self):
+        engine = Engine()
+        for __ in range(3):
+            engine.post(0.1, lambda: None)
+        assert engine.pending == 3
+        engine.run()
+        assert engine.pending == 0
+        assert engine.events_processed == 3
+
+    def test_posted_entries_survive_compaction(self):
+        # Compaction filters by the event slot; posted entries carry None
+        # there and must never be dropped.
+        engine = Engine()
+        fired = []
+        for i in range(Engine.COMPACT_MIN_QUEUE):
+            engine.post(1.0 + i * 0.001, fired.append, i)
+        events = [engine.schedule(2.0 + i * 0.001, fired.append, 1000 + i)
+                  for i in range(Engine.COMPACT_MIN_QUEUE + 8)]
+        for event in events:
+            event.cancel()
+        assert engine.compactions >= 1
+        engine.run()
+        assert fired == list(range(Engine.COMPACT_MIN_QUEUE))
+
+
+class TestScheduleMany:
+    def test_equivalent_to_schedule_loop(self):
+        batched, looped = Engine(), Engine()
+        fired_batched, fired_looped = [], []
+        batched.schedule(0.5, fired_batched.append, "before")
+        looped.schedule(0.5, fired_looped.append, "before")
+        batched.schedule_many(1.0, [(fired_batched.append, (label,))
+                                    for label in ("a", "b", "c")])
+        for label in ("a", "b", "c"):
+            looped.schedule(1.0, fired_looped.append, label)
+        # One sequence number per callback: later events order identically.
+        batched.schedule(1.0, fired_batched.append, "after")
+        looped.schedule(1.0, fired_looped.append, "after")
+        batched.run()
+        looped.run()
+        assert fired_batched == fired_looped
+        assert batched.events_processed == looped.events_processed
+
+    def test_returns_one_handle_per_callback(self):
+        engine = Engine()
+        handles = engine.schedule_many(1.0, [(lambda: None, ())] * 4)
+        assert len(handles) == 4
+
+    def test_individual_entries_cancellable(self):
+        engine = Engine()
+        fired = []
+        handles = engine.schedule_many(
+            1.0, [(fired.append, (label,)) for label in "abcd"])
+        handles[1].cancel()
+        handles[3].cancel()
+        engine.run()
+        assert fired == ["a", "c"]
+
+    def test_pending_is_exact_across_batch_lifecycle(self):
+        engine = Engine()
+        handles = engine.schedule_many(1.0, [(lambda: None, ())] * 5)
+        assert engine.pending == 5
+        handles[0].cancel()
+        assert engine.pending == 4
+        engine.run()
+        assert engine.pending == 0
+        assert engine.events_processed == 4
+
+    def test_empty_batch(self):
+        engine = Engine()
+        assert engine.schedule_many(1.0, []) == []
+        assert engine.pending == 0
+        engine.run()
+        assert engine.now == 0.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule_many(-0.1, [(lambda: None, ())])
+
+
+def test_run_until_drains_dead_heads_past_the_horizon():
+    # A cancelled head beyond ``until`` must still be popped (and stop
+    # counting as pending) before the horizon check, so an immediate
+    # re-run never silently discards what pending reported.
+    engine = Engine()
+    dead = engine.schedule(5.0, lambda: None)
+    dead.cancel()
+    engine.run(until=2.0)
+    assert engine.now == 2.0
+    assert engine.pending == 0
+
+
+def test_total_events_accumulates_across_engines():
+    Engine.reset_total_events()
+    first, second = Engine(), Engine()
+    first.schedule(0.1, lambda: None)
+    second.schedule(0.1, lambda: None)
+    second.post(0.2, lambda: None)
+    first.run()
+    second.run()
+    assert Engine.total_events == 3
+    Engine.reset_total_events()
+    assert Engine.total_events == 0
