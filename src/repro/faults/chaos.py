@@ -63,6 +63,10 @@ from repro.sim.engine import ScheduledEvent
 class InvariantViolation(AssertionError):
     """One or more chaos invariants failed; the message lists them all."""
 
+    #: The run's flight recorder when it flew with one (``--flight``):
+    #: finalized at the moment of failure so the black boxes can be dumped.
+    flight = None
+
     def __init__(self, problems: list[str]) -> None:
         super().__init__("chaos invariants violated:\n- " +
                          "\n- ".join(problems))
@@ -227,6 +231,12 @@ class ChaosReport:
     #: Watchdog summary (``--watchdogs`` only): fired/resolved counts, the
     #: alert records, and how many came back through the [obs] read.
     alerts: dict = field(default_factory=dict)
+    #: Flight-recorder summary (``flight=True`` only): per-host record and
+    #: digest-window counts plus postmortem tally -- all deterministic.
+    flight: dict = field(default_factory=dict)
+    #: The live recorder object itself (not serialized); replay and the
+    #: CLI's postmortem dumper read lanes and chains off it.
+    recorder: object = None
 
     @property
     def reads(self) -> int:
@@ -251,6 +261,8 @@ class ChaosReport:
         }
         if self.alerts:
             document["alerts"] = self.alerts
+        if self.flight:
+            document["flight"] = self.flight
         return document
 
 
@@ -266,7 +278,8 @@ _METRIC_KEYS = (
 
 def run_chaos(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
               dup: float = 0.02, delay_rate: float = 0.05,
-              crash: bool = True, watchdogs: bool = False) -> ChaosReport:
+              crash: bool = True, watchdogs: bool = False,
+              flight: bool = False) -> ChaosReport:
     """One seeded chaos run; returns the report after checking invariants.
 
     A workstation client reads two names -- one through a fixed ``[root]``
@@ -280,6 +293,14 @@ def run_chaos(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
     collector (default SLO rules) run over the same timeline; after the
     run, the alert log is read back through ``[obs]/fleet/alerts`` and
     must match the engine's emitted events exactly (see module docstring).
+
+    With ``flight=True``, a flight recorder (:mod:`repro.obs.flight`) flies
+    with the run: every kernel Send/Reply/Forward/packet lands in per-host
+    ring buffers with digest chains, the mid-run crash freezes vax1's black
+    box into a postmortem dump, and ``report.recorder`` exposes the lanes
+    for replay/divergence tooling.  If an invariant fails, the finalized
+    recorder is attached to the raised :class:`InvariantViolation` so the
+    caller can dump the black boxes from the wreck.
     """
     from repro.core.resolver import NameError_
     from repro.runtime import files
@@ -295,6 +316,11 @@ def run_chaos(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
         return server
 
     domain = Domain(seed=seed)
+    recorder = None
+    if flight:
+        from repro.obs.flight import enable_flight_recorder
+
+        recorder = enable_flight_recorder(domain)
     workstation = setup_workstation(domain, "mann")
     fs_host = domain.create_host("vax1")
     handle = start_server(fs_host, populated_server())
@@ -357,7 +383,28 @@ def run_chaos(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
         "fallbacks": cache.stats.fallbacks,
         "invalidations": cache.stats.invalidations,
     }
-    check_invariants(domain, cache=cache)
+    if recorder is not None:
+        recorder.finalize()
+        report.recorder = recorder
+        report.flight = {
+            "hosts": {
+                name: {
+                    "records_seen": recorder.stats(name)["records_seen"],
+                    "windows": len(recorder.chain(name)),
+                }
+                for name in recorder.hosts()
+            },
+            "postmortems": {name: len(dumps)
+                            for name, dumps in
+                            sorted(recorder.postmortems.items())},
+        }
+    try:
+        check_invariants(domain, cache=cache)
+    except InvariantViolation as violation:
+        # Attach the black boxes to the wreck: the caller can dump every
+        # lane's postmortem without re-running the scenario.
+        violation.flight = recorder
+        raise
     if telemetry is not None:
         alerts = telemetry.alerts
         report.alerts = {
@@ -432,6 +479,17 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--require-alert-cycle", action="store_true",
                         help="fail unless >=1 alert fired AND resolved "
                              "(implies --watchdogs; CI gate)")
+    parser.add_argument("--flight", action="store_true",
+                        help="fly a flight recorder with the run (per-host "
+                             "ring buffers + digest chains); on invariant "
+                             "failure dump every black box")
+    parser.add_argument("--flight-dir", default=".",
+                        help="directory for postmortem dumps written on "
+                             "invariant failure (default: cwd)")
+    parser.add_argument("--flight-dump", action="store_true",
+                        help="write every lane's black box to --flight-dir "
+                             "even when the run is healthy (implies "
+                             "--flight; CI artifact)")
     args = parser.parse_args(argv)
 
     try:
@@ -440,11 +498,24 @@ def main(argv: Optional[list[str]] = None) -> int:
                            delay_rate=args.delay_rate,
                            crash=not args.no_crash,
                            watchdogs=args.watchdogs
-                           or args.require_alert_cycle)
+                           or args.require_alert_cycle,
+                           flight=args.flight or args.flight_dump)
     except InvariantViolation as violation:
         print(violation, file=sys.stderr)
+        if violation.flight is not None:
+            from repro.obs.flight import dump_postmortems
+
+            for path in dump_postmortems(violation.flight, args.flight_dir,
+                                         seed=args.seed):
+                print(f"postmortem dump: {path}", file=sys.stderr)
         return 1
     print(json.dumps(report.to_dict(), indent=2))
+    if args.flight_dump:
+        from repro.obs.flight import dump_postmortems
+
+        for path in dump_postmortems(report.recorder, args.flight_dir,
+                                     seed=args.seed):
+            print(f"postmortem dump: {path}", file=sys.stderr)
     if args.require_retransmits and report.metrics["ipc.retransmits"] == 0:
         print("FAIL: injected loss but ipc.retransmits == 0",
               file=sys.stderr)

@@ -12,6 +12,7 @@ and the hosts.  Convenience helpers create hosts and run the clock.
 
 from __future__ import annotations
 
+import itertools
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.kernel.config import DEFAULT_CONFIG, KernelConfig
@@ -70,6 +71,16 @@ class Domain:
         #: The kernel's per-transaction latency hook gates on this, so the
         #: disabled path costs one attribute read per completed send.
         self.telemetry = None
+        #: Flight recorder (see repro.obs.flight.enable_flight_recorder), or
+        #: None.  Kernel record sites gate on this, same discipline as the
+        #: telemetry hook: one attribute read per site when disabled.
+        self.flight = None
+        #: Per-domain transaction / getpid-waiter id streams.  Domain-local
+        #: (not process-global) so ids are pure functions of the run: two
+        #: same-seed domains allocate identical txn ids, which is what makes
+        #: flight records comparable across runs (repro.obs.flight).
+        self._txn_counter = itertools.count(1)
+        self._waiter_counter = itertools.count(1)
         self.ethernet = Ethernet(self.engine, latency, self.metrics, obs=obs)
         self.groups = GroupRegistry()
         self.hosts: dict[int, Host] = {}

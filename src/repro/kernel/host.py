@@ -25,7 +25,6 @@ the probe protocol gives up (see :mod:`repro.kernel.config`).
 
 from __future__ import annotations
 
-import itertools
 from collections import OrderedDict, defaultdict
 from typing import TYPE_CHECKING, Any, Optional
 
@@ -42,6 +41,13 @@ from repro.kernel.pids import Pid, PidAllocator
 from repro.kernel.process import Process, ProcessState, Transaction
 from repro.kernel.services import Scope, ServiceRegistry
 from repro.net.packet import BROADCAST, Frame, GroupAddress
+from repro.obs.flight import (
+    KIND_COMPLETE as _K_COMPLETE,
+    KIND_FORWARD as _K_FORWARD,
+    KIND_REPLY as _K_REPLY,
+    KIND_SEND as _K_SEND,
+    PACKET_BASE as _PACKET_BASE,
+)
 from repro.sim.process import Task, TaskFailure
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -49,9 +55,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Sentinel distinguishing "effect completed with this value" from "blocked".
 _BLOCKED = object()
-
-_txn_counter = itertools.count(1)
-_waiter_counter = itertools.count(1)
 
 
 class Host:
@@ -83,6 +86,17 @@ class Host:
         self.counters: dict[str, int] = defaultdict(int)
         #: When this kernel came up (simulated seconds); reset by restart().
         self.started_at = self.engine.now
+        #: Pre-bound id allocators off the domain's per-run streams (one
+        #: attribute load saved on every Send / GetPid broadcast).
+        self._next_txn_id = domain._txn_counter.__next__
+        self._next_waiter_id = domain._waiter_counter.__next__
+        #: Flight-recorder fast path: this lane's bound ``list.append``
+        #: while a recorder is attached (repro.obs.flight), else None.
+        #: The record sites use it as both gate and sink -- one attribute
+        #: load when disabled, one C call plus a tuple build when armed.
+        self._flight_append = None
+        if domain.flight is not None:
+            domain.flight.bind(self)
 
         #: Sender-side: txn_id -> Transaction for this host's blocked senders.
         self._outstanding: dict[int, Transaction] = {}
@@ -205,6 +219,11 @@ class Host:
         self._txn_spans.clear()
         self._hop_spans.clear()
         self.registry.clear()
+        flight = self.domain.flight
+        if flight is not None:
+            # Freeze the black box at the instant of death: the postmortem
+            # dump survives even if this machine restarts and keeps flying.
+            flight.freeze(self)
         self.metrics.incr("kernel.crashes")
         self._trace("fault", self.name, "host crashed")
 
@@ -369,7 +388,7 @@ class Host:
                 f"cannot Send to logical pid {effect.dst!r}; resolve with GetPid first"
             )
         txn = Transaction(
-            txn_id=next(_txn_counter),
+            txn_id=self._next_txn_id(),
             sender=proc.pid,
             dst=effect.dst,
             message=effect.message,
@@ -381,6 +400,11 @@ class Host:
         self._outstanding[txn.txn_id] = txn
         self._m_sends.value += 1
         self._count("ipc.sends")
+        append = self._flight_append
+        if append is not None:
+            engine = self.engine
+            append((engine._fire_seq, engine._now, _K_SEND,
+                    proc.pid.value, effect.dst.value, txn.txn_id))
         if self.obs is not None:
             # One span per message transaction, parented under whatever
             # context the sender put on the message (e.g. the client stub's
@@ -458,6 +482,11 @@ class Host:
         sender.pending_txn = None
         self._m_transactions.value += 1
         self._count("ipc.transactions")
+        append = self._flight_append
+        if append is not None:
+            engine = self.engine
+            append((engine._fire_seq, engine._now, _K_COMPLETE,
+                    current.dst.value, current.sender.value, current.txn_id))
         telemetry = self.domain.telemetry
         if telemetry is not None:
             telemetry.observe_txn(self, self.engine.now - current.sent_at)
@@ -520,6 +549,11 @@ class Host:
         self._presence.pop(delivery.txn_id, None)
         self._m_replies.value += 1
         self._count("ipc.replies")
+        append = self._flight_append
+        if append is not None:
+            engine = self.engine
+            append((engine._fire_seq, engine._now, _K_REPLY,
+                    proc.pid.value, effect.to.value, delivery.txn_id))
         if self.obs is not None:
             span = self._hop_spans.pop((delivery.txn_id, proc.pid), None)
             if span is not None:
@@ -577,6 +611,11 @@ class Host:
         message = effect.message if effect.message is not None else delivery.message
         self.metrics.incr("ipc.forwards")
         self._count("ipc.forwards")
+        append = self._flight_append
+        if append is not None:
+            engine = self.engine
+            append((engine._fire_seq, engine._now, _K_FORWARD,
+                    proc.pid.value, effect.dst.value, delivery.txn_id))
         if self.obs is not None:
             span = self._hop_spans.pop((delivery.txn_id, proc.pid), None)
             if span is not None:
@@ -706,7 +745,7 @@ class Host:
                 return local
         if effect.scope is Scope.LOCAL:
             return None
-        waiter_id = next(_waiter_counter)
+        waiter_id = self._next_waiter_id()
         timeout = self.engine.schedule(self.config.getpid_timeout,
                                        self._getpid_timeout, waiter_id)
         self._getpid_waiters[waiter_id] = (proc, timeout,
@@ -758,7 +797,7 @@ class Host:
         return None
 
     def _do_group_send(self, proc: Process, effect: ipc.GroupSend) -> Any:
-        txn = Transaction(txn_id=next(_txn_counter), sender=proc.pid,
+        txn = Transaction(txn_id=self._next_txn_id(), sender=proc.pid,
                           dst=proc.pid, message=effect.message,
                           sent_at=self.engine.now)
         proc.pending_txn = txn
@@ -889,6 +928,16 @@ class Host:
     def _handle_packet(self, packet: Packet, src_host: int) -> None:
         if self.crashed:
             return
+        append = self._flight_append
+        if append is not None:
+            engine = self.engine
+            src_pid = packet.src_pid
+            dst_pid = packet.dst_pid
+            append((engine._fire_seq, engine._now,
+                    _FLIGHT_KINDS[packet.kind],
+                    src_pid.value if src_pid is not None else 0,
+                    dst_pid.value if dst_pid is not None else 0,
+                    packet.txn_id or 0))
         handler = _PACKET_HANDLERS[packet.kind]
         handler(self, packet, src_host)
 
@@ -1227,6 +1276,13 @@ _EFFECT_PHASES = {
     ipc.GetPid: "phase:getpid",
     ipc.GroupSend: "phase:group_send",
 }
+
+#: Flight-record kind codes for arriving packets: PACKET_BASE + definition
+#: index, matching repro.obs.flight's static name table (pinned by
+#: tests/obs/test_flight.py), so the recorder's packet site pays a dict
+#: hit, not an enum-name lowering.
+_FLIGHT_KINDS = {kind: _PACKET_BASE + index
+                 for index, kind in enumerate(PacketKind)}
 
 _PACKET_HANDLERS = {
     PacketKind.REQUEST: Host._on_request_packet,

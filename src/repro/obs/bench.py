@@ -90,6 +90,7 @@ EXPERIMENTS: tuple[tuple[str, str], ...] = (
     ("e14", "bench_e14_lossy_wire"),
     ("e15", "bench_e15_telemetry"),
     ("e16", "bench_e16_engine_throughput"),
+    ("e17", "bench_e17_flight_recorder"),
     ("ablations", "bench_ablations"),
 )
 

@@ -134,7 +134,42 @@ def host_timeseries_payload(host: "Host", metric: str) -> bytes:
     meta["ticks"] = telemetry.ticks
     series = telemetry.series_for(host.name, metric)
     records = series.to_records() if series is not None else []
-    return _jsonl_bytes([meta, *records])
+    # Sampling gaps (host down between ticks) ride on every series, so a
+    # reader never has to infer "crashed" from silent stretches of ring.
+    gaps = [{"kind": "gap", **gap} for gap in telemetry.gaps_for(host.name)]
+    return _jsonl_bytes([meta, *gaps, *records])
+
+
+def host_flightlog_payload(host: "Host") -> bytes:
+    """``[obs]/hosts/<host>/flightlog``: the live flight-record lane.
+
+    JSONL: a leading ``meta`` record (enablement, ring accounting, digest
+    window), one ``record`` per retained flight record (its flight kind --
+    ``send``, ``request`` ... -- rides as ``event`` so the line
+    discriminator stays ``kind``), one ``chain`` entry per sealed digest
+    window, and one ``postmortem`` marker per frozen crash dump (the dump
+    itself is recovered offline; the marker tells the reader it exists).
+    Domains without a recorder serve ``enabled: false`` -- the name exists
+    on every host, uniformly.
+    """
+    flight = host.domain.flight
+    meta = {"kind": "meta", "host": host.name,
+            "enabled": flight is not None}
+    if flight is None:
+        return _jsonl_bytes([meta])
+    snap = flight.snapshot(host.name)
+    meta.update(schema=snap["schema"], records_seen=snap["records_seen"],
+                dropped=snap["dropped"], capacity=snap["capacity"],
+                window=snap["window"])
+    # A flight record's own "kind" field (send/request/...) would clobber
+    # the JSONL line discriminator; it rides as "event" instead.
+    records = [{**record, "event": record["kind"], "kind": "record"}
+               for record in snap["records"]]
+    chain = [{"kind": "chain", **entry} for entry in snap["chain"]]
+    marks = [{"kind": "postmortem", "frozen_t": dump["frozen_t"],
+              "records": len(dump["records"])}
+             for dump in flight.postmortems.get(host.name, ())]
+    return _jsonl_bytes([meta, *records, *chain, *marks])
 
 
 # ------------------------------------------------------------------- fleet

@@ -64,8 +64,13 @@ def _parse_jsonl(payload: bytes) -> list[dict]:
 def _series_summary(records: list[dict]) -> dict:
     values = [record["value"] for record in records
               if record.get("kind") == "sample"]
+    # Sampling gaps (host down between ticks) come back on the series
+    # itself; keep them explicit so a reader of the document never has to
+    # infer "crashed" from a silent stretch of ring buffer.
+    gaps = [{"start": record["start"], "end": record["end"]}
+            for record in records if record.get("kind") == "gap"]
     if not values:
-        return {"samples": 0}
+        return {"samples": 0, "gaps": gaps}
     return {
         "samples": len(values),
         "min": min(values),
@@ -73,6 +78,7 @@ def _series_summary(records: list[dict]) -> dict:
         "max": max(values),
         "last": values[-1],
         "values": values,
+        "gaps": gaps,
     }
 
 
@@ -233,6 +239,13 @@ def render(document: dict, out=None) -> None:
                   f"{summary['min']:>9.3g} {summary['mean']:>9.3g} "
                   f"{summary['max']:>9.3g} {summary['last']:>9.3g}  "
                   f"{sparkline(summary.get('values', []))}", file=out)
+        # Gaps are per host (sampling stops wholesale while it is down), so
+        # one line under the table covers every metric above it.
+        for gap in next(iter(metrics.values()), {}).get("gaps", []):
+            end = (f"{gap['end']:.3f}s" if gap["end"] is not None
+                   else "end of run")
+            print(f"  sampling gap: {gap['start']:.3f}s -> {end} "
+                  f"(host down)", file=out)
     alerts = document["alerts"]
     print(f"\nalerts ([obs]/fleet/alerts): {alerts['fired']} fired, "
           f"{alerts['resolved']} resolved, "

@@ -1,0 +1,367 @@
+"""Time-travel replay + divergence bisection over flight records.
+
+``python -m repro.obs.replay`` re-runs a seeded chaos scenario
+(:func:`repro.faults.chaos.run_chaos` with ``flight=True``) under the
+deterministic engine, so the flight-record stream *is* the original run --
+replay in this simulator is re-execution, bit for bit.  On top of that:
+
+- the default mode renders a **time window** of the run as an interleaved
+  multi-host timeline: one lane root per host, one instant span per flight
+  record, through the same :func:`repro.obs.report.render_timeline`
+  renderer the trace reports use (``--at SEQ`` / ``--around N`` pick the
+  window, default: the crash neighbourhood, else the final records);
+- ``--verify`` runs the scenario **twice** and diffs the two digest chains;
+  identical chains prove the rerun reproduced every recorded kernel event
+  (CI's replay smoke), a differing chain names the first divergent window;
+- ``--bisect KNOB=A,B`` runs two *variants* (e.g. ``seed=7,8`` or
+  ``drop=0.1,0.3``) and reports the **first event seq where behaviour
+  forks**, printing both flight records at the fork -- the digest chains
+  bracket the divergent window, the retained records pin the exact event;
+- ``--postmortem dump.json`` time-travels into a crash dump written by
+  ``python -m repro.faults.chaos --flight`` instead of re-running.
+
+Chains are only comparable between runs recorded under the same
+instrumentation config (recorder-only vs profiler-attached runs stamp
+batched entries differently; see ``sim/engine.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Optional
+
+from repro.obs.flight import (
+    KIND_NAMES,
+    PHASE_NAMES,
+    FlightRecorder,
+    compare,
+    load_postmortem,
+    record_code,
+)
+from repro.obs.report import render_timeline
+from repro.obs.span import Span, SpanContext, build_tree
+
+REPLAY_SCHEMA = 1
+
+#: Scenario knobs ``--bisect`` can fork on, mapped to run_chaos kwargs.
+BISECT_KNOBS = {
+    "seed": ("seed", int),
+    "duration": ("duration", float),
+    "drop": ("drop", float),
+    "dup": ("dup", float),
+    "delay-rate": ("delay_rate", float),
+}
+
+
+def replay(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
+           dup: float = 0.02, delay_rate: float = 0.05,
+           crash: bool = True) -> "FlightRecorder":
+    """Re-run the seeded chaos scenario; its finalized flight recorder.
+
+    Determinism does the heavy lifting: the same knobs drive the same
+    engine timeline, so the recorder that comes back holds the same
+    records, digests and postmortems as the original run's.
+    """
+    from repro.faults.chaos import run_chaos
+
+    report = run_chaos(seed=seed, duration=duration, drop=drop, dup=dup,
+                       delay_rate=delay_rate, crash=crash, flight=True)
+    return report.recorder
+
+
+# ------------------------------------------------------------- timelines
+
+
+def window_records(recorder: "FlightRecorder", at: Optional[int] = None,
+                   at_time: Optional[float] = None,
+                   around: int = 12) -> dict[str, list[tuple]]:
+    """Per-host retained records inside a window.
+
+    ``at`` centres on an event seq (``around`` records of slack each side,
+    per host).  ``at_time`` centres on a simulated instant instead: the
+    last ``around`` records at or before it plus the first ``around``
+    after, per host -- the crash neighbourhood.  (Record seqs stamp the
+    *scheduling* order of the causing event, not firing order, so a seq
+    window near a long-armed timer would show the run's opening moves --
+    time is the right axis for "what was happening when it died".)
+    ``None``/``None`` takes the last ``around`` records per host.
+    """
+    picked: dict[str, list[tuple]] = {}
+    for host in recorder.hosts():
+        records = recorder.records(host)
+        if at is not None:
+            chosen = [r for r in records if abs(r[0] - at) <= around]
+        elif at_time is not None:
+            before = [r for r in records if r[1] <= at_time]
+            after = [r for r in records if r[1] > at_time]
+            chosen = before[-around:] + after[:around]
+        else:
+            chosen = records[-around:]
+        if chosen:
+            picked[host] = chosen
+    return picked
+
+
+def timeline_spans(picked: dict[str, list[tuple]]) -> list[Span]:
+    """Flight records as pseudo-spans: one lane root per host.
+
+    Each record becomes an instant span (start == end) under its host's
+    lane root, so :func:`repro.obs.report.render_timeline` renders the
+    interleaved multi-host window exactly like a trace report.
+    """
+    spans: list[Span] = []
+    next_id = 1
+    t_lo = min(r[1] for records in picked.values() for r in records)
+    t_hi = max(r[1] for records in picked.values() for r in records)
+    for host in sorted(picked):
+        records = picked[host]
+        root_id = next_id
+        next_id += 1
+        spans.append(Span(name=f"lane {host}",
+                          context=SpanContext(trace_id=1, span_id=root_id),
+                          start=t_lo, end=t_hi, actor=host))
+        for seq, t, kind, src, dst, txn in records:
+            label = f"#{seq} {KIND_NAMES[kind]} {src}->{dst}"
+            if txn:
+                label += f" txn={txn}"
+            spans.append(Span(
+                name=label,
+                context=SpanContext(trace_id=1, span_id=next_id,
+                                    parent_id=root_id),
+                start=t, end=t, actor=host,
+                attrs={"seq": seq, "phase": PHASE_NAMES[kind]}))
+            next_id += 1
+    return spans
+
+
+def render_window(recorder: "FlightRecorder", at: Optional[int] = None,
+                  at_time: Optional[float] = None,
+                  around: int = 12) -> str:
+    """One interleaved multi-host timeline for a seq or time window."""
+    picked = window_records(recorder, at=at, at_time=at_time, around=around)
+    if not picked:
+        return "(no flight records in window)"
+    return render_timeline(build_tree(timeline_spans(picked)))
+
+
+class _DumpLane:
+    """A loaded postmortem dump wearing the recorder's read interface."""
+
+    def __init__(self, dump: dict) -> None:
+        self._dump = dump
+        # Dumps store named records; rebuild the recorder's numeric
+        # tuples (the phase disambiguates "reply" packet vs effect).
+        self._records = [
+            (r["seq"], r["t"], record_code(r["kind"], r.get("phase", "")),
+             r["src"], r["dst"], r["txn"])
+            for r in dump.get("records", [])]
+
+    def hosts(self) -> list[str]:
+        return [self._dump.get("host", "?")]
+
+    def records(self, host: str) -> list[tuple]:
+        return list(self._records)
+
+    def chain(self, host: str) -> list[tuple]:
+        return [(c["window"], c["end_seq"], c["end_t"], int(c["digest"], 16))
+                for c in self._dump.get("chain", [])]
+
+
+# --------------------------------------------------------------- verdicts
+
+
+def default_focus(recorder: "FlightRecorder") -> Optional[float]:
+    """The instant to centre the default timeline on: the first freeze."""
+    freezes = [dump.get("frozen_t")
+               for dumps in recorder.postmortems.values() for dump in dumps
+               if dump.get("frozen_t") is not None]
+    return min(freezes) if freezes else None
+
+
+def summary_lines(recorder: "FlightRecorder") -> list[str]:
+    lines = []
+    for host in recorder.hosts():
+        snap = recorder.snapshot(host)
+        chain = recorder.chain(host)
+        head = f"{chain[-1][3]:016x}" if chain else "-"
+        frozen = len(recorder.postmortems.get(host, ()))
+        lines.append(
+            f"  {host:<10} {snap['records_seen']:>6} records "
+            f"({snap['dropped']} dropped), {len(chain)} windows, "
+            f"chain head {head}"
+            + (f", {frozen} postmortem(s)" if frozen else ""))
+    return lines
+
+
+def render_verdict(verdict: dict) -> str:
+    if verdict["identical"]:
+        return "digest chains identical -- runs are bit-identical"
+    lines = ["digest chains DIVERGE:"]
+    for host, entry in sorted(verdict["hosts"].items()):
+        if entry["chains_equal"] and "fork_index" not in entry:
+            lines.append(f"  {host}: identical")
+            continue
+        window = entry.get("first_divergent_window")
+        lines.append(f"  {host}: first divergent window "
+                     f"{window if window is not None else '(records only)'}")
+    fork = verdict.get("fork")
+    if fork:
+        lines.append(f"fork: event seq {fork['seq']} on {fork['host']}")
+        for side in ("a", "b"):
+            record = fork[side]
+            lines.append(f"  run {side}: "
+                         + (json.dumps(record, sort_keys=True)
+                            if record else "(no record -- stream ended)"))
+    return "\n".join(lines)
+
+
+def parse_bisect(spec: str) -> tuple[str, Any, Any]:
+    """``knob=a,b`` -> (run_chaos kwarg, value_a, value_b)."""
+    try:
+        knob, values = spec.split("=", 1)
+        raw_a, raw_b = values.split(",", 1)
+        kwarg, cast = BISECT_KNOBS[knob.strip()]
+        return kwarg, cast(raw_a), cast(raw_b)
+    except KeyError:
+        raise ValueError(
+            f"unknown bisect knob {spec.split('=', 1)[0]!r}; "
+            f"one of: {', '.join(sorted(BISECT_KNOBS))}") from None
+    except ValueError as err:
+        if "unknown bisect knob" in str(err):
+            raise
+        raise ValueError(
+            f"--bisect wants knob=a,b (e.g. seed=7,8), got {spec!r}"
+        ) from None
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.replay",
+        description="Deterministically re-run a seeded chaos scenario and "
+                    "time-travel through its flight records; verify or "
+                    "bisect divergence between two runs.")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--drop", type=float, default=0.10)
+    parser.add_argument("--dup", type=float, default=0.02)
+    parser.add_argument("--delay-rate", type=float, default=0.05)
+    parser.add_argument("--no-crash", action="store_true")
+    parser.add_argument("--at", type=int, default=None,
+                        help="centre the timeline window on this event seq "
+                             "(default: the crash freeze, else the tail)")
+    parser.add_argument("--around", type=int, default=12,
+                        help="records of context each side of --at")
+    parser.add_argument("--verify", action="store_true",
+                        help="run the scenario twice and diff the digest "
+                             "chains; nonzero exit on any divergence")
+    parser.add_argument("--bisect", metavar="KNOB=A,B", default=None,
+                        help="run two variants (seed=7,8, drop=0.1,0.3 ...) "
+                             "and report the first event seq where their "
+                             "behaviour forks, with both flight records")
+    parser.add_argument("--postmortem", metavar="DUMP", default=None,
+                        help="time-travel into a postmortem dump file "
+                             "instead of re-running the scenario")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    args = parser.parse_args(argv)
+
+    knobs = dict(seed=args.seed, duration=args.duration, drop=args.drop,
+                 dup=args.dup, delay_rate=args.delay_rate,
+                 crash=not args.no_crash)
+
+    if args.postmortem:
+        dump = load_postmortem(args.postmortem)
+        lane = _DumpLane(dump)
+        if args.json:
+            print(json.dumps({"kind": "flight-postmortem",
+                              "schema": REPLAY_SCHEMA, **dump},
+                             indent=2, sort_keys=True))
+            return 0
+        host = lane.hosts()[0]
+        print(f"postmortem: host {host} frozen at "
+              f"t={dump.get('frozen_t')} seq={dump.get('frozen_seq')} "
+              f"({dump.get('records_seen')} records seen, "
+              f"{dump.get('dropped')} dropped)")
+        picked = {host: lane.records(host)[-args.around * 2:]
+                  if args.at is None else
+                  [r for r in lane.records(host)
+                   if abs(r[0] - args.at) <= args.around]}
+        if picked[host]:
+            print()
+            print(render_timeline(build_tree(timeline_spans(picked))))
+        return 0
+
+    if args.bisect:
+        try:
+            kwarg, value_a, value_b = parse_bisect(args.bisect)
+        except ValueError as err:
+            parser.error(str(err))
+        recorder_a = replay(**{**knobs, kwarg: value_a})
+        recorder_b = replay(**{**knobs, kwarg: value_b})
+        verdict = compare(recorder_a, recorder_b)
+        if args.json:
+            print(json.dumps({"kind": "flight-bisect",
+                              "schema": REPLAY_SCHEMA,
+                              "knob": kwarg, "a": value_a, "b": value_b,
+                              **verdict}, indent=2, sort_keys=True))
+        else:
+            print(f"bisect {kwarg}: {value_a} vs {value_b}")
+            print(render_verdict(verdict))
+            fork = verdict.get("fork")
+            if fork:
+                print()
+                print(f"timeline around seq {fork['seq']} (run a):")
+                print(render_window(recorder_a, at=fork["seq"],
+                                    around=args.around))
+        # A bisect that finds no fork is itself a verdict, not a failure.
+        return 0
+
+    recorder = replay(**knobs)
+    if args.verify:
+        rerun = replay(**knobs)
+        verdict = compare(recorder, rerun)
+        if args.json:
+            print(json.dumps({"kind": "flight-verify",
+                              "schema": REPLAY_SCHEMA, "scenario": knobs,
+                              **verdict}, indent=2, sort_keys=True))
+        else:
+            print(f"replayed seed={args.seed} twice "
+                  f"({args.duration}s simulated):")
+            print("\n".join(summary_lines(recorder)))
+            print(render_verdict(verdict))
+        return 0 if verdict["identical"] else 1
+
+    if args.json:
+        document = {
+            "kind": "flight-replay", "schema": REPLAY_SCHEMA,
+            "scenario": knobs,
+            "hosts": {host: recorder.snapshot(host)
+                      for host in recorder.hosts()},
+            "postmortems": {host: len(dumps) for host, dumps in
+                            sorted(recorder.postmortems.items())},
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    print(f"replayed chaos scenario seed={args.seed} "
+          f"({args.duration}s simulated):")
+    print("\n".join(summary_lines(recorder)))
+    print()
+    if args.at is not None:
+        print(f"interleaved timeline (around seq {args.at}):")
+        print(render_window(recorder, at=args.at, around=args.around))
+    else:
+        focus = default_focus(recorder)
+        where = (f"around the crash at t={focus:.3f}s"
+                 if focus is not None else "tail of the flight")
+        print(f"interleaved timeline ({where}):")
+        print(render_window(recorder, at_time=focus, around=args.around))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

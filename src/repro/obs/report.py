@@ -412,6 +412,7 @@ def run_live(top: int = 10) -> int:
     fileserver = start_server(fs_host, VFileServer(user="live"))
     standard_prefixes(workstation, fileserver)
     enable_obs_namespace(domain, root_host=workstation.host)
+    domain.enable_telemetry(interval=0.05)
 
     box: Dict[str, Dict[str, bytes]] = {}
 
@@ -427,6 +428,9 @@ def run_live(top: int = 10) -> int:
                 f"[obs]/hosts/{host_name}/metrics")
         reads["spans"] = yield from session.read_file(
             "[obs]/hosts/fs1/spans/recent")
+        for host_name in ("ws1", "fs1"):
+            reads[f"series:{host_name}"] = yield from session.read_file(
+                f"[obs]/hosts/{host_name}/timeseries/resolutions")
         box["reads"] = reads
 
     workstation.host.spawn(client(workstation.session()), name="report-live")
@@ -456,7 +460,38 @@ def run_live(top: int = 10) -> int:
     print(f"[obs]/hosts/fs1/spans/recent: {len(tracefile.spans)} spans")
     if tracefile.spans:
         print(render_slowest_table(tracefile, top))
+    print()
+    print("telemetry sampling continuity "
+          "([obs]/hosts/<h>/timeseries/resolutions):")
+    for host_name in ("ws1", "fs1"):
+        print("  " + describe_series_continuity(
+            host_name, reads[f"series:{host_name}"]))
     return 0
+
+
+def describe_series_continuity(host_name: str, payload: bytes) -> str:
+    """One-line sampling-continuity verdict for a timeseries JSONL payload.
+
+    A crashed-then-restarted host leaves explicit ``gap`` records on its
+    series (see ``repro.obs.telemetry``); this renders them -- or says
+    plainly that sampling was continuous / disabled -- so the gap is never
+    left implicit in the ring buffer.
+    """
+    records = [json.loads(line)
+               for line in payload.decode().splitlines() if line.strip()]
+    meta = records[0] if records else {}
+    if not meta.get("enabled"):
+        return f"{host_name}: telemetry disabled"
+    samples = sum(1 for r in records if r.get("kind") == "sample")
+    gaps = [r for r in records if r.get("kind") == "gap"]
+    if not gaps:
+        return f"{host_name}: {samples} samples, no sampling gaps"
+    spans = ", ".join(
+        f"{gap['start']:.3f}s -> "
+        + (f"{gap['end']:.3f}s" if gap["end"] is not None else "end of run")
+        for gap in gaps)
+    return (f"{host_name}: {samples} samples, "
+            f"{len(gaps)} sampling gap(s) (host down): {spans}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -299,6 +299,11 @@ class TelemetryCollector:
         #: host_id -> transaction latencies (s) since the last tick.
         self._lat_windows: dict[int, list[float]] = {}
         self._states: dict[tuple[str, str], _RuleState] = {}
+        #: host name -> tick time at which the collector first found it
+        #: down (an open sampling gap, closed at the first healthy tick).
+        self._open_gaps: dict[str, float] = {}
+        #: host name -> closed (start, end) sampling gaps, in time order.
+        self._gaps: dict[str, list[tuple[float, float]]] = {}
         self._event = None
         self.parked = False
         self.enabled = True
@@ -336,6 +341,21 @@ class TelemetryCollector:
 
     def series_for(self, host: str, metric: str) -> Optional[TimeSeries]:
         return self.series.get((host, metric))
+
+    def gaps_for(self, host: str) -> list[dict]:
+        """Sampling gaps for ``host``: closed ones plus any still open.
+
+        Each gap is ``{"start": t, "end": t-or-None}`` in tick time; ``end``
+        is None while the host is still down (no healthy tick yet).  Gaps
+        are a property of the *host* (sampling stopped wholesale), so every
+        one of its series carries the same list.
+        """
+        gaps = [{"start": start, "end": end}
+                for start, end in self._gaps.get(host, ())]
+        open_start = self._open_gaps.get(host)
+        if open_start is not None:
+            gaps.append({"start": open_start, "end": None})
+        return gaps
 
     def hosts_sampled(self) -> list[str]:
         return sorted({host for host, __ in self.series if host != FLEET})
@@ -401,9 +421,17 @@ class TelemetryCollector:
         for host in sorted(self.domain.hosts.values(),
                            key=lambda h: h.host_id):
             if host.crashed:
-                # A down machine produces no samples: the gap in its series
-                # *is* the signal (and its counters reset on restart).
+                # A down machine produces no samples.  The silence alone is
+                # ambiguous to a reader of the ring buffer (idle vs dead),
+                # so the gap is tracked explicitly: opened at the first tick
+                # that finds the host down, closed at the first healthy one,
+                # and exported on every one of the host's series.
+                if host.name not in self._open_gaps:
+                    self._open_gaps[host.name] = t
                 continue
+            gap_start = self._open_gaps.pop(host.name, None)
+            if gap_start is not None:
+                self._gaps.setdefault(host.name, []).append((gap_start, t))
             sample = self._sample_host(host, t)
             for metric, value in sample.items():
                 self._record(host.name, metric, t, value)

@@ -248,6 +248,8 @@ class StatServer(_IntrospectionServer):
                      lambda: introspect.host_processes_payload(host)),
             StatLeaf("profile", "json",
                      lambda: introspect.host_profile_payload(host)),
+            StatLeaf("flightlog", "jsonl",
+                     lambda: introspect.host_flightlog_payload(host)),
             spans,
             timeseries,
         ):

@@ -175,7 +175,7 @@ class Engine:
     __slots__ = ("_queue", "_seq", "_now", "_running", "_events_processed",
                  "_cancelled_in_queue", "_batch_extra", "_on_cancel",
                  "_compactions", "_profilers", "_attr_stack", "_attr_dups",
-                 "__dict__", "__weakref__")
+                 "_recorder", "_fire_seq", "__dict__", "__weakref__")
 
     #: Compaction never runs below this queue size: rebuilding a tiny heap
     #: costs more bookkeeping than the dead entries do.
@@ -228,6 +228,14 @@ class Engine:
         #: depth-balanced (popping a deduplicated label must not remove the
         #: frame somebody else pushed).
         self._attr_dups: tuple = ()
+        #: Attached flight recorder (see repro.obs.flight), or None.  The
+        #: engine never calls it per event; it only maintains _fire_seq so
+        #: kernel record sites can stamp flight records with the sequence
+        #: number of the event whose callback is currently running.
+        self._recorder: Any = None
+        #: Sequence number of the event currently firing (-1 outside a
+        #: callback, or while no recorder/profiler variant is installed).
+        self._fire_seq = -1
 
     @property
     def now(self) -> float:
@@ -271,6 +279,35 @@ class Engine:
     _SWAPPED = ("step", "run", "schedule", "schedule_at", "schedule_many",
                 "post", "post_at")
 
+    #: True while a flight recorder is attached (see repro.obs.flight).
+    #: Same shadowing discipline as ``profiling``: a class default the
+    #: dispatch swap overrides with an instance attribute, so the kernel's
+    #: gate reads cost one dict lookup and no property call.
+    recording: bool = False
+
+    def _refresh_dispatch(self) -> None:
+        """Install the method set matching the attached instrumentation.
+
+        One-time dispatch swap instead of per-event branches: any profiler
+        wins (its instrumented variants also maintain ``_fire_seq``, so a
+        recorder rides along); a recorder alone installs only the recording
+        step/run pair (scheduling stays on the fast path); with neither, the
+        shadows are removed and the class methods -- the fast path -- serve.
+        """
+        for name in self._SWAPPED:
+            self.__dict__.pop(name, None)
+        if self._profilers:
+            self.step = self._step_instrumented
+            self.run = self._run_instrumented
+            self.schedule = self._schedule_instrumented
+            self.schedule_at = self._schedule_at_instrumented
+            self.schedule_many = self._schedule_many_instrumented
+            self.post = self._post_instrumented
+            self.post_at = self._post_at_instrumented
+        elif self._recorder is not None:
+            self.step = self._step_recording
+            self.run = self._run_recording
+
     def attach_profiler(self, sink: Any) -> None:
         """Attach a profiler sink; it is charged every clock advance."""
         if sink not in self._profilers:
@@ -278,13 +315,7 @@ class Engine:
             self.profiling = True
             sink.attached(self)
             if len(self._profilers) == 1:
-                self.step = self._step_instrumented
-                self.run = self._run_instrumented
-                self.schedule = self._schedule_instrumented
-                self.schedule_at = self._schedule_at_instrumented
-                self.schedule_many = self._schedule_many_instrumented
-                self.post = self._post_instrumented
-                self.post_at = self._post_at_instrumented
+                self._refresh_dispatch()
 
     def detach_profiler(self, sink: Any) -> None:
         if sink in self._profilers:
@@ -292,8 +323,30 @@ class Engine:
             sink.detached(self)
             if not self._profilers:
                 self.__dict__.pop("profiling", None)
-                for name in self._SWAPPED:
-                    self.__dict__.pop(name, None)
+                self._refresh_dispatch()
+
+    def attach_recorder(self, sink: Any) -> None:
+        """Attach the flight recorder; only one may be attached at a time.
+
+        The engine itself only maintains ``_fire_seq`` (the sequence number
+        of the event currently firing); the kernel's record sites read it to
+        stamp flight records.  Cost when unattached: zero -- the recording
+        step/run variants exist only as instance shadows while attached.
+        """
+        if self._recorder is sink:
+            return
+        if self._recorder is not None:
+            raise SimulationError("a flight recorder is already attached")
+        self._recorder = sink
+        self.recording = True
+        self._refresh_dispatch()
+
+    def detach_recorder(self, sink: Any) -> None:
+        if self._recorder is sink:
+            self._recorder = None
+            self.__dict__.pop("recording", None)
+            self._fire_seq = -1
+            self._refresh_dispatch()
 
     def profile_scope(self, frames: tuple) -> tuple:
         """Replace the attribution stack; returns an opaque restore token.
@@ -626,7 +679,7 @@ class Engine:
     def _step_instrumented(self) -> bool:
         queue = self._queue
         while queue:
-            time, __, callback, args, event = _heappop(queue)
+            time, seq, callback, args, event = _heappop(queue)
             # An event slot of None means the entry was posted before the
             # profiler attached; it carries no stamp and is never cancelled.
             if event is not None:
@@ -637,6 +690,7 @@ class Engine:
                 attribution = event.attribution
             else:
                 attribution = None
+            self._fire_seq = seq
             # Clock advances partition elapsed time: charging each to the
             # stack of the event that caused it makes the per-frame totals
             # sum exactly to end-to-end simulated time.  The event's stamp
@@ -689,3 +743,104 @@ class Engine:
                 self._now = until
         finally:
             self._running = False
+
+    # ----------------------------------------------- recording event loop
+    #
+    # Installed by attach_recorder when a flight recorder (and no profiler)
+    # is attached.  Byte-for-byte the fast path plus one store: the firing
+    # event's sequence number lands in _fire_seq before the callback runs,
+    # so kernel record sites can stamp flight records with it.  Scheduling
+    # methods are NOT swapped -- the recorder costs nothing at schedule
+    # time -- and run() additionally calls recorder.flush() every
+    # _FLUSH_EVERY events, which is where lane tails get sealed into
+    # digest windows (amortized off the record path; seals consume whole
+    # windows, so flush cadence never shows in the chains).  Together
+    # that is what keeps the recorder inside the E15/E17 observer-effect
+    # budget.
+
+    #: Events between recorder flushes (the check is one int compare per
+    #: event).  Bounds unsealed-tail growth at a few thousand records --
+    #: the same order as the default ring capacity.
+    _FLUSH_EVERY = 2048
+
+    def _step_recording(self) -> bool:
+        queue = self._queue
+        while queue:
+            time, seq, callback, args, event = _heappop(queue)
+            if event is not None:
+                if event.cancelled:
+                    self._cancelled_in_queue -= 1
+                    continue
+                event.on_cancel = None
+            self._now = time
+            self._fire_seq = seq
+            self._events_processed += 1
+            Engine.total_events += 1
+            callback(*args)
+            return True
+        return False
+
+    def _run_recording(self, until: float | None = None,
+                       max_events: int | None = None) -> None:
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        queue = self._queue
+        pop = _heappop
+        limit = float("inf") if max_events is None else max_events
+        flush = self._recorder.flush
+        flush_step = self._FLUSH_EVERY
+        next_flush = flush_step
+        fired = 0
+        try:
+            if until is None:
+                while queue:
+                    if fired >= limit:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; possible livelock"
+                        )
+                    time, seq, callback, args, event = pop(queue)
+                    if event is not None:
+                        if event.cancelled:
+                            self._cancelled_in_queue -= 1
+                            continue
+                        event.on_cancel = None
+                    self._now = time
+                    self._fire_seq = seq
+                    fired += 1
+                    if fired == next_flush:
+                        next_flush += flush_step
+                        flush()
+                    callback(*args)
+                return
+            while queue:
+                entry = queue[0]
+                event = entry[4]
+                if event is not None and event.cancelled:
+                    pop(queue)
+                    self._cancelled_in_queue -= 1
+                    continue
+                if entry[0] > until:
+                    self._now = until
+                    return
+                if fired >= limit:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; possible livelock"
+                    )
+                pop(queue)
+                if event is not None:
+                    event.on_cancel = None
+                self._now = entry[0]
+                self._fire_seq = entry[1]
+                fired += 1
+                if fired == next_flush:
+                    next_flush += flush_step
+                    flush()
+                entry[2](*entry[3])
+            if self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+            if fired:
+                self._events_processed += fired
+                Engine.total_events += fired

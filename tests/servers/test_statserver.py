@@ -126,7 +126,7 @@ class TestDirectoryListing:
         by_name = {record.name: record for record in records}
         assert set(by_name) == {"metrics", "services", "namecache",
                                 "processes", "profile", "spans",
-                                "timeseries"}
+                                "timeseries", "flightlog"}
         for leaf in ("metrics", "services", "namecache", "processes",
                      "profile"):
             record = by_name[leaf]
@@ -134,6 +134,10 @@ class TestDirectoryListing:
             assert record.host == "vax1"
             assert record.format == "json"
             assert record.size_bytes > 0
+        flightlog = by_name["flightlog"]
+        assert isinstance(flightlog, StatDescription)
+        assert flightlog.format == "jsonl"
+        assert flightlog.size_bytes > 0
         spans = by_name["spans"]
         assert isinstance(spans, ContextDescription)
         assert spans.entry_count == 1

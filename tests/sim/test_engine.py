@@ -319,6 +319,34 @@ class TestScheduleMany:
         engine.run()
         assert engine.now == 0.0
 
+    def test_empty_batch_is_a_structural_noop(self):
+        # Regression: an empty batch must not push a heap slot (a wrapper
+        # with nothing to fire would advance the clock to its fire time on
+        # the next run) and must not consume a sequence number (later
+        # same-tick events would order differently from an engine that
+        # never saw the batch).
+        engine = Engine()
+        engine.schedule_many(1.0, [])
+        assert len(engine._queue) == 0
+        assert engine._seq == 0
+        engine.run()
+        assert engine.events_processed == 0
+        assert engine.now == 0.0
+
+    def test_empty_batch_keeps_later_ordering_identical(self):
+        batched, plain = Engine(), Engine()
+        fired_batched, fired_plain = [], []
+        batched.schedule_many(1.0, [])
+        for engine, fired in ((batched, fired_batched),
+                              (plain, fired_plain)):
+            engine.schedule(1.0, fired.append, "a")
+            engine.schedule(1.0, fired.append, "b")
+        batched.run()
+        plain.run()
+        assert fired_batched == fired_plain == ["a", "b"]
+        assert batched.events_processed == plain.events_processed
+        assert batched.now == plain.now == 1.0
+
     def test_negative_delay_rejected(self):
         with pytest.raises(SimulationError):
             Engine().schedule_many(-0.1, [(lambda: None, ())])
