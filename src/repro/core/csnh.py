@@ -300,7 +300,8 @@ class CSNHServer:
             return
         if isinstance(outcome, MappingFault):
             yield from self.reply_error(delivery, outcome.code,
-                                        detail=outcome.detail)
+                                        detail=outcome.detail,
+                                        **(outcome.extra_fields or {}))
             return
         # The mapping landed here: remember the binding the client could
         # have used to skip every upstream hop -- our pid plus the header as

@@ -113,10 +113,17 @@ class ForwardName:
 
 @dataclass(frozen=True)
 class MappingFault:
-    """The name cannot be mapped; reply with ``code``."""
+    """The name cannot be mapped; reply with ``code``.
+
+    ``extra_fields`` ride in the error reply's variant part -- the
+    replicated prefix server (repro.core.shard) uses them to tell a
+    refused client *which* replica currently owns the prefix, so the
+    retry goes straight to the authority instead of groping the ring.
+    """
 
     code: ReplyCode
     detail: str = ""
+    extra_fields: Optional[dict] = None
 
     @property
     def not_found(self) -> bool:

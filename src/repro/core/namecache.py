@@ -138,7 +138,12 @@ class BindingCache:
             self.misses += 1
             return None
         value, stamp = entry
-        if self.ttl is not None and now - stamp > self.ttl:
+        # Expiry is *inclusive*: an entry read exactly at ``stamp + ttl`` is
+        # already stale.  Replicated prefix serving (repro.core.shard) leases
+        # bindings with this same boundary, and coherence depends on every
+        # party agreeing on the expiry instant -- an entry served at the
+        # instant its lease lapses is a resolution from an expired binding.
+        if self.ttl is not None and now - stamp >= self.ttl:
             del self._entries[key]
             self.expirations += 1
             self.misses += 1
@@ -194,6 +199,14 @@ class GenericBinding:
 
 
 PrefixEntry = Union[ContextPair, GenericBinding]
+
+
+#: Sentinel a cache's ``route()`` may return instead of a CachedRoute: the
+#: name is *negatively* cached (a recent authoritative NOT_FOUND whose TTL
+#: has not lapsed).  ``send_csname_request`` answers such a request locally
+#: with a synthetic NOT_FOUND reply instead of re-asking the servers --
+#: the classic resolver defence against hot missing names.
+NEGATIVE_ROUTE = object()
 
 
 @dataclass(frozen=True)

@@ -178,7 +178,9 @@ class ContextPrefixServer(CSNHServer):
             # Operations *on the table*: resolve to the parent + component.
             return ResolvedParent(parent_ref=self.table, component=prefix,
                                   index=rest_index)
-        binding = self.table.bindings.get(prefix)
+        binding = yield from self.lookup_binding(prefix)
+        if isinstance(binding, MappingFault):
+            return binding
         if binding is None:
             return MappingFault(ReplyCode.NOT_FOUND,
                                 f"prefix [{as_text(prefix)}] is not defined")
@@ -201,6 +203,17 @@ class ContextPrefixServer(CSNHServer):
         assert binding.fixed is not None
         return ForwardName(binding.fixed, rest_index)
 
+    def lookup_binding(self, prefix: bytes) -> Gen:
+        """The live binding for ``prefix``, or None (authoritatively unbound).
+
+        A generator hook so subclasses can spend kernel effects deciding: a
+        replicated prefix server (repro.core.shard) checks lease freshness
+        here and may redirect to the shard owner with a MappingFault, which
+        :meth:`map_request` surfaces verbatim.
+        """
+        yield from ()
+        return self.table.bindings.get(prefix)
+
     # ------------------------------------------------- optional standard ops
 
     def op_add_prefix(self, delivery: Delivery, header: CSNameHeader,
@@ -216,26 +229,50 @@ class ContextPrefixServer(CSNHServer):
         if exists and not bool(message.get("replace", False)):
             yield from self.reply_error(delivery, ReplyCode.NAME_EXISTS)
             return
+        binding = self._binding_from_request(key, message)
+        if binding is None:
+            yield from self.reply_error(delivery, ReplyCode.BAD_ARGS)
+            return
+        self.table.bindings[key] = binding
         if exists:
             # Rebinding: anything cached under the old binding is now stale.
+            # Notified only now, after validation succeeded and the new
+            # binding is installed -- a malformed replace request must not
+            # flush caches that are still perfectly valid for the binding
+            # it failed to change.
             self._notify_invalidate(key)
+        yield from self.bound_prefix(delivery, key, binding, rebound=exists)
+        yield from self.reply_ok(delivery)
+
+    @staticmethod
+    def _binding_from_request(key: bytes, message: Any) -> Optional[PrefixBinding]:
+        """Build the PrefixBinding an ADD_CONTEXT_NAME request describes."""
         service = message.get("service_id")
         if service is not None:
-            binding = PrefixBinding(
+            return PrefixBinding(
                 name=key, generic_service=int(service),
                 generic_context=int(message.get("target_context",
                                                 WellKnownContext.DEFAULT)))
-        else:
-            target_pid = message.get("target_pid")
-            if target_pid is None:
-                yield from self.reply_error(delivery, ReplyCode.BAD_ARGS)
-                return
-            binding = PrefixBinding(
-                name=key,
-                fixed=ContextPair(Pid(int(target_pid)),
-                                  int(message.get("target_context", 0))))
-        self.table.bindings[key] = binding
-        yield from self.reply_ok(delivery)
+        target_pid = message.get("target_pid")
+        if target_pid is None:
+            return None
+        return PrefixBinding(
+            name=key,
+            fixed=ContextPair(Pid(int(target_pid)),
+                              int(message.get("target_context", 0))))
+
+    def bound_prefix(self, delivery: Delivery, key: bytes,
+                     binding: PrefixBinding, rebound: bool) -> Gen:
+        """Hook: a binding was just installed via ADD_CONTEXT_NAME.
+
+        Runs before the OK reply; the replicated server grants the lease and
+        fans the new binding out to its peers here.
+        """
+        yield from ()
+
+    def unbound_prefix(self, key: bytes) -> Gen:
+        """Hook: a binding was just removed via DELETE_CONTEXT_NAME."""
+        yield from ()
 
     def op_delete_prefix(self, delivery: Delivery, header: CSNameHeader,
                          resolution: MappingOutcome) -> Gen:
@@ -244,6 +281,7 @@ class ContextPrefixServer(CSNHServer):
             yield from self.reply_error(delivery, ReplyCode.NOT_FOUND)
             return
         self._notify_invalidate(bytes(resolution.component))
+        yield from self.unbound_prefix(bytes(resolution.component))
         yield from self.reply_ok(delivery)
 
     # --------------------------------------------------- directory & queries

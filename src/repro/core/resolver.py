@@ -106,18 +106,26 @@ def send_csname_request(env: NamingEnvironment, code: int, name: str | bytes,
     reply processing after), which is what makes a local current-context
     Open cost 1.21 ms rather than the bare 0.77 ms transaction.
     """
+    from repro.core.namecache import NEGATIVE_ROUTE
+
     data = as_name_bytes(name)
     cache = env.cache
     route = None
     if (cache is not None and env.prefix_server is not None
             and cache.should_route(data, code)):
         route = yield from cache.route(data)
+    if route is NEGATIVE_ROUTE:
+        # Negatively cached: a recent authoritative NOT_FOUND still within
+        # its TTL.  Answer locally -- the stub cost is still charged, but no
+        # message leaves the machine and no span opens (nothing resolved).
+        yield Delay(env.latency.stub_pre + env.latency.stub_post)
+        return Message.reply(ReplyCode.NOT_FOUND, negative_cached=True)
     if route is not None:
         dst, context_id = route.dst, route.context_id
         name_index = route.name_index
     else:
-        dst, context_id = env.route(data)
-        name_index = 0
+        dst, context_id, name_index = yield from _route_full(
+            env, cache, data, attempt=0, reply=None)
     span = None
     start = None
     if env.obs is not None:
@@ -158,8 +166,8 @@ def send_csname_request(env: NamingEnvironment, code: int, name: str | bytes,
         retries += 1
         if span is not None:
             span.append_attr("re_resolve", code_name(reply.code))
-        dst, context_id = env.route(data)
-        name_index = 0
+        dst, context_id, name_index = yield from _route_full(
+            env, cache, data, attempt=retries, reply=reply)
     yield Delay(env.latency.stub_post)
     if (cache is not None and (route is None or fell_back)
             and cache.should_route(data, code)):
@@ -178,6 +186,30 @@ def send_csname_request(env: NamingEnvironment, code: int, name: str | bytes,
                 "namecache.hit_seconds",
                 op=code_name(code)).observe(end - start)
     return reply
+
+
+def _route_full(env: NamingEnvironment, cache: Any, data: bytes,
+                attempt: int, reply: Optional[Message]) -> Gen:
+    """Full (non-hint) routing: where does attempt number ``attempt`` go?
+
+    The default is the paper's single common routine (:meth:`NamingEnvironment.
+    route`): '['-names to the prefix server, the rest to the current context.
+    A cache exposing ``fallback_route`` -- the shard resolver
+    (:mod:`repro.core.shard`) -- overrides it for '['-names: it knows which
+    replica owns the prefix and, on repeated failures, walks the replica
+    ring (refreshing its shard map over the wire) instead of re-sending to
+    the same corpse.  ``reply`` is the failed attempt's reply (None on the
+    first routing): a refusing replica stamps the current owner's pid on
+    its RETRY, and the hook follows that redirect directly.  A generator
+    because the ring walk costs real messages.
+    """
+    hook = getattr(cache, "fallback_route", None) if cache is not None else None
+    if hook is not None and has_prefix(data):
+        route = yield from hook(data, attempt, reply)
+        if route is not None:
+            return route
+    dst, context_id = env.route(data)
+    return dst, context_id, 0
 
 
 def expect_ok(operation: str, name: str | bytes, reply: Message) -> Message:

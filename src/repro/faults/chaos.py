@@ -192,6 +192,27 @@ def check_cache_accounting(cache) -> list[str]:
     return []
 
 
+def check_lease_coherence(cluster) -> list[str]:
+    """No replica -- live or crashed -- may ever have served a resolution
+    from an expired lease.
+
+    The shard coherence rule (:mod:`repro.core.shard`) is that a non-owner
+    replica either holds a fresh lease on a binding or *refuses* with a
+    RETRY redirect; ``expired_served`` counts the forbidden third option.
+    Checked across every replica the cluster ever spawned, because the
+    violation we care most about is a replica serving stale state in the
+    window right around its own crash or rejoin.
+    """
+    problems = []
+    for server in cluster.all_servers():
+        if server.expired_served:
+            problems.append(
+                f"shard replica {server.replica_id} served "
+                f"{server.expired_served} resolution(s) from an expired "
+                "lease -- coherence rule violated")
+    return problems
+
+
 def check_invariants(domain: Domain, cache=None) -> None:
     """Run every applicable check; raise :class:`InvariantViolation`."""
     problems = (check_no_timer_leaks(domain)
@@ -420,6 +441,191 @@ def run_chaos(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
     return report
 
 
+# ------------------------------------------------- the replica-crash storm
+
+
+@dataclass
+class ShardStormReport:
+    """What one seeded replica-crash storm did and observed."""
+
+    seed: int
+    duration: float
+    n_replicas: int
+    n_prefixes: int
+    n_clients: int
+    reads_ok: int = 0
+    reads_failed: int = 0
+    reads_wrong: int = 0
+    promotions: int = 0
+    rejoins: int = 0
+    map_version: int = 0
+    metrics: dict = field(default_factory=dict)
+    resolvers: list = field(default_factory=list)
+    replicas: list = field(default_factory=list)
+
+    @property
+    def reads(self) -> int:
+        return self.reads_ok + self.reads_failed + self.reads_wrong
+
+    @property
+    def success_rate(self) -> float:
+        return self.reads_ok / self.reads if self.reads else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "duration": self.duration,
+            "n_replicas": self.n_replicas,
+            "n_prefixes": self.n_prefixes,
+            "n_clients": self.n_clients,
+            "reads": self.reads,
+            "reads_ok": self.reads_ok,
+            "reads_failed": self.reads_failed,
+            "reads_wrong": self.reads_wrong,
+            "success_rate": round(self.success_rate, 4),
+            "promotions": self.promotions,
+            "rejoins": self.rejoins,
+            "map_version": self.map_version,
+            "metrics": self.metrics,
+            "resolvers": self.resolvers,
+            "replicas": self.replicas,
+        }
+
+
+def run_replica_storm(seed: int = 11, duration: float = 6.0,
+                      n_replicas: int = 3, n_prefixes: int = 48,
+                      n_clients: int = 2, lease_ttl: float = 0.8,
+                      crash: bool = True,
+                      retry_budget: int = 4) -> ShardStormReport:
+    """Crash every shard replica in turn under live Zipf read traffic.
+
+    A :class:`~repro.core.shard.ShardCluster` of ``n_replicas`` serves
+    ``n_prefixes`` seeded prefix bindings (all pointing into one file
+    server, which stays up -- this storm is about the *name service*
+    failing, not the data).  Each client runs its own
+    :class:`~repro.core.shard.ShardResolver` and reads Zipf-popular
+    ``[pK]`` names in a loop while staggered crash windows take each
+    replica down and bring it back; the cluster's failover hook promotes
+    by consistent hashing and the restarted replica rejoins by pulling a
+    live peer's table.
+
+    Invariants, on top of the standard chaos set: every resolver's cache
+    accounting must balance, and :func:`check_lease_coherence` must find
+    zero resolutions served from expired leases -- across every replica
+    incarnation the storm ever spawned.  With ``n_replicas >= 2`` the
+    storm additionally expects **zero failed reads**: some live replica
+    can always answer (after at most a probe-budget timeout against the
+    corpse), so every name must resolve during and after failover.
+
+    ``n_replicas=1`` is the degenerate "the prefix server itself crashes
+    and restarts" configuration: reads may fail while the only replica is
+    down (there is nobody to fail over to), but the accounting and lease
+    invariants must still hold, and the respawn re-seeds the table the way
+    a workstation boot script would.
+    """
+    from repro.core.context import ContextPair, WellKnownContext
+    from repro.core.resolver import NameError_
+    from repro.core.shard import ShardCluster
+    from repro.kernel.ipc import Delay, Now
+    from repro.runtime import files
+    from repro.runtime.session import Session
+    from repro.servers.base import start_server
+    from repro.servers.fileserver.server import VFileServer
+    from repro.vio.client import IoError
+
+    domain = Domain(seed=seed)
+    fs_host = domain.create_host("vax1")
+    fileserver = VFileServer(user="mann")
+    node = fileserver.store.make_path("data/f0.dat", directory=False)
+    node.data[:] = _PAYLOAD
+    fs_handle = start_server(fs_host, fileserver)
+    pair = ContextPair(fs_handle.pid, int(WellKnownContext.DEFAULT))
+
+    replica_hosts = domain.create_hosts(n_replicas, prefix="ns")
+    cluster = ShardCluster(domain, replica_hosts, lease_ttl=lease_ttl)
+    for index in range(n_prefixes):
+        cluster.seed_binding(f"p{index}", pair)
+
+    report = ShardStormReport(seed=seed, duration=duration,
+                              n_replicas=n_replicas, n_prefixes=n_prefixes,
+                              n_clients=n_clients)
+
+    resolvers = []
+
+    def client(session, stream: str):
+        while True:
+            now = yield Now()
+            if now >= duration:
+                break
+            index = domain.rng.zipf_index(stream, n_prefixes, 1.1)
+            try:
+                data = yield from files.read_file(
+                    session, f"[p{index}]data/f0.dat")
+            except (NameError_, IoError):
+                report.reads_failed += 1
+            else:
+                if data == _PAYLOAD:
+                    report.reads_ok += 1
+                else:
+                    report.reads_wrong += 1
+            yield Delay(0.03)
+
+    for number in range(n_clients):
+        client_host = domain.create_host(f"client{number + 1}")
+        resolver = cluster.resolver()
+        session = Session(current=pair, prefix_server=cluster.primary_pid(),
+                          latency=domain.latency, cache=resolver)
+        session.env.retry_budget = retry_budget
+        resolvers.append(resolver)
+        client_host.spawn(client(session, f"storm.client{number}"),
+                          name=f"storm-client-{number}")
+
+    schedule = ChaosSchedule(domain)
+    if crash:
+        if n_replicas == 1:
+            # The only copy of the prefix table dies with its host; the
+            # respawn re-seeds it, as the workstation boot script would.
+            def reseed(host):
+                for index in range(n_prefixes):
+                    cluster.seed_binding(f"p{index}", pair)
+
+            schedule.crash_between(replica_hosts[0], 0.4 * duration,
+                                   0.5 * duration, respawn=reseed)
+        else:
+            # Staggered non-overlapping windows: every replica dies once,
+            # and at least n-1 replicas are alive at every instant.
+            for index, host in enumerate(replica_hosts):
+                start = (0.25 + index * 0.18) * duration
+                schedule.crash_between(host, start, start + 0.10 * duration)
+
+    domain.run()
+    domain.check_healthy()
+
+    report.promotions = cluster.promotions
+    report.rejoins = cluster.rejoins
+    report.map_version = cluster.map.version
+    report.metrics = {key: domain.metrics.count(key) for key in _METRIC_KEYS}
+    report.resolvers = [resolver.snapshot() for resolver in resolvers]
+    report.replicas = [server.snapshot_shard()
+                       for server in cluster.all_servers()]
+
+    problems = (check_no_timer_leaks(domain)
+                + check_no_stuck_transactions(domain)
+                + check_timeouts_explained(domain)
+                + check_lease_coherence(cluster))
+    for resolver in resolvers:
+        problems += check_cache_accounting(resolver)
+    if crash and n_replicas >= 2 and report.reads_failed:
+        problems.append(
+            f"{report.reads_failed} read(s) failed with {n_replicas} "
+            "replicas: failover must keep every name resolvable")
+    if report.reads_wrong:
+        problems.append(f"{report.reads_wrong} read(s) returned wrong data")
+    if problems:
+        raise InvariantViolation(problems)
+    return report
+
+
 def read_alerts_via_obs(workstation) -> list[dict]:
     """Read ``[obs]/fleet/alerts`` through the protocol; the alert records.
 
@@ -490,7 +696,35 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="write every lane's black box to --flight-dir "
                              "even when the run is healthy (implies "
                              "--flight; CI artifact)")
+    parser.add_argument("--storm", action="store_true",
+                        help="run the shard replica-crash storm instead of "
+                             "the wire-loss scenario: crash every replica "
+                             "of a sharded prefix cluster in turn under "
+                             "Zipf read traffic and check the lease "
+                             "coherence + failover invariants")
+    parser.add_argument("--replicas", type=int, default=3,
+                        help="shard replicas for --storm (default 3; 1 = "
+                             "the prefix server itself crash/restarts)")
+    parser.add_argument("--storm-prefixes", type=int, default=48,
+                        help="seeded prefixes for --storm (default 48)")
+    parser.add_argument("--storm-clients", type=int, default=2,
+                        help="client hosts for --storm (default 2)")
     args = parser.parse_args(argv)
+
+    if args.storm:
+        try:
+            storm = run_replica_storm(
+                seed=args.seed if args.seed != 7 else 11,
+                duration=args.duration if args.duration != 5.0 else 6.0,
+                n_replicas=args.replicas,
+                n_prefixes=args.storm_prefixes,
+                n_clients=args.storm_clients,
+                crash=not args.no_crash)
+        except InvariantViolation as violation:
+            print(violation, file=sys.stderr)
+            return 1
+        print(json.dumps(storm.to_dict(), indent=2))
+        return 0
 
     try:
         report = run_chaos(seed=args.seed, duration=args.duration,

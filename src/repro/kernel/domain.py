@@ -98,6 +98,12 @@ class Domain:
         #: machine's servers, so anything that keeps a per-host service
         #: running (the obs namespace's stat servers) must respawn it here.
         self._host_restarted_listeners: list[Callable[[Host], None]] = []
+        #: Callbacks fired the instant a Host fail-stops (:meth:`Host.crash`).
+        #: Anything holding domain-level references on the dead machine's
+        #: behalf -- its name cache's subscription on the pid-removal hub,
+        #: a shard cluster's replica membership -- must sever them here, or
+        #: notices keep flowing to dead state forever.
+        self._host_crashed_listeners: list[Callable[[Host], None]] = []
         #: (task name, exception) for every process that died with an error.
         self.failures: list[tuple[str, BaseException]] = []
         #: Domain-wide registration-removal listeners: every host's service
@@ -123,6 +129,18 @@ class Domain:
         if callback not in self._pid_removal_listeners:
             self._pid_removal_listeners.append(callback)
 
+    def off_pid_removed(self, callback: Callable[[Pid], None]) -> None:
+        """Unsubscribe a removal listener (no-op when not subscribed).
+
+        The client name cache subscribes here for its host's lifetime; the
+        crash hook calls this so a dead machine's cache stops hearing
+        notices (the subscription leak the chaos harness pins).
+        """
+        try:
+            self._pid_removal_listeners.remove(callback)
+        except ValueError:
+            pass
+
     def _notify_pid_removed(self, pid: Pid) -> None:
         for callback in list(self._pid_removal_listeners):
             callback(pid)
@@ -139,6 +157,21 @@ class Domain:
 
     def _notify_host_restarted(self, host: Host) -> None:
         for callback in list(self._host_restarted_listeners):
+            callback(host)
+
+    def on_host_crashed(self, callback: Callable[[Host], None]) -> None:
+        """Subscribe to hosts fail-stopping (:meth:`Host.crash`).
+
+        Fires after the dead kernel's own tables are cleared (so listeners
+        see the post-crash state) and synchronously within the crash event,
+        which is what lets a shard cluster promote a replacement owner
+        before any in-flight lookup times out against the corpse.
+        """
+        if callback not in self._host_crashed_listeners:
+            self._host_crashed_listeners.append(callback)
+
+    def _notify_host_crashed(self, host: Host) -> None:
+        for callback in list(self._host_crashed_listeners):
             callback(host)
 
     # ----------------------------------------------------------------- hosts

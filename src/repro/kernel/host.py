@@ -226,6 +226,7 @@ class Host:
             flight.freeze(self)
         self.metrics.incr("kernel.crashes")
         self._trace("fault", self.name, "host crashed")
+        self.domain._notify_host_crashed(self)
 
     def restart(self) -> None:
         """Bring the machine back up (with empty tables; respawn servers)."""

@@ -92,6 +92,12 @@ class RequestCode(enum.IntEnum):
     OBJ_OPEN = 0x0473
     OBJ_QUERY = 0x0474
     OBJ_LIST = 0x0475
+    # -- sharded replicated prefix service (repro.core.shard) -----------------
+    SHARD_FETCH = 0x0481       # replica/owner refresh of one leased binding
+    SHARD_SYNC = 0x0482        # owner -> replica: install a leased binding
+    SHARD_INVALIDATE = 0x0483  # owner -> replica: drop a binding
+    SHARD_MAP = 0x0484         # fetch the current versioned shard map
+    SHARD_PULL = 0x0485        # rejoining replica <- peer: bulk table transfer
 
 
 class ReplyCode(enum.IntEnum):

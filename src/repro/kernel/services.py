@@ -56,6 +56,7 @@ class ServiceId(enum.IntEnum):
     NAME_SERVER = 10     # centralized baseline only
     PIPE = 11
     OBS = 12             # the [obs] introspection name space (root obs server)
+    SHARD = 13           # replicated shard prefix service (repro.core.shard)
 
     @property
     def logical_pid(self) -> Pid:

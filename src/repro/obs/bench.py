@@ -91,6 +91,7 @@ EXPERIMENTS: tuple[tuple[str, str], ...] = (
     ("e15", "bench_e15_telemetry"),
     ("e16", "bench_e16_engine_throughput"),
     ("e17", "bench_e17_flight_recorder"),
+    ("e18", "bench_e18_sharded_names"),
     ("ablations", "bench_ablations"),
 )
 

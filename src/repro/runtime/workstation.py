@@ -82,15 +82,34 @@ class Workstation:
         if self.name_cache is None:
             domain = self.host.domain
             registry = domain.obs.registry if domain.obs is not None else None
-            self.name_cache = NameCache(getpid_ttl=getpid_ttl,
-                                        max_hints=max_hints,
-                                        registry=registry)
-            self.prefix_server.attach_cache(self.name_cache)
+            cache = NameCache(getpid_ttl=getpid_ttl, max_hints=max_hints,
+                              registry=registry)
+            self.name_cache = cache
+            prefix_server = self.prefix_server
+            prefix_server.attach_cache(cache)
             if watch_registry:
-                domain.on_pid_removed(self.name_cache.note_pid_removed)
+                domain.on_pid_removed(cache.note_pid_removed)
             # Let the [obs] stat server serve this cache's contents live
             # as [obs]/hosts/<this-host>/namecache.
-            domain.name_caches[self.host.host_id] = self.name_cache
+            domain.name_caches[self.host.host_id] = cache
+
+            def on_crash(crashed: Host) -> None:
+                # This machine died, and its cache dies with it: sever the
+                # prefix-server attachment and the domain-hub subscription,
+                # or invalidation notices keep landing on a dead cache (and
+                # the hub entry pins it) forever.  A post-restart
+                # enable_name_cache() starts cold, as a rebooted machine
+                # would.
+                if crashed is not self.host or self.name_cache is not cache:
+                    return
+                prefix_server.detach_cache(cache)
+                domain.off_pid_removed(cache.note_pid_removed)
+                if domain.name_caches.get(self.host.host_id) is cache:
+                    del domain.name_caches[self.host.host_id]
+                cache.clear()
+                self.name_cache = None
+
+            domain.on_host_crashed(on_crash)
         return self.name_cache
 
 

@@ -48,6 +48,18 @@ class TestBindingCache:
         assert cache.expirations == 1
         assert b"a" not in cache
 
+    def test_ttl_expiry_is_inclusive_at_the_exact_boundary(self):
+        # Regression: expiry used a strict ``>``, so an entry read at
+        # exactly ``stamp + ttl`` was served fresh.  The shard lease
+        # discipline (repro.core.shard) shares this boundary, and
+        # coherence needs every party to agree that ``now == expiry``
+        # means *expired* -- pin the inclusive comparison.
+        cache = BindingCache(max_entries=4, ttl=2.0)
+        cache.put(b"a", 1, now=10.0)
+        assert cache.get(b"a", now=12.0) is None
+        assert cache.expirations == 1
+        assert b"a" not in cache
+
     def test_no_ttl_means_deliberately_stale(self):
         cache = BindingCache(max_entries=4, ttl=None)
         cache.put(b"a", 1, now=0.0)

@@ -247,3 +247,67 @@ class TestPrefixManagementProtocol:
         fixed = next(r for r in records if r.name == "home")
         assert fixed.server_pid == system.fileserver.pid.value
         assert fixed.context_id == int(WellKnownContext.HOME)
+
+
+class RecordingCache:
+    """A minimal attached cache: records invalidation notices."""
+
+    def __init__(self):
+        self.notices = []
+
+    def invalidate_prefix(self, prefix, reason):
+        self.notices.append((bytes(prefix), reason))
+
+
+class TestRebindInvalidationSemantics:
+    def test_rebind_via_messages_notifies_attached_caches(self):
+        # A replace-rebind invalidates exactly like a delete does: anything
+        # cached under the old binding is stale the instant the new one
+        # lands.
+        system = standard_system()
+        cache = RecordingCache()
+        system.workstation.prefix_server.attach_cache(cache)
+
+        def client(session):
+            pair = yield from session.name_to_context("[home]")
+            yield from session.add_prefix("tmp", pair, replace=True)
+
+        system.run_client(client(system.session()))
+        assert (b"tmp", "prefix-notice") in cache.notices
+
+    def test_fresh_add_does_not_notify(self):
+        system = standard_system()
+        cache = RecordingCache()
+        system.workstation.prefix_server.attach_cache(cache)
+
+        def client(session):
+            pair = yield from session.name_to_context("[home]")
+            yield from session.add_prefix("brand-new", pair)
+
+        system.run_client(client(system.session()))
+        assert cache.notices == []
+
+    def test_failed_rebind_neither_notifies_nor_changes_the_binding(self):
+        # Regression: the old code fired the invalidation notice *before*
+        # validating the request, so a malformed replace (no target at
+        # all) flushed caches that were still perfectly valid for the
+        # binding it then failed to change.
+        from repro.core.resolver import send_csname_request
+        from repro.kernel.messages import RequestCode
+
+        system = standard_system()
+        prefix_server = system.workstation.prefix_server
+        cache = RecordingCache()
+        prefix_server.attach_cache(cache)
+        before = prefix_server.binding("tmp")
+
+        def client(session):
+            reply = yield from send_csname_request(
+                session.env, RequestCode.ADD_CONTEXT_NAME, "[tmp]",
+                replace=True)
+            return reply.reply_code
+
+        code = system.run_client(client(system.session()))
+        assert code is ReplyCode.BAD_ARGS
+        assert cache.notices == []
+        assert prefix_server.binding("tmp") is before

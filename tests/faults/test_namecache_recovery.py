@@ -182,3 +182,51 @@ class TestRebindRecovery:
         assert run_on(domain, workstation.host,
                       client(workstation.session())) == b"B"
         assert cache.stats.fallbacks >= 1
+
+
+class TestClientCrashDetachesCache:
+    """The cache-subscription leak (PR 9): a crashed client machine's
+    cache must stop hearing prefix notices and hub removals."""
+
+    def _system(self):
+        domain = Domain(seed=5)
+        workstation = setup_workstation(domain, "mann")
+        fs_host = domain.create_host("vax1")
+        handle = start_server(fs_host, _populated_server())
+        standard_prefixes(workstation, handle)
+        cache = workstation.enable_name_cache()
+        return domain, workstation, cache
+
+    def test_crash_severs_every_subscription(self):
+        domain, workstation, cache = self._system()
+        prefix_server = workstation.prefix_server
+        assert cache in prefix_server._caches
+        assert cache.note_pid_removed in domain._pid_removal_listeners
+        assert domain.name_caches[workstation.host.host_id] is cache
+
+        workstation.host.crash()
+
+        # All three channels severed, synchronously with the crash event:
+        # notices must never land on a dead machine's cache.
+        assert cache not in prefix_server._caches
+        assert cache.note_pid_removed not in domain._pid_removal_listeners
+        assert workstation.host.host_id not in domain.name_caches
+        assert workstation.name_cache is None
+
+    def test_notices_after_the_crash_do_not_reach_the_dead_cache(self):
+        domain, workstation, cache = self._system()
+        workstation.host.crash()
+        invalidations_before = cache.stats.invalidations
+        workstation.prefix_server._notify_invalidate(b"tmp")
+        assert cache.stats.invalidations == invalidations_before
+
+    def test_reenable_after_restart_starts_cold(self):
+        domain, workstation, cache = self._system()
+        workstation.host.crash()
+        workstation.host.restart()
+        fresh = workstation.enable_name_cache()
+        assert fresh is not cache
+        # The new cache is attached exactly once, the old one not at all.
+        assert workstation.prefix_server._caches.count(fresh) == 1
+        assert cache not in workstation.prefix_server._caches
+        assert domain.name_caches[workstation.host.host_id] is fresh
