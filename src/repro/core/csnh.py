@@ -35,7 +35,9 @@ from repro.core.mapping import (
     map_name,
 )
 from repro.core.protocol import (
+    FIELD_HINT_EPOCH,
     FIELD_HINT_SERVICE,
+    FIELD_HINT_SOURCE,
     CSNameHeader,
     is_csname_request,
     make_binding_advice,
@@ -311,7 +313,9 @@ class CSNHServer:
         assert self.pid is not None
         self._advice[delivery.txn_id] = make_binding_advice(
             self.pid, header.context_id, header.name_index,
-            hint_service=message.get(FIELD_HINT_SERVICE))
+            hint_service=message.get(FIELD_HINT_SERVICE),
+            hint_epoch=message.get(FIELD_HINT_EPOCH),
+            hint_source=message.get(FIELD_HINT_SOURCE))
         handler = self._csname_ops.get(message.code)
         if handler is None:
             # We own the name but not the operation: the request reached the

@@ -56,7 +56,7 @@ from typing import TYPE_CHECKING, Any, Callable, Generator, Optional, Union
 
 from repro.core.context import ContextPair
 from repro.core.names import BadName, has_prefix, parse_prefix
-from repro.core.protocol import read_binding_advice
+from repro.core.protocol import read_binding_advice, read_binding_provenance
 from repro.kernel.ipc import GetPid, Now
 from repro.kernel.messages import Message, ReplyCode, RequestCode
 from repro.kernel.pids import Pid
@@ -113,7 +113,12 @@ class BindingCache:
             raise ValueError(f"ttl must be positive or None: {ttl}")
         self.max_entries = max_entries
         self.ttl = ttl
-        self._entries: dict[Any, tuple[Any, float]] = {}
+        #: key -> (value, install stamp, mutation epoch, source pid).  The
+        #: provenance pair defaults to (0, 0) -- unknown -- and is carried
+        #: so the coherence auditor (repro.obs.audit) can compare a cached
+        #: entry against the authority's stamp instead of guessing from
+        #: clocks; ``get``/``put`` callers that ignore it are unaffected.
+        self._entries: dict[Any, tuple[Any, float, int, int]] = {}
         self.hits = 0
         self.misses = 0
         self.expirations = 0
@@ -137,7 +142,7 @@ class BindingCache:
         if entry is None:
             self.misses += 1
             return None
-        value, stamp = entry
+        value, stamp = entry[0], entry[1]
         # Expiry is *inclusive*: an entry read exactly at ``stamp + ttl`` is
         # already stale.  Replicated prefix serving (repro.core.shard) leases
         # bindings with this same boundary, and coherence depends on every
@@ -150,7 +155,7 @@ class BindingCache:
             return None
         # LRU touch: re-insertion moves the key to the young end.
         del self._entries[key]
-        self._entries[key] = (value, stamp)
+        self._entries[key] = entry
         self.hits += 1
         return value
 
@@ -163,22 +168,23 @@ class BindingCache:
             return 0.0
         return now
 
-    def put(self, key: Any, value: Any, now: Optional[float] = None) -> None:
+    def put(self, key: Any, value: Any, now: Optional[float] = None, *,
+            epoch: int = 0, source: int = 0) -> None:
         now = self._require_clock(now)
         if key in self._entries:
             del self._entries[key]
         elif len(self._entries) >= self.max_entries:
             del self._entries[next(iter(self._entries))]
             self.evictions += 1
-        self._entries[key] = (value, now)
+        self._entries[key] = (value, now, int(epoch), int(source))
 
     def invalidate(self, key: Any) -> bool:
         return self._entries.pop(key, None) is not None
 
     def invalidate_where(self, predicate: Callable[[Any, Any], bool]) -> int:
         """Drop every entry where ``predicate(key, value)``; returns count."""
-        doomed = [key for key, (value, __) in self._entries.items()
-                  if predicate(key, value)]
+        doomed = [key for key, entry in self._entries.items()
+                  if predicate(key, entry[0])]
         for key in doomed:
             del self._entries[key]
         return len(doomed)
@@ -187,7 +193,21 @@ class BindingCache:
         self._entries.clear()
 
     def items(self) -> list[tuple[Any, Any]]:
-        return [(key, value) for key, (value, __) in self._entries.items()]
+        return [(key, entry[0]) for key, entry in self._entries.items()]
+
+    # ---------------------------------------------------------- provenance
+    # Raw accessors for the coherence auditor: no hit/miss/expiry counting,
+    # no LRU touch, possibly-expired entries included -- auditing the cache
+    # must not perturb it.
+
+    def meta(self, key: Any) -> Optional[tuple[Any, float, int, int]]:
+        """The raw entry for ``key``: (value, stamp, epoch, source)."""
+        return self._entries.get(key)
+
+    def entries_meta(self) -> list[tuple[Any, Any, float, int, int]]:
+        """Every raw entry as (key, value, stamp, epoch, source)."""
+        return [(key, entry[0], entry[1], entry[2], entry[3])
+                for key, entry in self._entries.items()]
 
 
 @dataclass(frozen=True)
@@ -351,7 +371,9 @@ class NameCache:
         if advice is None:
             return
         pair, index, service = advice
-        self._hints.put(data, (pair, index))
+        provenance = read_binding_provenance(reply) or (0, 0)
+        self._hints.put(data, (pair, index),
+                        epoch=provenance[0], source=provenance[1])
         try:
             prefix, rest_index = parse_prefix(data)
         except BadName:

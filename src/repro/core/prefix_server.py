@@ -43,7 +43,12 @@ from repro.core.mapping import (
     ResolvedParent,
 )
 from repro.core.names import BadName, as_text, parse_prefix, validate_component
-from repro.core.protocol import FIELD_HINT_SERVICE, CSNameHeader
+from repro.core.protocol import (
+    FIELD_HINT_EPOCH,
+    FIELD_HINT_SERVICE,
+    FIELD_HINT_SOURCE,
+    CSNameHeader,
+)
 from repro.kernel.ipc import Annotate, Delivery, GetPid
 from repro.kernel.messages import ReplyCode, RequestCode
 from repro.kernel.pids import Pid
@@ -62,6 +67,13 @@ class PrefixBinding:
     #: Generic form: (service id, context id), resolved by GetPid per use.
     generic_service: Optional[int] = None
     generic_context: int = int(WellKnownContext.DEFAULT)
+    #: Provenance: the authoritative mutation epoch this binding carries and
+    #: the pid of the server that authored it (0 = setup-time, pre-kernel).
+    #: A replica installing a synced binding copies the owner's stamp, so a
+    #: (epoch, source) pair identifies one authoritative mutation fleet-wide
+    #: -- the coherence auditor compares stamps, never clocks.
+    epoch: int = 0
+    source: int = 0
 
     @property
     def is_generic(self) -> bool:
@@ -89,6 +101,13 @@ class ContextPrefixServer(CSNHServer):
         self.parse_cpu = parse_cpu
         self.user = user
         self.table = _PrefixTable()
+        #: Monotonic per-server mutation counter: every authoritative change
+        #: to the prefix table (install, rebind, delete) gets the next epoch.
+        self._epoch = 0
+        #: prefix -> epoch of its most recent *deletion*, so the auditor can
+        #: distinguish "never existed" from "recently unbound" when it finds
+        #: a cached entry the authority no longer holds.
+        self.tombstones: dict[bytes, int] = {}
         #: Client-side binding caches to notify when a prefix is deleted or
         #: rebound (repro.core.namecache).  The prefix server and its client
         #: caches share the workstation, so a notice is a shared-memory
@@ -102,12 +121,26 @@ class ContextPrefixServer(CSNHServer):
     # (used at setup time by the code wiring a workstation together; at run
     # time clients use ADD/DELETE_CONTEXT_NAME messages)
 
+    def _stamp(self, binding: PrefixBinding) -> PrefixBinding:
+        """Stamp a fresh authoritative mutation epoch onto ``binding``.
+
+        ``source`` is this server's pid once it runs (0 for setup-time
+        installs, before the kernel assigned one); together (epoch, source)
+        names this mutation uniquely across the fleet.
+        """
+        self._epoch += 1
+        binding.epoch = self._epoch
+        binding.source = int(self.pid.value) if self.pid is not None else 0
+        return binding
+
     def define_prefix(self, name: str | bytes, pair: ContextPair) -> None:
         """Install a fixed binding."""
         key = validate_component(_as_prefix(name))
         if key in self.table.bindings:
             self._notify_invalidate(key)
-        self.table.bindings[key] = PrefixBinding(name=key, fixed=pair)
+        self.table.bindings[key] = self._stamp(PrefixBinding(name=key,
+                                                             fixed=pair))
+        self.tombstones.pop(key, None)
 
     def define_generic_prefix(self, name: str | bytes, service: int,
                               context_id: int = int(WellKnownContext.DEFAULT),
@@ -116,13 +149,16 @@ class ContextPrefixServer(CSNHServer):
         key = validate_component(_as_prefix(name))
         if key in self.table.bindings:
             self._notify_invalidate(key)
-        self.table.bindings[key] = PrefixBinding(
-            name=key, generic_service=int(service), generic_context=context_id)
+        self.table.bindings[key] = self._stamp(PrefixBinding(
+            name=key, generic_service=int(service), generic_context=context_id))
+        self.tombstones.pop(key, None)
 
     def remove_prefix(self, name: str | bytes) -> bool:
         key = _as_prefix(name)
         removed = self.table.bindings.pop(key, None) is not None
         if removed:
+            self._epoch += 1
+            self.tombstones[key] = self._epoch
             self._notify_invalidate(key)
         return removed
 
@@ -197,11 +233,17 @@ class ContextPrefixServer(CSNHServer):
             # Mark the forwarded request as generic-bound: the final server
             # echoes the service id in its binding advice, telling caching
             # clients to keep re-resolving the pid instead of pinning it.
+            # The binding's provenance stamp rides (and is echoed) the same
+            # way, so the client records which version it learned.
             return ForwardName(
                 ContextPair(pid, binding.generic_context), rest_index,
-                extra_fields={FIELD_HINT_SERVICE: int(binding.generic_service)})
+                extra_fields={FIELD_HINT_SERVICE: int(binding.generic_service),
+                              FIELD_HINT_EPOCH: int(binding.epoch),
+                              FIELD_HINT_SOURCE: int(binding.source)})
         assert binding.fixed is not None
-        return ForwardName(binding.fixed, rest_index)
+        return ForwardName(binding.fixed, rest_index,
+                           extra_fields={FIELD_HINT_EPOCH: int(binding.epoch),
+                                         FIELD_HINT_SOURCE: int(binding.source)})
 
     def lookup_binding(self, prefix: bytes) -> Gen:
         """The live binding for ``prefix``, or None (authoritatively unbound).
@@ -233,7 +275,8 @@ class ContextPrefixServer(CSNHServer):
         if binding is None:
             yield from self.reply_error(delivery, ReplyCode.BAD_ARGS)
             return
-        self.table.bindings[key] = binding
+        self.table.bindings[key] = self._stamp(binding)
+        self.tombstones.pop(key, None)
         if exists:
             # Rebinding: anything cached under the old binding is now stale.
             # Notified only now, after validation succeeded and the new
@@ -280,6 +323,8 @@ class ContextPrefixServer(CSNHServer):
         if self.table.bindings.pop(resolution.component, None) is None:
             yield from self.reply_error(delivery, ReplyCode.NOT_FOUND)
             return
+        self._epoch += 1
+        self.tombstones[bytes(resolution.component)] = self._epoch
         self._notify_invalidate(bytes(resolution.component))
         yield from self.unbound_prefix(bytes(resolution.component))
         yield from self.reply_ok(delivery)

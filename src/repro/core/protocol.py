@@ -44,6 +44,16 @@ FIELD_BOUND_CONTEXT = "bound_context"
 FIELD_BOUND_INDEX = "bound_index"
 FIELD_HINT_SERVICE = "hint_service"
 
+#: Provenance fields (coherence observability, see repro.obs.audit).  A
+#: prefix server additionally stamps the binding's mutation epoch and the
+#: pid of the server that authored it onto the forwarded request; the
+#: final server echoes both, so a caching client records *which version*
+#: of the binding it learned -- staleness becomes a computable quantity.
+#: Like the advice fields these ride the short-message variant part, so
+#: they cost nothing on the wire.
+FIELD_HINT_EPOCH = "hint_epoch"
+FIELD_HINT_SOURCE = "hint_source"
+
 #: Request codes defined by the base protocol that carry a CSname.  Servers
 #: register additional ones with :func:`register_csname_request`; "there is
 #: no limit to the number of request message types that may contain CSnames."
@@ -142,7 +152,9 @@ def read_csname_header(message: Message) -> CSNameHeader:
 
 
 def make_binding_advice(server: Pid, context_id: int, name_index: int,
-                        hint_service: Optional[int] = None) -> dict[str, Any]:
+                        hint_service: Optional[int] = None,
+                        hint_epoch: Optional[int] = None,
+                        hint_source: Optional[int] = None) -> dict[str, Any]:
     """The advice fields a CSNH server attaches to an OK CSname reply."""
     advice: dict[str, Any] = {
         FIELD_BOUND_SERVER: int(server.value),
@@ -151,6 +163,10 @@ def make_binding_advice(server: Pid, context_id: int, name_index: int,
     }
     if hint_service is not None:
         advice[FIELD_HINT_SERVICE] = int(hint_service)
+    if hint_epoch is not None:
+        advice[FIELD_HINT_EPOCH] = int(hint_epoch)
+    if hint_source is not None:
+        advice[FIELD_HINT_SOURCE] = int(hint_source)
     return advice
 
 
@@ -170,6 +186,20 @@ def read_binding_advice(
     service = reply.get(FIELD_HINT_SERVICE)
     pair = ContextPair(Pid(int(raw_server)), int(raw_context))
     return pair, int(raw_index), int(service) if service is not None else None
+
+
+def read_binding_provenance(reply: Message) -> Optional[tuple[int, int]]:
+    """Decode a reply's binding provenance: ``(epoch, source_pid)``.
+
+    Returns None when the reply carries no provenance (pre-provenance
+    servers, names never routed through a prefix server); like advice,
+    provenance is strictly optional and purely advisory.
+    """
+    raw_epoch = reply.get(FIELD_HINT_EPOCH)
+    if raw_epoch is None:
+        return None
+    raw_source = reply.get(FIELD_HINT_SOURCE)
+    return int(raw_epoch), int(raw_source) if raw_source is not None else 0
 
 
 def rewrite_for_forward(message: Message, context_id: int,

@@ -173,6 +173,16 @@ def send_csname_request(env: NamingEnvironment, code: int, name: str | bytes,
             and cache.should_route(data, code)):
         now = yield Now()
         cache.learn(data, reply, now)
+    elif (cache is not None and reply.ok
+          and not cache.should_route(data, code)):
+        # Cache-bypass operations (ADD/DELETE_CONTEXT_NAME) never reach
+        # ``learn``, but their success changes what cached answers are
+        # still right -- a create must kill a cached NOT_FOUND for the
+        # name it just bound.  Caches that care expose ``note_mutation``
+        # (the shard resolver); plain memory writes, zero simulated cost.
+        note = getattr(cache, "note_mutation", None)
+        if note is not None:
+            note(data, code)
     if span is not None:
         end = yield Now()
         env.obs.spans.finish(span, end, reply_code=code_name(reply.code),

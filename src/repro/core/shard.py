@@ -68,7 +68,7 @@ from repro.core.namecache import (
 )
 from repro.core.names import BadName, as_text, has_prefix, parse_prefix, validate_component
 from repro.core.prefix_server import ContextPrefixServer, PrefixBinding, _as_prefix
-from repro.core.protocol import CSNameHeader
+from repro.core.protocol import CSNameHeader, read_binding_provenance
 from repro.kernel.ipc import Delivery, GetPid, Now, Send
 from repro.kernel.messages import Message, ReplyCode, RequestCode
 from repro.kernel.pids import Pid
@@ -274,6 +274,20 @@ class ShardReplicaServer(ContextPrefixServer):
         expiry = self._leases.get(prefix)
         return expiry is not None and now < expiry
 
+    def _probe(self):
+        """The domain's coherence probe when armed, else None.
+
+        Duck-typed through ``domain.coherence`` (see repro.obs.audit) so
+        the core layer never imports the obs layer; the disabled path is
+        one attribute read.  Probe callbacks are pure bookkeeping -- no
+        events, no rng draws -- so an armed run stays simulated-time
+        identical to a bare one.
+        """
+        host = self.host
+        if host is None:
+            return None
+        return getattr(host.domain, "coherence", None)
+
     # ----------------------------------------------------- the coherence rule
 
     def lookup_binding(self, prefix: bytes) -> Gen:
@@ -287,9 +301,14 @@ class ShardReplicaServer(ContextPrefixServer):
         """
         binding = self.table.bindings.get(prefix)
         now = yield Now()
+        probe = self._probe()
+        if probe is not None:
+            probe.shard_lookup(self.host.name, self.replica_id)
         if self.is_owner(prefix):
             if binding is not None:
                 self._leases[prefix] = now + self.lease_ttl
+                if probe is not None:
+                    probe.lease_event(self.host.name, "grant")
             return binding
         if binding is not None:
             if self.lease_fresh(prefix, now):
@@ -297,6 +316,8 @@ class ShardReplicaServer(ContextPrefixServer):
             # The one forbidden move would be returning ``binding`` here.
             # (expired_served stays 0; the refusal below is the legal path.)
         self.lease_refusals += 1
+        if probe is not None:
+            probe.lease_event(self.host.name, "refusal")
         self._spawn_refresh(prefix)
         owner = self.owner_pid(prefix)
         extra = {"owner_pid": int(owner.value)} if owner is not None else None
@@ -328,10 +349,15 @@ class ShardReplicaServer(ContextPrefixServer):
             if binding is not None:
                 now = yield Now()
                 rebound = prefix in self.table.bindings
+                binding.epoch = int(reply.get("epoch", 0))
+                binding.source = int(reply.get("source", 0))
                 self.table.bindings[prefix] = binding
                 self._leases[prefix] = now + float(
                     reply.get("lease", self.lease_ttl))
                 self.lease_refreshes += 1
+                probe = self._probe()
+                if probe is not None:
+                    probe.lease_event(self.host.name, "refresh")
                 if rebound:
                     self._notify_invalidate(prefix)
         elif reply.code == int(ReplyCode.NOT_FOUND):
@@ -374,6 +400,9 @@ class ShardReplicaServer(ContextPrefixServer):
                      binding: PrefixBinding, rebound: bool) -> Gen:
         now = yield Now()
         self._leases[key] = now + self.lease_ttl
+        probe = self._probe()
+        if probe is not None:
+            probe.lease_event(self.host.name, "grant")
         if self.is_owner(key):
             self._fan_out(RequestCode.SHARD_SYNC, key, binding)
 
@@ -400,7 +429,20 @@ class ShardReplicaServer(ContextPrefixServer):
         fields: dict = {"prefix": as_text(key), "lease": self.lease_ttl}
         if binding is not None:
             fields.update(binding_fields(binding))
+            # The binding's provenance rides as explicit notice fields (NOT
+            # inside binding_fields: that codec also feeds export_table's
+            # *charged* JSON segment, and epochs must stay wire-neutral).
+            fields["epoch"] = int(binding.epoch)
+            fields["source"] = int(binding.source)
+        else:
+            # An invalidation carries the deletion's tombstone epoch.
+            fields["epoch"] = int(self.tombstones.get(key, 0))
+            fields["source"] = int(self.pid.value) if self.pid else 0
+        probe = self._probe()
         for peer in peers:
+            if probe is not None:
+                probe.notice_sent(key, int(peer.value),
+                                  self.host.domain.now)
             yield Send(peer, Message.request(code, **fields))
             # A dead peer times out after the probe budget; it will pull a
             # fresh table when it rejoins, so the notice owes it nothing.
@@ -430,6 +472,8 @@ class ShardReplicaServer(ContextPrefixServer):
         self._leases[prefix] = now + self.lease_ttl
         yield from self.reply_ok(delivery, lease=self.lease_ttl,
                                  shard_version=self.shard_map.version,
+                                 epoch=int(binding.epoch),
+                                 source=int(binding.source),
                                  **binding_fields(binding))
 
     def op_shard_sync(self, delivery: Delivery) -> Gen:
@@ -442,9 +486,15 @@ class ShardReplicaServer(ContextPrefixServer):
             return
         now = yield Now()
         rebound = key in self.table.bindings
+        binding.epoch = int(message.get("epoch", 0))
+        binding.source = int(message.get("source", 0))
         self.table.bindings[key] = binding
         self._leases[key] = now + float(message.get("lease", self.lease_ttl))
         self.syncs_seen += 1
+        probe = self._probe()
+        if probe is not None:
+            probe.notice_applied(key, int(self.pid.value) if self.pid else 0,
+                                 self.host.name, now)
         if rebound:
             self._notify_invalidate(key)
         yield from self.reply_ok(delivery,
@@ -456,6 +506,15 @@ class ShardReplicaServer(ContextPrefixServer):
         existed = self.table.bindings.pop(key, None) is not None
         self._leases.pop(key, None)
         self.invalidations_seen += 1
+        # Remember the deletion's epoch so an audit can tell "recently
+        # unbound" from "never existed" at this replica too.
+        notice_epoch = int(delivery.message.get("epoch", 0))
+        if notice_epoch:
+            self.tombstones[key] = notice_epoch
+        probe = self._probe()
+        if probe is not None:
+            probe.notice_applied(key, int(self.pid.value) if self.pid else 0,
+                                 self.host.name, self.host.domain.now)
         if existed:
             self._notify_invalidate(key)
         yield from self.reply_ok(delivery,
@@ -467,10 +526,18 @@ class ShardReplicaServer(ContextPrefixServer):
                                  shard_version=self.shard_map.version)
 
     def op_shard_pull(self, delivery: Delivery) -> Gen:
-        """Bulk table transfer for a rejoining replica."""
+        """Bulk table transfer for a rejoining replica.
+
+        Provenance stamps ride as a reply *field* (flat-charged), never in
+        the segment: growing the charged JSON payload would change the
+        transfer's simulated timing, and epochs are bookkeeping, not data.
+        """
         now = yield Now()
+        epochs = {as_text(key): [int(binding.epoch), int(binding.source)]
+                  for key, binding in self.table.bindings.items()}
         yield from self.reply_ok(delivery, segment=self.export_table(now),
-                                 shard_version=self.shard_map.version)
+                                 shard_version=self.shard_map.version,
+                                 epochs=epochs)
 
     # ----------------------------------------------------------- bulk state
 
@@ -494,8 +561,15 @@ class ShardReplicaServer(ContextPrefixServer):
             records.append(record)
         return json.dumps({"bindings": records}, sort_keys=True).encode()
 
-    def install_table(self, payload: bytes, now: float) -> int:
-        """Install a pulled table; returns how many bindings landed."""
+    def install_table(self, payload: bytes, now: float,
+                      epochs: Optional[dict] = None) -> int:
+        """Install a pulled table; returns how many bindings landed.
+
+        ``epochs`` is the PULL reply's sideband provenance map
+        (prefix text -> [epoch, source]); absent entries install as
+        (0, 0) -- unknown -- which the auditor treats as unverifiable
+        rather than incoherent.
+        """
         doc = json.loads(payload)
         installed = 0
         for record in doc.get("bindings", []):
@@ -507,6 +581,10 @@ class ShardReplicaServer(ContextPrefixServer):
                     if field in record}))
             if binding is None:
                 continue
+            stamp = (epochs or {}).get(str(record["prefix"]))
+            if stamp:
+                binding.epoch = int(stamp[0])
+                binding.source = int(stamp[1])
             self.table.bindings[key] = binding
             remaining = float(record.get("lease_remaining", 0.0))
             if remaining > 0:
@@ -528,6 +606,29 @@ class ShardReplicaServer(ContextPrefixServer):
             "invalidations_seen": self.invalidations_seen,
             "expired_served": self.expired_served,
         }
+
+    def coherence_entries(self, now: float) -> list[dict]:
+        """Every table entry with its provenance and lease state.
+
+        Plain memory reads (zero simulated cost) for the coherence payload
+        at ``[obs]/hosts/<host>/coherence`` and the direct auditor; the
+        simulated price of *reading* it over the wire is paid by the
+        introspection messages, as with every other [obs] leaf.
+        """
+        entries = []
+        for key in sorted(self.table.bindings):
+            binding = self.table.bindings[key]
+            expiry = self._leases.get(key)
+            entries.append({
+                "prefix": as_text(key),
+                "epoch": int(binding.epoch),
+                "source": int(binding.source),
+                "is_owner": self.is_owner(key),
+                "lease_expiry": expiry,
+                "lease_fresh": (self.is_owner(key)
+                                or (expiry is not None and now < expiry)),
+            })
+        return entries
 
 
 # ------------------------------------------------------------- the cluster
@@ -569,8 +670,16 @@ class ShardCluster:
         self.map = ShardMap(version=1, replicas=tuple(sorted(replicas)),
                             vnodes=self.vnodes)
         self._install_map()
+        #: Seed-time mutation counter: boot-time installs get provenance
+        #: stamps too (source 0 = pre-kernel), so a seeded binding audits
+        #: the same way a run-time one does.
+        self._seed_epoch = 0
         domain.on_host_crashed(self._on_host_crashed)
         domain.on_host_restarted(self._on_host_restarted)
+        # Registered so the coherence auditor (repro.obs.audit) can find
+        # every cluster's authoritative state without being handed refs.
+        if hasattr(domain, "shard_clusters"):
+            domain.shard_clusters.append(self)
 
     def _spawn_replica(self, replica_id: int, host) -> "_SpawnedReplica":
         from repro.servers.base import start_server
@@ -604,6 +713,8 @@ class ShardCluster:
             if pair is None:
                 raise ValueError("seed_binding needs a pair or a service")
             binding = PrefixBinding(name=key, fixed=pair)
+        self._seed_epoch += 1
+        binding.epoch = self._seed_epoch
         now = self.domain.now
         for server in self.servers.values():
             server.table.bindings[key] = binding
@@ -617,12 +728,18 @@ class ShardCluster:
 
     def resolver(self, binding_ttl: Optional[float] = None,
                  negative_ttl: float = 0.25, max_entries: int = 2048,
-                 registry=None) -> "ShardResolver":
-        """A per-host resolver daemon wired to the current map."""
+                 registry=None, host=None) -> "ShardResolver":
+        """A per-host resolver daemon wired to the current map.
+
+        Pass ``host`` to register the resolver for coherence observability:
+        the auditor and the ``[obs]/hosts/<host>/coherence`` leaf find it
+        through ``domain.shard_resolvers``.
+        """
         return ShardResolver(self.map,
                              binding_ttl=binding_ttl or self.lease_ttl,
                              negative_ttl=negative_ttl,
-                             max_entries=max_entries, registry=registry)
+                             max_entries=max_entries, registry=registry,
+                             host=host)
 
     # ------------------------------------------------------------- membership
 
@@ -667,7 +784,8 @@ class ShardCluster:
                                Message.request(RequestCode.SHARD_PULL))
             if reply.ok and reply.segment:
                 now = yield Now()
-                server.install_table(reply.segment, now)
+                server.install_table(reply.segment, now,
+                                     epochs=reply.get("epochs"))
                 break
         # Adopt into the map only after the warm-up: a rejoined replica
         # that claimed ownership over an empty table would answer
@@ -719,7 +837,7 @@ class ShardResolver:
 
     def __init__(self, shard_map: ShardMap, binding_ttl: float = 1.0,
                  negative_ttl: float = 0.25, max_entries: int = 2048,
-                 registry=None) -> None:
+                 registry=None, host=None) -> None:
         self.map = shard_map
         #: prefix -> ContextPair, TTL-bound: a client must not keep using a
         #: binding longer than the replicas' own lease discipline would.
@@ -731,11 +849,22 @@ class ShardResolver:
                                       ttl=negative_ttl)
         self.stats = CacheStats()
         self.registry = registry
+        #: The host this resolver serves, when known: names the resolver in
+        #: coherence samples and registers it for the auditor's fleet walk.
+        self.host = host
+        if host is not None and hasattr(host.domain, "shard_resolvers"):
+            host.domain.shard_resolvers[host.host_id] = self
         self._last_dst: Optional[Pid] = None
         self.negative_hits = 0
         self.negative_stores = 0
         self.redirects_followed = 0
         self.map_refreshes = 0
+
+    def _probe(self):
+        """The domain's coherence probe when armed and a host is known."""
+        if self.host is None:
+            return None
+        return getattr(self.host.domain, "coherence", None)
 
     # -------------------------------------------------------------- counters
 
@@ -760,9 +889,12 @@ class ShardResolver:
 
     def route(self, data: bytes) -> Gen:
         now = yield Now()
+        probe = self._probe()
         if self._negative.get(data, now) is not None:
             self.negative_hits += 1
             self._hit("negative")
+            if probe is not None:
+                probe.negcache_hit(self.host.name)
             return NEGATIVE_ROUTE
         try:
             prefix, rest_index = parse_prefix(data)
@@ -772,6 +904,12 @@ class ShardResolver:
         if entry is None:
             self._miss()
             return None
+        if probe is not None:
+            meta = self._bindings.meta(prefix)
+            if meta is not None:
+                # How old the entry being served is, in simulated seconds:
+                # staleness at hit, the quantity TTLs merely bound.
+                probe.stale_hit(self.host.name, now - meta[1])
         self._hit("shard")
         return CachedRoute(entry.server, entry.context_id, rest_index,
                            "shard", prefix=prefix)
@@ -874,8 +1012,33 @@ class ShardResolver:
             # re-resolved per use: the prefix-level binding is unknowable.
             return
         if now is not None:
+            provenance = read_binding_provenance(reply) or (0, 0)
             self._bindings.put(prefix,
-                               ContextPair(pair.server, pair.context_id), now)
+                               ContextPair(pair.server, pair.context_id), now,
+                               epoch=provenance[0], source=provenance[1])
+
+    def note_mutation(self, data: bytes, code: int) -> None:
+        """A table mutation this client sent succeeded; reconcile caches.
+
+        ADD/DELETE_CONTEXT_NAME bypass the cache on the way out
+        (:data:`~repro.core.namecache.CACHE_BYPASS_OPS`), so ``learn``
+        never sees them -- but their success changes what cached answers
+        are still right.  A *create* must kill negative entries for names
+        under the prefix (a cached NOT_FOUND for a now-bound name would
+        keep answering NOT_FOUND until its TTL lapsed) and drop the
+        positive binding (a rebind repointed it); a *delete* drops the
+        positive binding (the negative cache needs no help -- NOT_FOUND
+        is now the truth).
+        """
+        try:
+            prefix, __ = parse_prefix(data)
+        except BadName:
+            return
+        if int(code) == int(RequestCode.ADD_CONTEXT_NAME):
+            needle = b"[" + prefix + b"]"
+            self._negative.invalidate_where(
+                lambda key, __: bytes(key).startswith(needle))
+        self._bindings.invalidate(prefix)
 
     # ---------------------------------------------------------- invalidation
 
@@ -916,6 +1079,42 @@ class ShardResolver:
     def footprint(self) -> dict:
         return {"bindings": len(self._bindings),
                 "negative": len(self._negative)}
+
+    def coherence_entries(self, now: float) -> dict:
+        """Cache contents with provenance, for the coherence auditor.
+
+        Raw (uncounted) reads: auditing the resolver must not perturb its
+        hit/miss accounting or LRU order.  ``age`` is simulated seconds
+        since install; entries past their TTL are reported with
+        ``expired: true`` rather than hidden -- the auditor wants to see
+        what a lazy cache still *holds*, not only what it would serve.
+        """
+        ttl = self._bindings.ttl
+        positive = []
+        for key, value, stamp, epoch, source in self._bindings.entries_meta():
+            positive.append({
+                "prefix": as_text(key),
+                "server_pid": int(value.server.value),
+                "context_id": int(value.context_id),
+                "installed_at": stamp,
+                "age": now - stamp,
+                "epoch": int(epoch),
+                "source": int(source),
+                "expired": ttl is not None and now - stamp >= ttl,
+            })
+        negative_ttl = self._negative.ttl
+        negative = []
+        for key, __, stamp, *___ in self._negative.entries_meta():
+            negative.append({
+                "name": as_text(key),
+                "installed_at": stamp,
+                "age": now - stamp,
+                "expired": (negative_ttl is not None
+                            and now - stamp >= negative_ttl),
+            })
+        return {"map_version": self.map.version,
+                "binding_ttl": ttl, "negative_ttl": negative_ttl,
+                "bindings": positive, "negative": negative}
 
     def snapshot(self) -> dict:
         return {

@@ -462,6 +462,11 @@ class ShardStormReport:
     metrics: dict = field(default_factory=dict)
     resolvers: list = field(default_factory=list)
     replicas: list = field(default_factory=list)
+    #: Post-quiescence coherence audit document (repro.obs.audit): via the
+    #: ``[obs]`` protocol walk when ``watchdogs=True``, direct otherwise.
+    audit: dict = field(default_factory=dict)
+    #: Watchdog summary (``watchdogs=True`` only), same shape as run_chaos.
+    alerts: dict = field(default_factory=dict)
 
     @property
     def reads(self) -> int:
@@ -472,7 +477,7 @@ class ShardStormReport:
         return self.reads_ok / self.reads if self.reads else 0.0
 
     def to_dict(self) -> dict:
-        return {
+        document = {
             "seed": self.seed,
             "duration": self.duration,
             "n_replicas": self.n_replicas,
@@ -490,13 +495,21 @@ class ShardStormReport:
             "resolvers": self.resolvers,
             "replicas": self.replicas,
         }
+        if self.audit:
+            document["audit"] = self.audit
+        if self.alerts:
+            document["alerts"] = self.alerts
+        return document
 
 
 def run_replica_storm(seed: int = 11, duration: float = 6.0,
                       n_replicas: int = 3, n_prefixes: int = 48,
                       n_clients: int = 2, lease_ttl: float = 0.8,
                       crash: bool = True,
-                      retry_budget: int = 4) -> ShardStormReport:
+                      retry_budget: int = 4,
+                      watchdogs: bool = False,
+                      audit_every: Optional[float] = None,
+                      on_audit=None) -> ShardStormReport:
     """Crash every shard replica in turn under live Zipf read traffic.
 
     A :class:`~repro.core.shard.ShardCluster` of ``n_replicas`` serves
@@ -522,6 +535,17 @@ def run_replica_storm(seed: int = 11, duration: float = 6.0,
     down (there is nobody to fail over to), but the accounting and lease
     invariants must still hold, and the respawn re-seeds the table the way
     a workstation boot script would.
+
+    After quiescence, every storm additionally runs the **coherence
+    audit** (:func:`repro.obs.audit.audit_direct` -- pure memory reads):
+    any entry the auditor classifies incoherent is an invariant failure.
+    With ``watchdogs=True``, a watcher workstation, the ``[obs]`` name
+    space, the coherence probe, and the telemetry collector (default +
+    coherence SLO rules) ride along; the post-run audit then walks the
+    fleet *through the protocol* (``audit_via_obs``) and the alert log is
+    checked for lossless delivery, as in :func:`run_chaos`.
+    ``audit_every`` schedules additional in-run direct audit sweeps every
+    that many simulated seconds, each passed to ``on_audit(document)``.
     """
     from repro.core.context import ContextPair, WellKnownContext
     from repro.core.resolver import NameError_
@@ -545,6 +569,26 @@ def run_replica_storm(seed: int = 11, duration: float = 6.0,
     cluster = ShardCluster(domain, replica_hosts, lease_ttl=lease_ttl)
     for index in range(n_prefixes):
         cluster.seed_binding(f"p{index}", pair)
+
+    from repro.obs.audit import audit_direct
+
+    watcher = None
+    telemetry = None
+    if watchdogs:
+        from repro.obs.audit import enable_coherence
+        from repro.obs.telemetry import coherence_watchdogs, default_watchdogs
+        from repro.runtime.workstation import (
+            setup_workstation,
+            standard_prefixes,
+        )
+        from repro.servers.statserver import enable_obs_namespace
+
+        watcher = setup_workstation(domain, "watch")
+        standard_prefixes(watcher, fs_handle)
+        enable_obs_namespace(domain, fs_host)
+        enable_coherence(domain)
+        telemetry = domain.enable_telemetry(
+            interval=0.1, rules=default_watchdogs() + coherence_watchdogs())
 
     report = ShardStormReport(seed=seed, duration=duration,
                               n_replicas=n_replicas, n_prefixes=n_prefixes,
@@ -572,7 +616,9 @@ def run_replica_storm(seed: int = 11, duration: float = 6.0,
 
     for number in range(n_clients):
         client_host = domain.create_host(f"client{number + 1}")
-        resolver = cluster.resolver()
+        # host= registers the resolver for the coherence audit (and the
+        # [obs] coherence leaf); pure bookkeeping, zero simulated cost.
+        resolver = cluster.resolver(host=client_host)
         session = Session(current=pair, prefix_server=cluster.primary_pid(),
                           latency=domain.latency, cache=resolver)
         session.env.retry_budget = retry_budget
@@ -598,6 +644,23 @@ def run_replica_storm(seed: int = 11, duration: float = 6.0,
                 start = (0.25 + index * 0.18) * duration
                 schedule.crash_between(host, start, start + 0.10 * duration)
 
+    if audit_every is not None and audit_every > 0:
+        # Periodic direct audit sweeps: pure memory reads on the simulated
+        # timeline (no sends, no rng), bounded by the storm window so the
+        # run can still quiesce.  The bound must be the *clock*, not the
+        # queue: a pending-count check would deadlock-by-politeness with
+        # the telemetry tick (each sees the other's next event as pending
+        # work and reschedules forever).  The quiescent audit after
+        # domain.run() covers everything past the last sweep.
+        def sweep():
+            document = audit_direct(domain)
+            if on_audit is not None:
+                on_audit(document)
+            if domain.now + audit_every < duration:
+                domain.engine.schedule(audit_every, sweep)
+
+        domain.engine.schedule(audit_every, sweep)
+
     domain.run()
     domain.check_healthy()
 
@@ -608,6 +671,16 @@ def run_replica_storm(seed: int = 11, duration: float = 6.0,
     report.resolvers = [resolver.snapshot() for resolver in resolvers]
     report.replicas = [server.snapshot_shard()
                        for server in cluster.all_servers()]
+
+    # The coherence audit invariant: at quiescence, no cached entry
+    # anywhere in the fleet may classify incoherent.  Direct (zero-cost)
+    # always; through the [obs] protocol walk as well when it is deployed.
+    direct_audit = audit_direct(domain)
+    report.audit = direct_audit
+    if watchdogs and watcher is not None:
+        from repro.obs.audit import audit_via_obs
+
+        report.audit = audit_via_obs(watcher)
 
     problems = (check_no_timer_leaks(domain)
                 + check_no_stuck_transactions(domain)
@@ -621,6 +694,31 @@ def run_replica_storm(seed: int = 11, duration: float = 6.0,
             "replicas: failover must keep every name resolvable")
     if report.reads_wrong:
         problems.append(f"{report.reads_wrong} read(s) returned wrong data")
+    audits = ([direct_audit] if report.audit is direct_audit
+              else [direct_audit, report.audit])
+    for source in audits:
+        for finding in source["findings"]["incoherent"]:
+            problems.append(
+                f"coherence audit ({source['via']}): {finding['tier']} "
+                f"entry [{finding.get('prefix', finding.get('name'))}] on "
+                f"{finding['host']} is incoherent (stamp "
+                f"({finding['epoch']},{finding['source']}) vs owner "
+                f"{finding['owner']})")
+    if telemetry is not None:
+        alerts = telemetry.alerts
+        report.alerts = {
+            "fired": alerts.fired,
+            "resolved": alerts.resolved,
+            "active": sorted(f"{rule}@{host}"
+                             for rule, host in alerts.active),
+            "events": alerts.to_records(),
+        }
+        delivered = read_alerts_via_obs(watcher)
+        report.alerts["delivered"] = len(delivered)
+        try:
+            check_alert_delivery(delivered, alerts.to_records())
+        except InvariantViolation as violation:
+            problems += violation.problems
     if problems:
         raise InvariantViolation(problems)
     return report
@@ -719,7 +817,8 @@ def main(argv: Optional[list[str]] = None) -> int:
                 n_replicas=args.replicas,
                 n_prefixes=args.storm_prefixes,
                 n_clients=args.storm_clients,
-                crash=not args.no_crash)
+                crash=not args.no_crash,
+                watchdogs=args.watchdogs)
         except InvariantViolation as violation:
             print(violation, file=sys.stderr)
             return 1

@@ -75,6 +75,20 @@ class Domain:
         #: None.  Kernel record sites gate on this, same discipline as the
         #: telemetry hook: one attribute read per site when disabled.
         self.flight = None
+        #: Coherence probe (see repro.obs.audit.enable_coherence), or None.
+        #: Name-state code (shard servers/resolvers) gates on this to emit
+        #: invalidation-lag / staleness / lease-churn samples; the disabled
+        #: path is one attribute read, and the armed probe is pure
+        #: bookkeeping -- no events, no rng -- so simulated time is
+        #: identical either way.
+        self.coherence = None
+        #: host_id -> ShardResolver, registered by ``ShardCluster.resolver
+        #: (host=...)`` so the stat server can serve
+        #: ``[obs]/hosts/<h>/coherence`` and the auditor can walk the fleet.
+        self.shard_resolvers: dict[int, object] = {}
+        #: Every ShardCluster built over this domain (authoritative shard
+        #: state for the coherence auditor's cross-checks).
+        self.shard_clusters: list = []
         #: Per-domain transaction / getpid-waiter id streams.  Domain-local
         #: (not process-global) so ids are pure functions of the run: two
         #: same-seed domains allocate identical txn ids, which is what makes

@@ -945,6 +945,17 @@ class Host:
     def _on_request_packet(self, packet: Packet, src_host: int) -> None:
         assert packet.dst_pid is not None and packet.message is not None
         presence = self._presence.get(packet.txn_id)
+        if (presence is not None and presence[0] == "forwarded"
+                and packet.info.get("forwarder") is not None):
+            # The forwarding chain re-entered a host it already passed
+            # through (A forwarded the txn away; a later hop forwarded it
+            # back to another process on A).  The stale "forwarded" marker
+            # must not suppress the new leg as a duplicate -- that drops
+            # the request on the floor while the sender's probes keep
+            # finding live processes, a permanent black hole.  Only true
+            # forward hops carry a forwarder pid; sender retransmissions
+            # do not, and those still dup-suppress below.
+            presence = None
         if presence is not None:
             # A copy of a request we already hold (retransmission or wire
             # duplicate).  The transaction is idempotent-at-most-once from

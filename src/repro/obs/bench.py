@@ -92,6 +92,7 @@ EXPERIMENTS: tuple[tuple[str, str], ...] = (
     ("e16", "bench_e16_engine_throughput"),
     ("e17", "bench_e17_flight_recorder"),
     ("e18", "bench_e18_sharded_names"),
+    ("e19", "bench_e19_coherence_audit"),
     ("ablations", "bench_ablations"),
 )
 

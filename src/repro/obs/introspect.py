@@ -77,6 +77,21 @@ def host_namecache_payload(host: "Host") -> bytes:
     return _json_bytes(snap)
 
 
+def host_coherence_payload(host: "Host") -> bytes:
+    """``[obs]/hosts/<host>/coherence``: cached name state with provenance.
+
+    The host's shard-replica table and shard-resolver caches, every entry
+    stamped with its ``(epoch, source)`` provenance and lease/TTL state --
+    the per-host unit the coherence auditor (:mod:`repro.obs.audit`)
+    cross-checks against the authoritative owner.  A host running neither
+    a replica nor a registered resolver serves ``enabled: false`` -- the
+    *name* exists on every host, uniformly.
+    """
+    from repro.obs.audit import host_coherence_document
+
+    return _json_bytes(host_coherence_document(host))
+
+
 def host_profile_payload(host: "Host") -> bytes:
     """``[obs]/hosts/<host>/profile``: live attribution-profiler totals.
 

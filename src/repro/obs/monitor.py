@@ -82,9 +82,33 @@ def _series_summary(records: list[dict]) -> dict:
     }
 
 
+def _live_map_versions(domain) -> dict:
+    """Each live host's current ShardMap version (replica over resolver).
+
+    Pure memory reads off the per-host coherence documents -- the same
+    source the ``[obs]/hosts/<host>/coherence`` leaf serves -- so the live
+    alert tail can stamp fire/resolve lines with the fleet's map state at
+    that simulated instant.  Hosts with no shard state are omitted.
+    """
+    from repro.obs.audit import host_coherence_document
+
+    versions: dict[str, int] = {}
+    for host in sorted(domain.hosts.values(), key=lambda h: h.host_id):
+        if host.crashed:
+            continue
+        document = host_coherence_document(host)
+        replica = document.get("replica")
+        resolver = document.get("resolver")
+        version = (replica or resolver or {}).get("map_version")
+        if version is not None:
+            versions[host.name] = version
+    return versions
+
+
 def run_monitored(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
-                  interval: float = 0.1,
+                  interval: float = 0.1, shards: int = 0,
                   on_alert: Optional[Callable[[AlertEvent], None]] = None,
+                  live_state: Optional[dict] = None,
                   ) -> dict:
     """One traced, watchdogged scenario; the monitor document.
 
@@ -93,6 +117,18 @@ def run_monitored(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
     full :class:`~repro.obs.Observability` bundle so the run is traced,
     and every number in the returned document was read back through the
     ``[obs]`` name space, not scraped from Python objects.
+
+    ``shards`` > 0 additionally deploys a :class:`~repro.core.shard.
+    ShardCluster` of that many replicas (prefixes ``[s0]``..``[s7]``) with
+    a resolver on the workstation, and the client interleaves sharded
+    reads -- so the coherence series and the ``shard_maps`` section carry
+    live values instead of ``None`` stubs.
+
+    ``live_state``, when given, is refreshed with the fleet's current
+    ShardMap versions (``live_state["shard_maps"]``) immediately before
+    each ``on_alert`` callback -- the alert tail reads it to suffix every
+    fire/resolve line without widening the single-argument callback
+    contract.
     """
     from repro.core.resolver import NameError_
     from repro.faults.chaos import ChaosSchedule
@@ -119,9 +155,37 @@ def run_monitored(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
     standard_prefixes(workstation, handle)
     workstation.enable_name_cache()
     enable_obs_namespace(domain, workstation.host)
+
+    shard_session = None
+    shard_prefixes = 0
+    if shards > 0:
+        from repro.core.context import ContextPair, WellKnownContext
+        from repro.core.shard import ShardCluster
+        from repro.obs.audit import enable_coherence
+        from repro.runtime.session import Session
+
+        enable_coherence(domain)
+        pair = ContextPair(handle.pid, int(WellKnownContext.DEFAULT))
+        shard_hosts = domain.create_hosts(shards, prefix="ns")
+        cluster = ShardCluster(domain, shard_hosts, lease_ttl=1.0)
+        shard_prefixes = 8
+        for index in range(shard_prefixes):
+            cluster.seed_binding(f"s{index}", pair)
+        # host= registers the resolver for the coherence leaf and the
+        # audit walk; the registration itself is pure bookkeeping.
+        resolver = cluster.resolver(host=workstation.host)
+        shard_session = Session(current=pair,
+                                prefix_server=cluster.primary_pid(),
+                                latency=domain.latency, cache=resolver)
+
     telemetry = domain.enable_telemetry(interval=interval)
     if on_alert is not None:
-        telemetry.alerts.subscribe(on_alert)
+        def fire(event: AlertEvent, _notify=on_alert) -> None:
+            if live_state is not None:
+                live_state["shard_maps"] = _live_map_versions(domain)
+            _notify(event)
+
+        telemetry.alerts.subscribe(fire)
 
     schedule = ChaosSchedule(domain)
     schedule.loss_between(0.1 * duration, 0.9 * duration,
@@ -140,13 +204,21 @@ def run_monitored(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
     def client(session):
         from repro.kernel.ipc import Delay, Now
 
+        tick = 0
         while True:
             now = yield Now()
             if now >= duration:
                 break
-            for name in ("[root]data/f0.dat", "[storage]data/f0.dat"):
+            names = [(session, "[root]data/f0.dat"),
+                     (session, "[storage]data/f0.dat")]
+            if shard_session is not None:
+                # Round-robin (not rng) keeps the draw streams untouched.
+                names.append((shard_session,
+                              f"[s{tick % shard_prefixes}]data/f0.dat"))
+                tick += 1
+            for target, name in names:
                 try:
-                    yield from files.read_file(session, name)
+                    yield from files.read_file(target, name)
                 except (NameError_, IoError):
                     reads["failed"] += 1
                 else:
@@ -169,6 +241,8 @@ def run_monitored(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
                 name = f"[obs]/hosts/{host_name}/timeseries/{metric}"
                 payloads[(host_name, metric)] = (
                     yield from files.read_file(session, name))
+            payloads[(host_name, "coherence")] = yield from files.read_file(
+                session, f"[obs]/hosts/{host_name}/coherence")
         payloads[("fleet", "alerts")] = yield from files.read_file(
             session, "[obs]/fleet/alerts")
 
@@ -177,12 +251,22 @@ def run_monitored(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
     domain.run()
 
     hosts: dict[str, dict] = {}
+    shard_maps: dict[str, int] = {}
     for host_name in host_names:
         hosts[host_name] = {
             metric: _series_summary(
                 _parse_jsonl(payloads[(host_name, metric)]))
             for metric in SERIES_METRICS
         }
+        # The host's current ShardMap version, off the coherence leaf it
+        # just served over the wire (replica state wins over resolver;
+        # hosts holding no shard state are omitted).
+        coherence = json.loads(payloads[(host_name, "coherence")])
+        replica = coherence.get("replica")
+        resolver = coherence.get("resolver")
+        version = (replica or resolver or {}).get("map_version")
+        if version is not None:
+            shard_maps[host_name] = version
     alert_records = [record
                      for record in _parse_jsonl(payloads[("fleet", "alerts")])
                      if record.get("kind") == "alert"]
@@ -191,9 +275,10 @@ def run_monitored(seed: int = 7, duration: float = 5.0, drop: float = 0.10,
         "kind": "obs-monitor",
         "schema": MONITOR_SCHEMA,
         "scenario": {"seed": seed, "duration": duration, "drop": drop,
-                     "interval": interval},
+                     "interval": interval, "shards": shards},
         "reads": dict(reads),
         "hosts": hosts,
+        "shard_maps": shard_maps,
         "alerts": {
             "fired": telemetry.alerts.fired,
             "resolved": telemetry.alerts.resolved,
@@ -227,6 +312,13 @@ def render(document: dict, out=None) -> None:
     reads = document["reads"]
     print(f"client reads: {reads['ok']} ok, {reads['failed']} failed",
           file=out)
+    versions = {host: version
+                for host, version in document.get("shard_maps", {}).items()
+                if version is not None}
+    if versions:
+        print("shard maps: " + " ".join(f"{host}=v{version}" for host, version
+                                        in sorted(versions.items())),
+              file=out)
     for host_name, metrics in document["hosts"].items():
         print(f"\n[obs]/hosts/{host_name}/timeseries/*", file=out)
         print(f"  {'metric':<12} {'n':>4} {'min':>9} {'mean':>9} "
@@ -273,17 +365,32 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="frame drop rate during the loss phase")
     parser.add_argument("--interval", type=float, default=0.1,
                         help="telemetry sample interval (simulated s)")
+    parser.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="also deploy an N-replica shard cluster and "
+                             "interleave sharded reads (default: none)")
     parser.add_argument("--json", action="store_true",
                         help="emit the monitor document instead of tables "
                              "(no live tail)")
     args = parser.parse_args(argv)
 
+    live_state: dict = {}
+
     def tail(event: AlertEvent) -> None:
-        print(event.describe(), flush=True)
+        versions = {host: version for host, version
+                    in live_state.get("shard_maps", {}).items()
+                    if version is not None}
+        suffix = ""
+        if versions:
+            suffix = "  shard-maps " + " ".join(
+                f"{host}=v{version}"
+                for host, version in sorted(versions.items()))
+        print(event.describe() + suffix, flush=True)
 
     document = run_monitored(seed=args.seed, duration=args.duration,
                              drop=args.drop, interval=args.interval,
-                             on_alert=None if args.json else tail)
+                             shards=args.shards,
+                             on_alert=None if args.json else tail,
+                             live_state=live_state)
     if args.json:
         print(json.dumps(_strip_values(document), indent=2, sort_keys=True))
     else:

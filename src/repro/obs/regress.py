@@ -16,8 +16,11 @@ deterministic, so most drift *is* a behavior change:
 everything else                 two-sided, exact (counts, bytes, txns)
 ==============================  ============================================
 
-:data:`OVERRIDES` loosens specific metrics whose drift is legitimate
-(e.g. E5's code-size footprint moves whenever the module is edited).
+:data:`OVERRIDES` loosens specific metrics whose drift is legitimate but
+bounded (e.g. E5's prefix-table footprint).  :data:`EXEMPTIONS` removes a
+metric from the gate entirely, with a mandatory written rationale; exempt
+metrics still appear in every report (verdict ``"exempt"``) so the
+exclusion can never go unnoticed.
 
 Only the intersection of experiments/metrics present in both snapshots is
 compared -- quick-mode snapshots simply omit the secondary metrics -- but
@@ -64,8 +67,24 @@ SUFFIX_RULES: tuple[tuple[str, tuple[str, str, float]], ...] = (
 OVERRIDES: dict[str, tuple[str, str, float]] = {
     # Footprints move with any edit to the measured module or interpreter
     # internals; gate only on order-of-magnitude growth.
-    "e5.code_bytes": ("both", "rel", 0.50),
     "e5.table_bytes_12_prefixes": ("both", "rel", 0.50),
+}
+
+#: Metrics excluded from the gate entirely ("<experiment>.<metric>" ->
+#: rationale).  Exemption is stronger than an :data:`OVERRIDES` loosening:
+#: the metric is still *reported* (verdict ``"exempt"``, always passing)
+#: so the exclusion stays visible in every ``--json`` document, but no
+#: tolerance -- however wide -- applies.  Reserve it for measurements that
+#: track the source tree itself rather than simulated behavior; a metric
+#: that can regress meaningfully belongs in OVERRIDES, not here.
+EXEMPTIONS: dict[str, str] = {
+    # Byte size of the live resolver module: it moves with every comment,
+    # docstring, or instrumentation edit anywhere in the file, so it
+    # tracks the tree, not the protocol.  The paper's Sec. 6 point (the
+    # interpreter stays small) is covered by table_bytes, which measures
+    # the *data* footprint and stays gated above.
+    "e5.code_bytes": "source-tree footprint; moves with any edit to the "
+                     "measured module, not with protocol behavior",
 }
 
 DEFAULT_RULE = ("both", "abs", 0.0)  # counts: exact
@@ -108,7 +127,7 @@ class Finding:
 
     @property
     def passes(self) -> bool:
-        return self.verdict in ("ok", "improved")
+        return self.verdict in ("ok", "improved", "exempt")
 
     def to_record(self) -> dict:
         """The ``--json`` verdict record for this metric."""
@@ -129,6 +148,9 @@ class Finding:
         if self.verdict == "missing":
             return (f"{self.name}: present in baseline, missing from "
                     f"candidate")
+        if self.verdict == "exempt":
+            return (f"{self.name}: {self.baseline:g} -> {self.candidate:g} "
+                    f"(exempt: {EXEMPTIONS[self.name]})")
         delta = self.candidate - self.baseline
         rel = (delta / self.baseline * 100) if self.baseline else float("inf")
         return (f"{self.name}: {self.baseline:g} -> {self.candidate:g} "
@@ -179,6 +201,13 @@ def compare_all(baseline: dict, candidate: dict,
             continue
         cand_metrics = cand_entry.get("metrics", {})
         for metric, base_value in sorted(base_entry["metrics"].items()):
+            if f"{experiment}.{metric}" in EXEMPTIONS:
+                # Reported so the exclusion stays visible, never judged.
+                if metric in cand_metrics:
+                    findings.append(Finding(
+                        experiment, metric, float(base_value),
+                        float(cand_metrics[metric]), 0.0, "exempt"))
+                continue
             if metric not in cand_metrics:
                 # Quick candidates legitimately omit secondary metrics.
                 if not candidate_quick:
@@ -277,6 +306,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     regressions = [f for f in all_findings
                    if f.verdict in ("regressed", "missing")]
     improvements = [f for f in all_findings if f.verdict == "improved"]
+    exempted = [f for f in all_findings if f.verdict == "exempt"]
 
     if args.json:
         document = {
@@ -292,7 +322,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             "pass": not regressions,
             "counts": {"compared": len(all_findings),
                        "regressed": len(regressions),
-                       "improved": len(improvements)},
+                       "improved": len(improvements),
+                       "exempt": len(exempted)},
             "metrics": [finding.to_record() for finding in all_findings],
         }
         print(json.dumps(document, indent=2, sort_keys=True))
@@ -302,6 +333,8 @@ def main(argv: Optional[list[str]] = None) -> int:
           f"quick={bool(baseline.get('quick'))})")
     print(f"candidate: {candidate_path} (sha {candidate.get('git_sha')}, "
           f"quick={bool(candidate.get('quick'))})")
+    for finding in exempted:
+        print(f"exempt:    {finding.describe()}")
     for finding in improvements:
         print(f"improved:  {finding.describe()}")
     for finding in regressions:

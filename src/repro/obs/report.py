@@ -229,6 +229,51 @@ def render_cache_summary(counters: Sequence[dict]) -> str:
     return "\n".join(lines)
 
 
+def render_coherence_summary(counters: Sequence[dict]) -> str:
+    """The coherence scoreboard, derived from ``coherence.*`` counters.
+
+    Present only in runs with an armed coherence probe
+    (:func:`repro.obs.audit.enable_coherence`): invalidation/SYNC notice
+    flow, lease churn by kind, and the two served-wrongness signals the
+    auditor tracks (stale hits within TTL, negative-cache hits).
+    """
+    notices: Dict[str, int] = {}
+    leases: Dict[str, int] = {}
+    totals = {"lookups": 0, "stale_hits": 0, "negcache_hits": 0}
+    seen = False
+    for record in counters:
+        name = record.get("name", "")
+        if not name.startswith("coherence."):
+            continue
+        seen = True
+        value = int(record.get("value", 0))
+        tags = record.get("tags") or {}
+        kind = name[len("coherence."):]
+        if kind in totals:
+            totals[kind] += value
+        elif kind == "notices":
+            phase = str(tags.get("phase", "?"))
+            notices[phase] = notices.get(phase, 0) + value
+        elif kind == "lease_events":
+            lease_kind = str(tags.get("kind", "?"))
+            leases[lease_kind] = leases.get(lease_kind, 0) + value
+    if not seen:
+        return ""
+    lines = [f"{'coherence':<28} {'value':>12}"]
+    for phase in sorted(notices):
+        lines.append(f"{'notices{phase=%s}' % phase:<28} "
+                     f"{notices[phase]:>12}")
+    for lease_kind in sorted(leases):
+        lines.append(f"{'leases{kind=%s}' % lease_kind:<28} "
+                     f"{leases[lease_kind]:>12}")
+    lines.append(f"{'shard lookups':<28} {totals['lookups']:>12}")
+    lines.append(f"{'stale hits (within TTL)':<28} "
+                 f"{totals['stale_hits']:>12}")
+    lines.append(f"{'negative-cache hits':<28} "
+                 f"{totals['negcache_hits']:>12}")
+    return "\n".join(lines)
+
+
 def load_metrics_records(path: str | Path) -> List[dict]:
     """Load export-shaped metric records from a metrics JSONL file."""
     records: List[dict] = []
@@ -282,6 +327,10 @@ def render_metrics_records(records: Sequence[dict], top: int = 20) -> str:
     if cache_summary:
         lines.append("")
         lines.append(cache_summary)
+    coherence_summary = render_coherence_summary(counters)
+    if coherence_summary:
+        lines.append("")
+        lines.append(coherence_summary)
     return "\n".join(lines) if lines else "(no metrics)"
 
 

@@ -31,15 +31,31 @@ parked collector.
 Sampled series, one ring buffer per (host, metric) and a ``fleet``
 aggregate of each:
 
-==================  =====================================================
-``resolutions``     completed IPC transactions this tick (delta)
-``cache_hits``      client name-cache hits this tick (delta; 0 = no cache)
-``cache_misses``    client name-cache misses this tick (delta)
-``retransmits``     request retransmissions this tick (delta)
-``drops``           this host's frames lost to injected faults (delta)
-``queue_depth``     queued deliveries + outstanding sends (gauge)
-``p99_ms``          p99 transaction latency over the tick window (ms)
-==================  =====================================================
+==============================  =========================================
+``resolutions``                 completed IPC transactions this tick (delta)
+``cache_hits``                  client name-cache hits this tick (delta)
+``cache_misses``                client name-cache misses this tick (delta)
+``retransmits``                 request retransmissions this tick (delta)
+``drops``                       frames lost to injected faults (delta)
+``queue_depth``                 queued deliveries + outstanding sends
+``p99_ms``                      p99 transaction latency this tick (ms)
+``coherence.invalidation_lag``  worst INVALIDATE/SYNC propagation lag
+                                applied this tick (ms; probe-fed)
+``coherence.staleness_at_hit``  oldest cached binding served this tick
+                                (ms since install; probe-fed)
+``coherence.lease_churn``       lease grants + refreshes + refusals this
+                                tick (probe-fed)
+``coherence.negcache_hits``     negative-cache hits this tick (probe-fed)
+``coherence.shard_hotness``     shard lookups served by this host's
+                                replica this tick (probe-fed)
+==============================  =========================================
+
+The five ``coherence.*`` series are fed by the :class:`CoherenceProbe`
+(:mod:`repro.obs.audit`) rather than kernel counters: the shard layer calls
+the probe's bookkeeping hooks (pure memory writes, no events, no rng) and
+the collector drains the probe's per-host tick buckets here.  With no probe
+armed the keys are simply absent from each sample, so nothing downstream
+changes.
 """
 
 from __future__ import annotations
@@ -53,10 +69,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kernel.host import Host
 
 #: Metric names every host's ``timeseries/`` context serves, in order.
+#: The ``coherence.*`` series sample only while a coherence probe is armed
+#: (:func:`repro.obs.audit.enable_coherence`); without one the names exist
+#: uniformly but their rings stay empty, like every other disabled leaf.
 SERIES_METRICS: tuple[str, ...] = (
     "resolutions", "cache_hits", "cache_misses", "retransmits", "drops",
     "queue_depth", "p99_ms",
+    "coherence.invalidation_lag", "coherence.staleness_at_hit",
+    "coherence.lease_churn", "coherence.negcache_hits",
+    "coherence.shard_hotness",
 )
+
+#: Metrics whose fleet aggregate is the per-host *max*, not the sum -- a
+#: latency-like quantity summed across hosts means nothing.  Everything
+#: else aggregates by sum.
+FLEET_MAX_METRICS = frozenset({
+    "p99_ms", "coherence.invalidation_lag", "coherence.staleness_at_hit",
+})
 
 #: Pseudo-host key for domain-wide aggregate series (fleet-scope rules).
 FLEET = "fleet"
@@ -190,6 +219,29 @@ def default_watchdogs() -> list[SloRule]:
                 for_ticks=2, clear_ticks=3),
         SloRule("queue-backlog", "queue_depth", kind="invariant",
                 op=">", limit=256.0),
+    ]
+
+
+def coherence_watchdogs() -> list[SloRule]:
+    """SLO rules over the probe-fed ``coherence.*`` series.
+
+    Kept separate from :func:`default_watchdogs` so existing harnesses keep
+    their exact rule set; arm with ``default_watchdogs() +
+    coherence_watchdogs()`` when a coherence probe is live.  Fleet scope for
+    the latency-like series (their fleet aggregate is the per-host max, so
+    one rule covers the worst host); host scope for lease churn, which is a
+    per-replica symptom.
+    """
+    return [
+        SloRule("invalidation-propagation-p99", "coherence.invalidation_lag",
+                kind="threshold", op=">", limit=250.0, severity="critical",
+                for_ticks=2, clear_ticks=3, scope="fleet"),
+        SloRule("staleness-at-hit", "coherence.staleness_at_hit",
+                kind="threshold", op=">", limit=5000.0, severity="warning",
+                for_ticks=2, clear_ticks=3, scope="fleet"),
+        SloRule("lease-churn-spike", "coherence.lease_churn",
+                kind="rate_of_change", limit=50.0, severity="warning",
+                clear_ticks=3),
     ]
 
 
@@ -412,12 +464,15 @@ class TelemetryCollector:
         window = self._lat_windows.pop(host.host_id, None)
         if window:
             sample["p99_ms"] = self._p99_ms(window)
+        probe = getattr(domain, "coherence", None)
+        if probe is not None:
+            sample.update(probe.drain_tick(host.name))
         return sample
 
     def _tick(self) -> None:
         t = self.domain.engine.now
         fleet_totals: dict[str, float] = {}
-        fleet_window_p99: list[float] = []
+        fleet_maxima: dict[str, float] = {}
         for host in sorted(self.domain.hosts.values(),
                            key=lambda h: h.host_id):
             if host.crashed:
@@ -435,14 +490,14 @@ class TelemetryCollector:
             sample = self._sample_host(host, t)
             for metric, value in sample.items():
                 self._record(host.name, metric, t, value)
-                if metric == "p99_ms":
-                    fleet_window_p99.append(value)
+                if metric in FLEET_MAX_METRICS:
+                    fleet_maxima[metric] = max(
+                        fleet_maxima.get(metric, value), value)
                 else:
                     fleet_totals[metric] = fleet_totals.get(metric, 0.0) \
                         + value
             self._evaluate(host.name, sample)
-        if fleet_window_p99:
-            fleet_totals["p99_ms"] = max(fleet_window_p99)
+        fleet_totals.update(fleet_maxima)
         for metric, value in fleet_totals.items():
             self._record(FLEET, metric, t, value)
         self._evaluate(FLEET, fleet_totals)

@@ -244,6 +244,8 @@ class StatServer(_IntrospectionServer):
                      lambda: introspect.host_services_payload(host)),
             StatLeaf("namecache", "json",
                      lambda: introspect.host_namecache_payload(host)),
+            StatLeaf("coherence", "json",
+                     lambda: introspect.host_coherence_payload(host)),
             StatLeaf("processes", "json",
                      lambda: introspect.host_processes_payload(host)),
             StatLeaf("profile", "json",

@@ -363,3 +363,71 @@ class TestFailoverAndRejoin:
         assert rejoined.binding("data") is not None
         assert rejoined.shard_map.version == cluster.map.version
         assert cluster.map.pid_of(owner_rid) == rejoined.pid
+
+
+# ------------------------------------------- negative-cache reconciliation
+
+
+class TestNegativeCacheInvalidation:
+    """A create must kill cached NOT_FOUNDs for names under its prefix.
+
+    ADD_CONTEXT_NAME bypasses the resolver cache on the way out, so
+    without ``note_mutation`` a client that just bound ``[extra]`` would
+    keep answering NOT_FOUND for ``[extra]...`` names from its own
+    negative cache until the TTL lapsed -- self-inflicted staleness the
+    coherence auditor classifies as a stale negative entry.
+    """
+
+    def test_create_kills_negative_entries_under_the_prefix(self):
+        domain, cluster, pair, client_host, __ = sharded_system()
+        # Negative TTL far longer than the test: only invalidation (never
+        # expiry) can explain the post-ADD read succeeding.
+        resolver = cluster.resolver(negative_ttl=30.0)
+        session = session_for(domain, pair, cluster.primary_pid(),
+                              cache=resolver)
+        outcome = {}
+
+        def client(session):
+            for attempt in ("first", "second"):
+                try:
+                    yield from files.read_file(session, "[extra]data/f0.dat")
+                except NameError_:
+                    outcome[attempt] = "not-found"
+                else:
+                    outcome[attempt] = "ok"
+            outcome["negcache_len"] = resolver.footprint()["negative"]
+            yield from session.add_prefix("extra", pair)
+            outcome["negcache_after_add"] = resolver.footprint()["negative"]
+            outcome["after_add"] = (
+                yield from files.read_file(session, "[extra]data/f0.dat"))
+
+        run_on(domain, client_host, client(session))
+        # The unbound prefix NOT_FOUND was negative-cached and the repeat
+        # was answered locally...
+        assert outcome["first"] == "not-found"
+        assert outcome["second"] == "not-found"
+        assert outcome["negcache_len"] == 1
+        assert resolver.negative_hits == 1
+        # ...and the ADD reconciled it: entry gone, read serves, well
+        # inside the 30s negative TTL.
+        assert outcome["negcache_after_add"] == 0
+        assert outcome["after_add"] == PAYLOAD
+
+    def test_delete_under_a_different_prefix_leaves_negatives_alone(self):
+        domain, cluster, pair, client_host, __ = sharded_system()
+        resolver = cluster.resolver(negative_ttl=30.0)
+        session = session_for(domain, pair, cluster.primary_pid(),
+                              cache=resolver)
+        held = {}
+
+        def client(session):
+            try:
+                yield from files.read_file(session, "[extra]data/f0.dat")
+            except NameError_:
+                pass
+            # An unrelated mutation must not disturb [extra]'s entry.
+            yield from session.add_prefix("other", pair)
+            held["negcache_len"] = resolver.footprint()["negative"]
+
+        run_on(domain, client_host, client(session))
+        assert held["negcache_len"] == 1

@@ -94,7 +94,8 @@ class TestToleranceRules:
         assert rule_for("e7", "hops4_messages") == ("both", "abs", 0.0)
 
     def test_override_beats_suffix(self):
-        assert rule_for("e5", "code_bytes") == ("both", "rel", 0.50)
+        assert rule_for("e5", "table_bytes_12_prefixes") == \
+            ("both", "rel", 0.50)
 
 
 class TestCompare:
@@ -290,7 +291,8 @@ class TestMainGate:
         assert document["wall_tolerance"] == regress.DEFAULT_WALL_TOLERANCE
         metric_count = sum(len(metrics) for metrics in BASE.values())
         assert document["counts"] == {"compared": metric_count + 1,
-                                      "regressed": 1, "improved": 0}
+                                      "regressed": 1, "improved": 0,
+                                      "exempt": 0}
         by_name = {record["name"]: record for record in document["metrics"]}
         assert len(by_name) == metric_count + 1       # every verdict present
         assert by_name["e4.remote_via_prefix_ms"]["verdict"] == "regressed"
@@ -337,3 +339,38 @@ class TestTrajectoryHelpers:
     def test_pick_rounds(self):
         assert pick_rounds(False, 400, 10) == 400
         assert pick_rounds(True, 400, 10) == 10
+
+
+class TestExemptions:
+    def test_exempt_metric_never_fails_however_far_it_moves(self):
+        base = make_snapshot({"e5": {"code_bytes": 1000.0,
+                                     "table_bytes_12_prefixes": 500.0}})
+        cand = make_snapshot({"e5": {"code_bytes": 9000.0,
+                                     "table_bytes_12_prefixes": 500.0}})
+        findings = compare_all(base, cand)
+        [finding] = [f for f in findings if f.metric == "code_bytes"]
+        assert finding.verdict == "exempt"
+        assert finding.passes
+        # The report still shows the movement and the written rationale.
+        assert "1000 -> 9000" in finding.describe()
+        assert "exempt:" in finding.describe()
+        assert all(f.passes for f in findings)
+
+    def test_exempt_metric_missing_from_candidate_is_not_flagged(self):
+        # An exempt metric is outside the gate entirely: its absence must
+        # not produce a "missing" failure either.
+        base = make_snapshot({"e5": {"code_bytes": 1000.0}})
+        cand = make_snapshot({"e5": {}})
+        assert compare_all(base, cand) == []
+
+    def test_every_exemption_carries_a_rationale(self):
+        for name, rationale in regress.EXEMPTIONS.items():
+            assert "." in name          # experiment.metric form
+            assert len(rationale) > 10  # a real sentence, not a stub
+
+    def test_non_exempt_metrics_still_gate(self):
+        base = make_snapshot({"e5": {"table_bytes_12_prefixes": 500.0}})
+        cand = make_snapshot({"e5": {"table_bytes_12_prefixes": 5000.0}})
+        [finding] = compare_all(base, cand)
+        assert finding.verdict == "regressed"
+        assert not finding.passes

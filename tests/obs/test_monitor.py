@@ -79,3 +79,38 @@ class TestCli:
         assert "[obs]/hosts/ws-mann/timeseries/*" in out
         assert any(char in out for char in "▂▃▄▅▆▇█")
         assert "-- match" in out
+
+
+class TestShardedMonitoring:
+    def test_document_carries_every_hosts_shard_map_version(self):
+        document = run_monitored(duration=DURATION, shards=2)
+        assert document["scenario"]["shards"] == 2
+        maps = document["shard_maps"]
+        # Replica hosts report their installed map; the workstation's
+        # registered resolver reports the map it routes by.
+        assert set(maps) >= {"ns1", "ns2", "ws-mann"}
+        assert all(isinstance(version, int) and version >= 1
+                   for version in maps.values())
+        # A fresh cluster with no membership changes stays at version 1.
+        assert maps["ns1"] == maps["ns2"] == 1
+        # The sharded workload flowed: hosts still carry the full metric
+        # set, now with the ns hosts sampled alongside vax1.
+        assert {"ns1", "ns2"} <= set(document["hosts"])
+        assert document["reads"]["ok"] > 0
+
+    def test_default_mode_has_no_shard_section(self):
+        document = run_monitored(duration=DURATION)
+        assert document["scenario"]["shards"] == 0
+        assert document["shard_maps"] == {}
+
+    def test_sharded_run_is_deterministic(self):
+        first = run_monitored(duration=DURATION, shards=2)
+        second = run_monitored(duration=DURATION, shards=2)
+        assert first == second
+
+    def test_cli_shards_flag_renders_map_line(self, capsys):
+        code = monitor.main(["--duration", str(DURATION), "--shards", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shard maps:" in out
+        assert "ns1=v1" in out

@@ -264,3 +264,86 @@ class TestLifecycle:
     def test_bad_interval_is_rejected(self):
         with pytest.raises(ValueError):
             TelemetryCollector(Domain(), interval=0.0)
+
+
+class TestCoherenceSeries:
+    """The probe-fed coherence.* series and their fleet aggregation."""
+
+    def _armed_collector(self):
+        from repro.obs.audit import enable_coherence
+
+        domain = Domain()
+        probe = enable_coherence(domain)
+        ns1 = domain.create_host("ns1")
+        ns2 = domain.create_host("ns2")
+        collector = TelemetryCollector(domain, rules=[])
+        return domain, probe, collector, ns1, ns2
+
+    def test_probe_buckets_land_in_the_series(self):
+        __, probe, collector, __, __ = self._armed_collector()
+        probe.lease_event("ns1", "grant")
+        probe.shard_lookup("ns1", 0)
+        probe.shard_lookup("ns1", 0)
+        probe.negcache_hit("ns2")
+        collector._tick()
+        assert collector.series_for("ns1", "coherence.lease_churn") \
+            .values() == [1.0]
+        assert collector.series_for("ns1", "coherence.shard_hotness") \
+            .values() == [2.0]
+        assert collector.series_for("ns2", "coherence.negcache_hits") \
+            .values() == [1.0]
+        # Drained: the next tick samples dense zeros, not repeats.
+        collector._tick()
+        assert collector.series_for("ns1", "coherence.shard_hotness") \
+            .values() == [2.0, 0.0]
+
+    def test_unarmed_domain_has_no_coherence_series(self):
+        domain = Domain()
+        domain.create_host("h1")
+        collector = TelemetryCollector(domain, rules=[])
+        collector._tick()
+        assert collector.series_for("h1", "coherence.lease_churn") is None
+        assert collector.series_for("h1", "resolutions") is not None
+
+    def test_fleet_takes_the_max_of_lag_and_staleness(self):
+        # Worst-case metrics must not sum across hosts: a fleet of two
+        # 40ms laggards is a 40ms fleet, not an 80ms one.  Count-like
+        # coherence metrics still sum.
+        __, probe, collector, __, __ = self._armed_collector()
+        probe.notice_sent(b"p", 7, t=0.00)
+        probe.notice_applied(b"p", 7, "ns1", t=0.04)
+        probe.notice_sent(b"p", 8, t=0.01)
+        probe.notice_applied(b"p", 8, "ns2", t=0.04)
+        probe.stale_hit("ns1", 0.5)
+        probe.stale_hit("ns2", 0.2)
+        probe.lease_event("ns1", "grant")
+        probe.lease_event("ns2", "refresh")
+        collector._tick()
+        assert collector.series_for(
+            FLEET, "coherence.invalidation_lag").values() == \
+            [pytest.approx(40.0)]
+        assert collector.series_for(
+            FLEET, "coherence.staleness_at_hit").values() == \
+            [pytest.approx(500.0)]
+        assert collector.series_for(
+            FLEET, "coherence.lease_churn").values() == [2.0]
+
+    def test_coherence_watchdog_fires_on_slow_propagation(self):
+        from repro.obs.telemetry import coherence_watchdogs
+
+        from repro.obs.audit import enable_coherence
+
+        domain = Domain()
+        probe = enable_coherence(domain)
+        domain.create_host("ns1")
+        collector = TelemetryCollector(domain, rules=coherence_watchdogs())
+        # The rule has for_ticks=2 hysteresis: two consecutive breaching
+        # ticks before the fire.
+        for tick in range(2):
+            base = float(tick)
+            probe.notice_sent(b"p", 7, t=base)
+            probe.notice_applied(b"p", 7, "ns1", t=base + 0.3)  # 300ms > SLO
+            collector._tick()
+        fired = [e for e in collector.alerts.events() if e.event == "fire"]
+        assert [e.rule for e in fired] == ["invalidation-propagation-p99"]
+        assert fired[0].severity == "critical"

@@ -125,10 +125,10 @@ class TestDirectoryListing:
                          client(workstation.session()))
         by_name = {record.name: record for record in records}
         assert set(by_name) == {"metrics", "services", "namecache",
-                                "processes", "profile", "spans",
-                                "timeseries", "flightlog"}
-        for leaf in ("metrics", "services", "namecache", "processes",
-                     "profile"):
+                                "coherence", "processes", "profile",
+                                "spans", "timeseries", "flightlog"}
+        for leaf in ("metrics", "services", "namecache", "coherence",
+                     "processes", "profile"):
             record = by_name[leaf]
             assert isinstance(record, StatDescription)
             assert record.host == "vax1"
